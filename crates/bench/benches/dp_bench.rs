@@ -1,0 +1,52 @@
+//! Criterion bench: `getOptimalRQ` (§V) — the paper gives its complexity
+//! as `O(|Q|^2 log |R|)`; this bench sweeps query length and rule-set
+//! size to confirm the scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lexicon::{RefineOp, Rule, RuleSet, RuleSource};
+use std::collections::HashSet;
+use std::hint::black_box;
+use xrefine::{get_top_optimal_rqs, Query};
+
+fn rule_set(n: usize) -> RuleSet {
+    let mut rs = RuleSet::new();
+    for i in 0..n {
+        rs.add(Rule::new(
+            &[&format!("w{i}")],
+            &[&format!("v{i}")],
+            RefineOp::Substitute,
+            RuleSource::Spelling,
+            1.0,
+        ));
+    }
+    rs
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_query_length");
+    for len in [2usize, 4, 8, 16] {
+        let q = Query::from_keywords((0..len).map(|i| format!("w{i}")));
+        let rules = rule_set(64);
+        let avail_set: HashSet<String> = (0..len).map(|i| format!("v{i}")).collect();
+        let avail = move |w: &str| avail_set.contains(w);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &q, |b, q| {
+            b.iter(|| black_box(get_top_optimal_rqs(q, &avail, &rules, 4)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dp_rule_count");
+    for n in [8usize, 64, 512] {
+        let q = Query::from_keywords((0..6).map(|i| format!("w{i}")));
+        let rules = rule_set(n);
+        let avail_set: HashSet<String> = (0..n).map(|i| format!("v{i}")).collect();
+        let avail = move |w: &str| avail_set.contains(w);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| black_box(get_top_optimal_rqs(q, &avail, &rules, 4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

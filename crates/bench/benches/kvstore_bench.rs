@@ -1,0 +1,58 @@
+//! Criterion bench: the B+-tree substrate (index storage path of §VII)
+//! against the BTreeMap-backed reference store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvstore::{KvStore, MemKv, MemTreeKv};
+use std::hint::black_box;
+
+fn keys(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| format!("keyword/{:08}", (i * 2654435761usize) % n).into_bytes())
+        .collect()
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let n = 10_000;
+    let ks = keys(n);
+
+    let mut group = c.benchmark_group("kv_insert_10k");
+    group.bench_function(BenchmarkId::from_parameter("btree"), |b| {
+        b.iter(|| {
+            let mut t = MemTreeKv::new().unwrap();
+            for k in &ks {
+                t.put(k, b"posting-list-bytes").unwrap();
+            }
+            black_box(t.len())
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("btreemap"), |b| {
+        b.iter(|| {
+            let mut t = MemKv::new();
+            for k in &ks {
+                t.put(k, b"posting-list-bytes").unwrap();
+            }
+            black_box(t.len())
+        })
+    });
+    group.finish();
+
+    let mut tree = MemTreeKv::new().unwrap();
+    for k in &ks {
+        tree.put(k, b"posting-list-bytes").unwrap();
+    }
+    let mut group = c.benchmark_group("kv_probe");
+    group.bench_function("btree_get", |b| {
+        b.iter(|| {
+            for k in ks.iter().step_by(37) {
+                black_box(tree.get(k).unwrap());
+            }
+        })
+    });
+    group.bench_function("btree_scan_prefix", |b| {
+        b.iter(|| black_box(tree.scan_prefix(b"keyword/0000").unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kv);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: the three refinement algorithms (Figure 4's
+//! comparison) plus the two plain-SLCA baselines on a fixed workload.
+
+use bench::{dblp, engine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{generate_workload, PerturbKind, WorkloadConfig};
+use std::hint::black_box;
+use xrefine::{Algorithm, Query};
+
+fn bench_refinement(c: &mut Criterion) {
+    let doc = dblp(0.1);
+    let workload: Vec<Query> = generate_workload(
+        &doc,
+        &WorkloadConfig {
+            per_kind: 2,
+            ..Default::default()
+        },
+    )
+    .into_iter()
+    .filter(|q| q.kind != PerturbKind::None)
+    .map(|q| Query::from_keywords(q.keywords))
+    .collect();
+
+    let mut e = engine(doc, Algorithm::Partition, 1);
+    let mut group = c.benchmark_group("refine_top1");
+    for (label, alg) in [
+        ("stack_refine", Algorithm::StackRefine),
+        ("partition", Algorithm::Partition),
+        ("sle", Algorithm::ShortListEager),
+    ] {
+        e.config_mut().algorithm = alg;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &workload, |b, wl| {
+            b.iter(|| {
+                for q in wl {
+                    black_box(e.answer_query(q.clone()));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let e = bench::engine(dblp(0.1), Algorithm::Partition, 1);
+    let mut group = c.benchmark_group("baseline_slca");
+    for (label, method) in [
+        ("stack_slca", slca::slca_stack as fn(&[&[invindex::Posting]]) -> Vec<xmldom::Dewey>),
+        ("scan_slca", slca::slca_scan_eager),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &workload, |b, wl| {
+            b.iter(|| {
+                for q in wl {
+                    black_box(e.baseline_slca(q, method));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

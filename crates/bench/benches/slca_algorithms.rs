@@ -1,0 +1,42 @@
+//! Criterion bench: the four SLCA algorithms over real posting lists of
+//! the synthetic DBLP corpus (frequent keyword x rare keyword — the
+//! length asymmetry the eager/multiway algorithms exploit).
+
+use bench::dblp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use invindex::{Index, Posting};
+use std::hint::black_box;
+
+fn bench_slca(c: &mut Criterion) {
+    let doc = dblp(0.25);
+    let index = Index::build(doc);
+
+    // "data" is rank-0 Zipf (huge list); "skyline" mid-rank; "john" a name.
+    let cases: Vec<(&str, Vec<&str>)> = vec![
+        ("frequent_pair", vec!["data", "query"]),
+        ("skewed_pair", vec!["data", "skyline"]),
+        ("triple", vec!["xml", "keyword", "search"]),
+    ];
+
+    for (label, kws) in cases {
+        let lists: Vec<&[Posting]> = kws
+            .iter()
+            .map(|k| index.list(k).map(|l| l.as_slice()).unwrap_or(&[]))
+            .collect();
+        let mut group = c.benchmark_group(format!("slca_{label}"));
+        for (name, f) in [
+            ("stack", slca::slca_stack as fn(&[&[Posting]]) -> Vec<xmldom::Dewey>),
+            ("scan_eager", slca::slca_scan_eager),
+            ("indexed_lookup_eager", slca::slca_indexed_lookup_eager),
+            ("multiway", slca::slca_multiway),
+        ] {
+            group.bench_with_input(BenchmarkId::from_parameter(name), &lists, |b, l| {
+                b.iter(|| black_box(f(l)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_slca);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: the decay factor ρ of Guideline 4 (Formula 6). The paper
+//! states ρ = 0.8 "is a good choice as evident by our empirical study"
+//! (§IV-A); this sweep regenerates that evidence.
+
+use bench::{dblp, f3, Table};
+use datagen::{generate_workload, WorkloadConfig};
+use evalkit::{evaluate_ranking, refinement_pool};
+use std::sync::Arc;
+use xrefine::RankingConfig;
+
+fn main() {
+    let doc = dblp(0.5);
+    let workload = generate_workload(
+        &doc,
+        &WorkloadConfig {
+            per_kind: 9,
+            ..Default::default()
+        },
+    );
+    let pool: Vec<_> = refinement_pool(&workload).into_iter().take(50).collect();
+
+    let mut t = Table::new(&["decay rho", "CG@1", "CG@2", "CG@3", "CG@4"]);
+    for decay in [0.5, 0.6, 0.7, 0.8, 0.9, 0.95] {
+        let config = RankingConfig {
+            decay,
+            ..Default::default()
+        };
+        let row = evaluate_ranking(Arc::clone(&doc), &pool, config, 4, &format!("{decay}"));
+        t.row(vec![
+            row.label,
+            f3(row.cg[0]),
+            f3(row.cg[1]),
+            f3(row.cg[2]),
+            f3(row.cg[3]),
+        ]);
+    }
+    println!("== Ablation: decay factor sweep (paper picks 0.8) ==\n");
+    t.print();
+}

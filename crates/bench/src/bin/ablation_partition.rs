@@ -1,0 +1,46 @@
+//! Ablation: document partitioning (Definition 6.1). Algorithm 2's two
+//! wins over stack-refine are (1) skipping every computation whose SLCA
+//! would be the document root and (2) invoking `getOptimalRQ` once per
+//! partition instead of once per popped node. This bench measures both
+//! algorithms on the same queries to quantify the gap.
+
+use bench::{dblp, engine, f3, time_ms, Table};
+use datagen::{generate_workload, PerturbKind, WorkloadConfig};
+use xrefine::{Algorithm, Query};
+
+fn main() {
+    let doc = dblp(0.5);
+    let workload: Vec<_> = generate_workload(
+        &doc,
+        &WorkloadConfig {
+            per_kind: 6,
+            ..Default::default()
+        },
+    )
+    .into_iter()
+    .filter(|q| q.kind != PerturbKind::None)
+    .collect();
+
+    let mut e = engine(doc, Algorithm::Partition, 1);
+
+    let mut t = Table::new(&["algorithm", "avg time (ms)"]);
+    for (label, alg) in [
+        ("Partition (Alg 2)", Algorithm::Partition),
+        ("stack-refine (Alg 1)", Algorithm::StackRefine),
+    ] {
+        e.config_mut().algorithm = alg;
+        let ms = time_ms(
+            || {
+                for wq in &workload {
+                    std::hint::black_box(
+                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned())),
+                    );
+                }
+            },
+            2,
+        ) / workload.len() as f64;
+        t.row(vec![label.into(), f3(ms)]);
+    }
+    println!("== Ablation: partitioning vs per-node refinement ==\n");
+    t.print();
+}

@@ -1,0 +1,59 @@
+//! Ablation: the "smart choice" heuristic of Algorithm 3 (§VI-C
+//! Discussion): preferring anchors that appear on rule RHSs or need no
+//! refinement should let SLE terminate its Top-K exploration earlier
+//! (fewer random accesses).
+
+use bench::{dblp, f3, time_ms, Table};
+use datagen::{generate_workload, PerturbKind, WorkloadConfig};
+use invindex::Index;
+use xrefine::{sle_refine, Query, RefineSession, SleOptions, XRefineEngine};
+
+fn main() {
+    let doc = dblp(0.5);
+    let workload: Vec<_> = generate_workload(
+        &doc,
+        &WorkloadConfig {
+            per_kind: 6,
+            ..Default::default()
+        },
+    )
+    .into_iter()
+    .filter(|q| q.kind != PerturbKind::None)
+    .collect();
+
+    let engine = XRefineEngine::from_document(doc.clone(), Default::default());
+    let index: &Index = engine.index();
+
+    let mut t = Table::new(&["variant", "avg time (ms)", "avg random accesses"]);
+    for smart in [true, false] {
+        let mut total_ra = 0u64;
+        let ms = time_ms(
+            || {
+                for wq in &workload {
+                    let q = Query::from_keywords(wq.keywords.iter().cloned());
+                    let rules = engine.rules_for(&q);
+                    let session = RefineSession::new(index, q, rules);
+                    let out = sle_refine(
+                        &session,
+                        &SleOptions {
+                            k: 3,
+                            smart_choice: smart,
+                            ..Default::default()
+                        },
+                    );
+                    total_ra += out.random_accesses;
+                }
+            },
+            2,
+        ) / workload.len() as f64;
+        // total_ra accumulated over warmup + reps; normalize per query run
+        let avg_ra = total_ra as f64 / (3 * workload.len()) as f64;
+        t.row(vec![
+            if smart { "smart choice" } else { "naive shortest" }.into(),
+            f3(ms),
+            f3(avg_ra),
+        ]);
+    }
+    println!("== Ablation: SLE anchor-choice heuristic ==\n");
+    t.print();
+}

@@ -1,0 +1,61 @@
+//! Extension experiment (§IX future work): narrowing refinement quality
+//! and cost for over-broad queries. For a batch of deliberately broad
+//! queries (head-of-Zipf keywords), reports the original result count,
+//! the Top-3 suggested narrowings with their counts, and the wall time.
+
+use bench::{dblp, f3, time_ms, Table};
+use std::sync::Arc;
+use xrefine::{EngineConfig, NarrowOptions, XRefineEngine};
+
+fn main() {
+    let doc = dblp(0.5);
+    let engine = XRefineEngine::from_document(Arc::clone(&doc), EngineConfig::default());
+    let options = NarrowOptions {
+        k: 3,
+        max_results: 12,
+        ..Default::default()
+    };
+
+    let queries = [
+        "data",
+        "query",
+        "xml",
+        "system data",
+        "database system",
+        "xml query",
+        "efficient search",
+        "keyword search",
+    ];
+
+    let mut t = Table::new(&["query", "results", "suggestions (added -> count)", "ms"]);
+    for q in queries {
+        let ms = time_ms(
+            || {
+                std::hint::black_box(engine.narrow(q, &options));
+            },
+            3,
+        );
+        match engine.narrow(q, &options) {
+            None => t.row(vec![q.into(), "<= max".into(), "-".into(), f3(ms)]),
+            Some(suggestions) => {
+                let orig = suggestions
+                    .first()
+                    .map(|s| s.original_results.to_string())
+                    .unwrap_or_else(|| "many".into());
+                let rendered = if suggestions.is_empty() {
+                    "(no single-keyword narrowing)".to_string()
+                } else {
+                    suggestions
+                        .iter()
+                        .map(|s| format!("+{} -> {}", s.added, s.refinement.slcas.len()))
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                };
+                t.row(vec![q.into(), orig, rendered, f3(ms)]);
+            }
+        }
+    }
+    println!("== Extension: narrowing refinement (too-many-results queries) ==\n");
+    t.print();
+    println!("\nmax_results = {}, Top-{}", options.max_results, options.k);
+}

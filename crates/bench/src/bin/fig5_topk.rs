@@ -1,0 +1,67 @@
+//! Figure 5: effect of K on Top-K query refinement time, for Partition
+//! and SLE, on (a) DBLP and (b) Baseball.
+//!
+//! Expected shape (paper §VIII-B): Partition's time grows slowly with K;
+//! SLE's grows much faster beyond K = 3; both essentially flat on the
+//! small Baseball corpus.
+
+use bench::{baseball, dblp, engine, f3, time_ms, Table};
+use datagen::{generate_workload, PerturbKind, WorkloadConfig};
+use std::sync::Arc;
+use xmldom::Document;
+use xrefine::{Algorithm, Query};
+
+fn run(name: &str, doc: Arc<Document>, n_queries: usize) {
+    let workload: Vec<_> = generate_workload(
+        &doc,
+        &WorkloadConfig {
+            per_kind: n_queries / 4 + 1,
+            ..Default::default()
+        },
+    )
+    .into_iter()
+    .filter(|q| q.kind != PerturbKind::None)
+    .take(n_queries)
+    .collect();
+
+    let mut e = engine(doc, Algorithm::Partition, 1);
+    let mut t = Table::new(&["K", "Partition (ms)", "SLE (ms)"]);
+    for k in 1..=6usize {
+        e.config_mut().k = k;
+        e.config_mut().algorithm = Algorithm::Partition;
+        let tp = time_ms(
+            || {
+                for wq in &workload {
+                    std::hint::black_box(
+                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned())),
+                    );
+                }
+            },
+            2,
+        ) / workload.len() as f64;
+        e.config_mut().algorithm = Algorithm::ShortListEager;
+        let ts = time_ms(
+            || {
+                for wq in &workload {
+                    std::hint::black_box(
+                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned())),
+                    );
+                }
+            },
+            2,
+        ) / workload.len() as f64;
+        t.row(vec![format!("{k}"), f3(tp), f3(ts)]);
+    }
+    println!("\n== Figure 5({name}): avg per-query Top-K time over {} queries ==\n", workload.len());
+    t.print();
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg != "baseball" {
+        run("a) DBLP", dblp(1.0), 40);
+    }
+    if arg != "dblp" {
+        run("b) Baseball", baseball(), 20);
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 6: Top-3 refinement time over data sets of increasing size
+//! (20% to 100% of the DBLP corpus), for Partition and SLE.
+//!
+//! Expected shape (paper §VIII-B): both near-linear in the data size;
+//! SLE shows a visible jump somewhere in the 60%→80% step because its
+//! cost depends on how early the final Top-K RQs are discovered.
+
+use bench::{dblp, engine, f3, time_ms, Table};
+use datagen::{generate_workload, PerturbKind, WorkloadConfig};
+use xrefine::{Algorithm, Query};
+
+fn main() {
+    let mut t = Table::new(&["data size", "elements", "Partition (ms)", "SLE (ms)"]);
+    for pct in [20, 40, 60, 80, 100] {
+        let doc = dblp(pct as f64 / 100.0);
+        let elements = doc.len();
+        let workload: Vec<_> = generate_workload(
+            &doc,
+            &WorkloadConfig {
+                per_kind: 11,
+                ..Default::default()
+            },
+        )
+        .into_iter()
+        .filter(|q| q.kind != PerturbKind::None)
+        .take(40)
+        .collect();
+
+        let mut e = engine(doc, Algorithm::Partition, 3);
+        let tp = time_ms(
+            || {
+                for wq in &workload {
+                    std::hint::black_box(
+                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned())),
+                    );
+                }
+            },
+            2,
+        ) / workload.len() as f64;
+        e.config_mut().algorithm = Algorithm::ShortListEager;
+        let ts = time_ms(
+            || {
+                for wq in &workload {
+                    std::hint::black_box(
+                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned())),
+                    );
+                }
+            },
+            2,
+        ) / workload.len() as f64;
+        t.row(vec![format!("{pct}%"), format!("{elements}"), f3(tp), f3(ts)]);
+    }
+    println!("== Figure 6: avg per-query Top-3 refinement time vs data size ==\n");
+    t.print();
+}

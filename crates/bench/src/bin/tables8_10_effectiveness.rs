@@ -1,0 +1,79 @@
+//! Tables VIII, IX and X: the effectiveness study.
+//!
+//! * Table VIII — statistics of the query pool (50 queries with no
+//!   meaningful result, various refinements, >= 4 RQ candidates);
+//! * Table IX — average CG@1..4 under the full ranking model RS0 and its
+//!   guideline ablations RS1–RS4;
+//! * Table X — average CG@1..4 under (α, β) weight variants of
+//!   Formula 10.
+//!
+//! Expected shape (paper §VIII-C): RS0 dominates every ablation at CG@1;
+//! RS4 (no dissimilarity decay) is the weakest at CG@1; all variants
+//! converge by CG@4. (1,1) beats (1,0) and (0,1); similarity matters more
+//! than dependence for CG@1.
+
+use bench::{dblp, f3, Table};
+use datagen::{generate_workload, WorkloadConfig};
+use evalkit::{evaluate_ranking, refinement_pool};
+use std::sync::Arc;
+use xrefine::RankingConfig;
+
+fn main() {
+    let doc = dblp(0.5);
+    let workload = generate_workload(
+        &doc,
+        &WorkloadConfig {
+            per_kind: 9,
+            ..Default::default()
+        },
+    );
+    let pool: Vec<_> = refinement_pool(&workload).into_iter().take(50).collect();
+
+    println!("== Table VIII: query pool statistics ==\n");
+    let mut t8 = Table::new(&["property", "value"]);
+    t8.row(vec!["queries".into(), format!("{}", pool.len())]);
+    let avg_len: f64 =
+        pool.iter().map(|q| q.keywords.len() as f64).sum::<f64>() / pool.len() as f64;
+    t8.row(vec!["avg keywords".into(), f3(avg_len)]);
+    let kinds: std::collections::HashSet<_> = pool.iter().map(|q| q.kind).collect();
+    t8.row(vec!["refinement kinds".into(), format!("{}", kinds.len())]);
+    t8.print();
+
+    println!("\n== Table IX: CG@1..4 by ranking model (guideline ablations) ==\n");
+    let mut t9 = Table::new(&["model", "CG@1", "CG@2", "CG@3", "CG@4"]);
+    let mut rows = vec![("RS0".to_string(), RankingConfig::rs0())];
+    for i in 1..=4 {
+        rows.push((format!("RS{i}"), RankingConfig::without_guideline(i)));
+    }
+    for (label, config) in rows {
+        let row = evaluate_ranking(Arc::clone(&doc), &pool, config, 4, &label);
+        t9.row(vec![
+            row.label,
+            f3(row.cg[0]),
+            f3(row.cg[1]),
+            f3(row.cg[2]),
+            f3(row.cg[3]),
+        ]);
+    }
+    t9.print();
+
+    println!("\n== Table X: CG@1..4 by (alpha, beta) ==\n");
+    let mut t10 = Table::new(&["(alpha,beta)", "CG@1", "CG@2", "CG@3", "CG@4"]);
+    for (a, b) in [(1.0, 1.0), (1.0, 0.0), (0.0, 1.0), (2.0, 1.0), (1.0, 2.0)] {
+        let row = evaluate_ranking(
+            Arc::clone(&doc),
+            &pool,
+            RankingConfig::with_weights(a, b),
+            4,
+            &format!("({a},{b})"),
+        );
+        t10.row(vec![
+            row.label,
+            f3(row.cg[0]),
+            f3(row.cg[1]),
+            f3(row.cg[2]),
+            f3(row.cg[3]),
+        ]);
+    }
+    t10.print();
+}

@@ -1,0 +1,105 @@
+//! Synthetic Baseball corpus generator — the paper's second, smaller and
+//! shallower real dataset (ibiblio's baseball statistics XML). Structure:
+//! `season/league/division/team/player` with statistic leaves.
+
+use crate::vocab;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmldom::{Document, DocumentBuilder};
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct BaseballConfig {
+    pub leagues: usize,
+    pub divisions_per_league: usize,
+    pub teams_per_division: usize,
+    pub players_per_team: usize,
+    pub seed: u64,
+}
+
+impl Default for BaseballConfig {
+    fn default() -> Self {
+        BaseballConfig {
+            leagues: 2,
+            divisions_per_league: 3,
+            teams_per_division: 5,
+            players_per_team: 12,
+            seed: 0xBA5E,
+        }
+    }
+}
+
+/// Generates the document.
+pub fn generate_baseball(config: &BaseballConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = DocumentBuilder::new();
+    b.open_element("season");
+    b.leaf("year", "1998");
+
+    for l in 0..config.leagues {
+        b.open_element("league");
+        b.leaf("name", if l == 0 { "national" } else { "american" });
+        for d in 0..config.divisions_per_league {
+            b.open_element("division");
+            b.leaf("name", ["east", "central", "west"][d % 3]);
+            for _ in 0..config.teams_per_division {
+                b.open_element("team");
+                let city = vocab::CITIES[rng.random_range(0..vocab::CITIES.len())];
+                let mascot = vocab::MASCOTS[rng.random_range(0..vocab::MASCOTS.len())];
+                b.leaf("city", city);
+                b.leaf("name", mascot);
+                for _ in 0..config.players_per_team {
+                    b.open_element("player");
+                    let first =
+                        vocab::FIRST_NAMES[rng.random_range(0..vocab::FIRST_NAMES.len())];
+                    let last = vocab::LAST_NAMES[rng.random_range(0..vocab::LAST_NAMES.len())];
+                    b.leaf("surname", last);
+                    b.leaf("given", first);
+                    let pos = vocab::POSITIONS[rng.random_range(0..vocab::POSITIONS.len())];
+                    b.leaf("position", pos);
+                    b.leaf("games", &format!("{}", rng.random_range(10..162)));
+                    if pos == "pitcher" {
+                        b.leaf("wins", &format!("{}", rng.random_range(0..22)));
+                        b.leaf("losses", &format!("{}", rng.random_range(0..18)));
+                    } else {
+                        b.leaf("homeruns", &format!("{}", rng.random_range(0..55)));
+                        b.leaf("average", &format!("0.{}", rng.random_range(180..360)));
+                    }
+                    b.close_element();
+                }
+                b.close_element();
+            }
+            b.close_element();
+        }
+        b.close_element();
+    }
+
+    b.close_element();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_and_determinism() {
+        let c = BaseballConfig::default();
+        let a = generate_baseball(&c);
+        let b2 = generate_baseball(&c);
+        assert_eq!(a.to_xml(), b2.to_xml());
+        assert_eq!(a.tag_name(a.root()), "season");
+        let tags: std::collections::HashSet<&str> =
+            a.nodes().map(|(id, _)| a.tag_name(id)).collect();
+        for t in ["league", "division", "team", "player", "position", "games"] {
+            assert!(tags.contains(t), "{t} missing");
+        }
+    }
+
+    #[test]
+    fn is_shallower_than_dblp() {
+        let doc = generate_baseball(&BaseballConfig::default());
+        let max_depth = doc.nodes().map(|(_, n)| n.dewey.depth()).max().unwrap();
+        assert!(max_depth <= 5);
+    }
+}

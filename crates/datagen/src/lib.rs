@@ -1,0 +1,20 @@
+//! `datagen` — synthetic corpora and query workloads (the DESIGN.md
+//! substitutions for DBLP, Baseball, and the demo query log).
+//!
+//! * [`zipf`]: seeded Zipf sampler (keyword-frequency skew);
+//! * [`vocab`]: bibliographic/baseball term pools;
+//! * [`dblp`]: scale-parameterised DBLP-like generator;
+//! * [`baseball`]: the shallower Baseball generator;
+//! * [`workload`]: valid queries perturbed by the inverse of each
+//!   refinement operation, with ground truth by construction.
+
+pub mod baseball;
+pub mod dblp;
+pub mod vocab;
+pub mod workload;
+pub mod zipf;
+
+pub use baseball::{generate_baseball, BaseballConfig};
+pub use dblp::{generate_dblp, DblpConfig};
+pub use workload::{generate_workload, PerturbKind, WorkloadConfig, WorkloadQuery};
+pub use zipf::Zipf;

@@ -1,0 +1,141 @@
+//! Term pools for the synthetic corpora.
+//!
+//! The DBLP generator needs realistic bibliographic vocabulary so that
+//! the lexical machinery (synonyms, stemming, acronym expansion) has real
+//! material to work with; the pools below include the terms every worked
+//! example of the paper uses (online, database, skyline, keyword, twig,
+//! machine, learning, world wide web, ...).
+
+/// Title terms, ordered roughly by intended frequency rank (the Zipf
+/// sampler maps rank 0 to the first entry).
+pub const TITLE_TERMS: &[&str] = &[
+    "data", "database", "query", "xml", "system", "efficient", "search", "keyword", "web",
+    "processing", "online", "analysis", "model", "distributed", "stream", "optimization",
+    "indexing", "mining", "learning", "machine", "algorithm", "semantic", "relational",
+    "storage", "parallel", "twig", "pattern", "join", "skyline", "computation", "matching",
+    "retrieval", "information", "ranking", "schema", "integration", "cache", "transaction",
+    "adaptive", "scalable", "approximate", "aggregation", "clustering", "classification",
+    "graph", "tree", "spatial", "temporal", "probabilistic", "uncertain", "top", "nearest",
+    "neighbor", "similarity", "wide", "world", "service", "peer", "sensor", "network",
+    "wireless", "mobile", "security", "privacy", "compression", "sampling", "estimation",
+    "view", "materialized", "warehouse", "olap", "cube", "workflow", "provenance", "lineage",
+    "benchmark", "evaluation", "tuning", "recovery", "concurrency", "locking", "logging",
+    "partitioning", "replication", "consistency", "availability", "fault", "tolerance",
+    "continuous", "window", "event", "complex", "detection", "filtering", "publish",
+    "subscribe", "ontology", "reasoning", "rdf", "sparql", "xpath", "xquery", "twigstack",
+    "holistic", "structural", "labeling", "dewey", "encoding", "numbering", "fragment",
+    "dissemination", "routing", "selectivity", "cardinality", "histogram", "wavelet",
+    "sketch", "synopsis", "summarization", "deduplication", "cleaning", "entity",
+    "resolution", "extraction", "annotation", "crawling", "pagerank", "authority", "hub",
+    "social", "recommendation", "collaborative", "content", "multimedia", "image", "video",
+    "audio", "text", "document", "corpus", "language", "translation", "visualization",
+    "interactive", "exploration", "navigation", "browsing", "interface", "usability",
+    "keyword2", "proximity", "lca", "slca", "refinement", "suggestion", "expansion",
+    "correction", "spelling", "feedback", "relevance", "precision", "recall",
+];
+
+/// First names for authors.
+pub const FIRST_NAMES: &[&str] = &[
+    "john", "mike", "wei", "jia", "anna", "david", "maria", "chen", "lucas", "sofia", "liang",
+    "emma", "noah", "olivia", "li", "yun", "hans", "petra", "ivan", "elena", "raj", "priya",
+    "omar", "fatima", "kenji", "yuki", "carlos", "lucia", "pierre", "claire", "marco", "giulia",
+    "sven", "ingrid", "pavel", "nadia", "tom", "alice", "bob", "carol", "xiaofeng", "zhifeng",
+    "jiaheng", "tok",
+];
+
+/// Last names for authors.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "franklin", "zhang", "wang", "li", "chen", "liu", "yang", "huang", "zhao", "wu",
+    "zhou", "muller", "schmidt", "johnson", "williams", "brown", "jones", "garcia", "martinez",
+    "silva", "santos", "kumar", "singh", "patel", "tanaka", "suzuki", "sato", "kim", "park",
+    "lee", "nguyen", "tran", "ivanov", "petrov", "rossi", "ricci", "dubois", "laurent", "bao",
+    "lu", "ling", "meng",
+];
+
+/// Conference names (booktitle values).
+pub const VENUES: &[&str] = &[
+    "sigmod", "vldb", "icde", "edbt", "cikm", "sigir", "www", "kdd", "icdt", "pods", "dasfaa",
+    "webdb", "cidr", "sigkdd",
+];
+
+/// Journal names.
+pub const JOURNALS: &[&str] = &[
+    "tods", "vldbj", "tkde", "sigmodrecord", "is", "dke", "jacm", "ipl",
+];
+
+/// Author interests.
+pub const INTERESTS: &[&str] = &[
+    "database systems",
+    "information retrieval",
+    "data mining",
+    "stream processing",
+    "web search",
+    "machine learning",
+    "xml data management",
+    "query optimization",
+    "distributed systems",
+    "natural language processing",
+];
+
+/// Baseball: team city names.
+pub const CITIES: &[&str] = &[
+    "atlanta", "boston", "chicago", "cleveland", "denver", "detroit", "houston", "miami",
+    "milwaukee", "minneapolis", "montreal", "oakland", "philadelphia", "phoenix", "pittsburgh",
+    "seattle", "toronto",
+];
+
+/// Baseball: team mascot names.
+pub const MASCOTS: &[&str] = &[
+    "braves", "cubs", "giants", "tigers", "pirates", "mariners", "expos", "athletics",
+    "phillies", "brewers", "twins", "rockies", "marlins", "astros", "bluejays",
+];
+
+/// Baseball: player positions.
+pub const POSITIONS: &[&str] = &[
+    "pitcher", "catcher", "firstbase", "secondbase", "thirdbase", "shortstop", "leftfield",
+    "centerfield", "rightfield", "designatedhitter",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase_tokens() {
+        for pool in [
+            TITLE_TERMS,
+            FIRST_NAMES,
+            LAST_NAMES,
+            VENUES,
+            JOURNALS,
+            CITIES,
+            MASCOTS,
+            POSITIONS,
+        ] {
+            assert!(!pool.is_empty());
+            for w in pool {
+                assert!(
+                    w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                    "pool word {w:?} is not a single lowercase token"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn title_terms_are_distinct() {
+        let set: HashSet<&str> = TITLE_TERMS.iter().copied().collect();
+        assert_eq!(set.len(), TITLE_TERMS.len());
+    }
+
+    #[test]
+    fn paper_example_terms_present() {
+        for w in [
+            "online", "database", "skyline", "keyword", "twig", "machine", "learning", "world",
+            "wide", "web", "xml", "efficient", "matching",
+        ] {
+            assert!(TITLE_TERMS.contains(&w), "{w} missing");
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Query-workload generator with ground truth.
+//!
+//! The paper builds its query pool from a live demo's query log: 219
+//! empty-result queries plus 100 queries with results, and two human
+//! annotators provide the "suggested replacement" per query (Tables
+//! III–VI). We reproduce that construction synthetically: *valid* queries
+//! are sampled from keywords that genuinely co-occur inside one document
+//! partition, then perturbed by the inverse of a refinement operation, so
+//! the intended query — the annotator's ground truth — is known by
+//! construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use xmldom::{tokenize, Document};
+
+/// The perturbation applied to a valid query (the inverse of the
+/// refinement operation that repairs it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PerturbKind {
+    /// No perturbation: the query has matching results.
+    None,
+    /// An off-topic keyword was added; repair = term deletion (Table III).
+    ExtraTerm,
+    /// A data keyword was split in two; repair = term merging (Table IV).
+    SplitKeyword,
+    /// Two query keywords were concatenated; repair = term split (Table V).
+    MergedKeywords,
+    /// Characters were mutated; repair = spelling substitution (Table VI).
+    Typo,
+    /// A keyword was replaced by an out-of-vocabulary synonym; repair =
+    /// synonym substitution (Table VI).
+    Synonym,
+    /// A keyword was replaced by a morphological variant; repair =
+    /// stemming substitution (Table VI).
+    Stemming,
+}
+
+impl PerturbKind {
+    pub const ALL_PERTURBED: [PerturbKind; 6] = [
+        PerturbKind::ExtraTerm,
+        PerturbKind::SplitKeyword,
+        PerturbKind::MergedKeywords,
+        PerturbKind::Typo,
+        PerturbKind::Synonym,
+        PerturbKind::Stemming,
+    ];
+}
+
+/// A generated query with its ground truth.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// The (possibly broken) query a user would type.
+    pub keywords: Vec<String>,
+    /// The intended (valid) query the perturbation destroyed.
+    pub intended: Vec<String>,
+    pub kind: PerturbKind,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Queries per perturbation kind (including `None`).
+    pub per_kind: usize,
+    pub min_len: usize,
+    pub max_len: usize,
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            per_kind: 10,
+            min_len: 2,
+            max_len: 5,
+            seed: 0x9E3779B9,
+        }
+    }
+}
+
+/// Per-partition token pools extracted from a document.
+struct Pools {
+    /// Distinct tokens per document partition.
+    partitions: Vec<Vec<String>>,
+    /// The full document vocabulary.
+    vocab: HashSet<String>,
+}
+
+fn pools(doc: &Document) -> Pools {
+    let root = doc.root();
+    let mut partitions = Vec::new();
+    let mut vocab = HashSet::new();
+    for &child in &doc.node(root).children {
+        let mut set: HashSet<String> = HashSet::new();
+        for id in doc.descendants_or_self(child) {
+            for t in tokenize(doc.tag_name(id)) {
+                set.insert(t);
+            }
+            for t in tokenize(&doc.node(id).text) {
+                set.insert(t);
+            }
+        }
+        vocab.extend(set.iter().cloned());
+        let mut v: Vec<String> = set.into_iter().collect();
+        v.sort();
+        partitions.push(v);
+    }
+    Pools { partitions, vocab }
+}
+
+/// Generates the workload over `doc`.
+pub fn generate_workload(doc: &Document, config: &WorkloadConfig) -> Vec<WorkloadQuery> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let pools = pools(doc);
+    let mut out = Vec::new();
+
+    let mut kinds = vec![PerturbKind::None];
+    kinds.extend(PerturbKind::ALL_PERTURBED);
+    for kind in kinds {
+        let mut produced = 0;
+        let mut attempts = 0;
+        while produced < config.per_kind && attempts < config.per_kind * 200 {
+            attempts += 1;
+            if let Some(q) = generate_one(&pools, config, kind, &mut rng) {
+                out.push(q);
+                produced += 1;
+            }
+        }
+    }
+    out
+}
+
+fn sample_valid(
+    pools: &Pools,
+    config: &WorkloadConfig,
+    rng: &mut StdRng,
+) -> Option<Vec<String>> {
+    let p = &pools.partitions[rng.random_range(0..pools.partitions.len())];
+    let len = rng
+        .random_range(config.min_len..=config.max_len)
+        .min(p.len());
+    if len < config.min_len {
+        return None;
+    }
+    let mut chosen: Vec<String> = Vec::with_capacity(len);
+    let mut guard = 0;
+    while chosen.len() < len && guard < 200 {
+        guard += 1;
+        let w = p[rng.random_range(0..p.len())].clone();
+        if !chosen.contains(&w) {
+            chosen.push(w);
+        }
+    }
+    (chosen.len() >= config.min_len).then_some(chosen)
+}
+
+fn generate_one(
+    pools: &Pools,
+    config: &WorkloadConfig,
+    kind: PerturbKind,
+    rng: &mut StdRng,
+) -> Option<WorkloadQuery> {
+    let intended = sample_valid(pools, config, rng)?;
+    let mut keywords = intended.clone();
+    match kind {
+        PerturbKind::None => {}
+        PerturbKind::ExtraTerm => {
+            // A keyword from the vocabulary unlikely to co-occur: pick from
+            // a different partition and require it absent from this query.
+            let mut guard = 0;
+            loop {
+                guard += 1;
+                if guard > 100 {
+                    return None;
+                }
+                let p = &pools.partitions[rng.random_range(0..pools.partitions.len())];
+                let w = p[rng.random_range(0..p.len())].clone();
+                if !keywords.contains(&w) {
+                    keywords.push(w);
+                    break;
+                }
+            }
+        }
+        PerturbKind::SplitKeyword => {
+            // Split one keyword of length >= 5 into two fragments the user
+            // "typed separately"; repair merges them back.
+            let idx = longest_keyword(&keywords, 5)?;
+            let w = keywords[idx].clone();
+            let cut = rng.random_range(2..w.len() - 1);
+            let (a, b) = (w[..cut].to_string(), w[cut..].to_string());
+            // Both fragments must be out-of-data, otherwise the query may
+            // accidentally still match.
+            if pools.vocab.contains(&a) && pools.vocab.contains(&b) {
+                return None;
+            }
+            keywords.splice(idx..=idx, [a, b]);
+        }
+        PerturbKind::MergedKeywords => {
+            if keywords.len() < config.min_len + 1 {
+                return None;
+            }
+            let idx = rng.random_range(0..keywords.len() - 1);
+            let merged = format!("{}{}", keywords[idx], keywords[idx + 1]);
+            if pools.vocab.contains(&merged) {
+                return None;
+            }
+            keywords.splice(idx..=idx + 1, [merged]);
+        }
+        PerturbKind::Typo => {
+            let idx = longest_keyword(&keywords, 4)?;
+            let w = typo(&keywords[idx], rng);
+            if pools.vocab.contains(&w) {
+                return None;
+            }
+            keywords[idx] = w;
+        }
+        PerturbKind::Synonym => {
+            // Out-of-vocabulary synonyms for common data terms.
+            const MISMATCHES: &[(&str, &str)] = &[
+                ("inproceedings", "publication"),
+                ("article", "publication"),
+                ("booktitle", "venue"),
+                ("author", "writer"),
+                ("title", "heading"),
+                ("player", "athlete"),
+                ("team", "club"),
+            ];
+            let idx = keywords.iter().position(|k| {
+                MISMATCHES
+                    .iter()
+                    .any(|(from, to)| k == from && !pools.vocab.contains(*to))
+            })?;
+            let to = MISMATCHES
+                .iter()
+                .find(|(from, _)| keywords[idx] == *from)
+                .map(|(_, to)| to.to_string())
+                .expect("found above");
+            keywords[idx] = to;
+        }
+        PerturbKind::Stemming => {
+            let idx = longest_keyword(&keywords, 5)?;
+            let w = &keywords[idx];
+            let variant = if let Some(stripped) = w.strip_suffix('s') {
+                stripped.to_string()
+            } else if let Some(stripped) = w.strip_suffix("ing") {
+                stripped.to_string()
+            } else {
+                format!("{w}s")
+            };
+            if variant.len() < 3 || pools.vocab.contains(&variant) {
+                return None;
+            }
+            keywords[idx] = variant;
+        }
+    }
+    Some(WorkloadQuery {
+        keywords,
+        intended,
+        kind,
+    })
+}
+
+/// Index of the longest keyword of at least `min_len` characters.
+fn longest_keyword(keywords: &[String], min_len: usize) -> Option<usize> {
+    keywords
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.len() >= min_len && w.chars().all(|c| c.is_ascii_alphabetic()))
+        .max_by_key(|(_, w)| w.len())
+        .map(|(i, _)| i)
+}
+
+/// Injects one character-level error (substitute, delete, insert or
+/// transpose).
+fn typo(word: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = word.chars().collect();
+    let n = chars.len();
+    match rng.random_range(0..4u8) {
+        0 => {
+            let i = rng.random_range(0..n);
+            let c = (b'a' + rng.random_range(0..26u8)) as char;
+            chars[i] = c;
+        }
+        1 => {
+            let i = rng.random_range(0..n);
+            chars.remove(i);
+        }
+        2 => {
+            let i = rng.random_range(0..=n);
+            let c = (b'a' + rng.random_range(0..26u8)) as char;
+            chars.insert(i, c);
+        }
+        _ => {
+            if n >= 2 {
+                let i = rng.random_range(0..n - 1);
+                chars.swap(i, i + 1);
+            } else {
+                chars.push('x');
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dblp::{generate_dblp, DblpConfig};
+
+    fn doc() -> Document {
+        generate_dblp(&DblpConfig {
+            authors: 40,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn workload_covers_all_kinds() {
+        let d = doc();
+        let w = generate_workload(&d, &WorkloadConfig::default());
+        for kind in PerturbKind::ALL_PERTURBED {
+            assert!(
+                w.iter().filter(|q| q.kind == kind).count() > 0,
+                "no queries of kind {kind:?}"
+            );
+        }
+        assert!(w.iter().any(|q| q.kind == PerturbKind::None));
+    }
+
+    #[test]
+    fn perturbed_queries_differ_from_intended() {
+        let d = doc();
+        let w = generate_workload(&d, &WorkloadConfig::default());
+        for q in &w {
+            match q.kind {
+                PerturbKind::None => assert_eq!(q.keywords, q.intended),
+                _ => assert_ne!(q.keywords, q.intended, "{q:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn intended_queries_use_co_occurring_vocabulary() {
+        let d = doc();
+        let p = pools(&d);
+        let w = generate_workload(&d, &WorkloadConfig::default());
+        for q in &w {
+            // every intended keyword set fits inside one partition
+            assert!(
+                p.partitions.iter().any(|part| q
+                    .intended
+                    .iter()
+                    .all(|k| part.binary_search(k).is_ok())),
+                "intended {:?} not co-located",
+                q.intended
+            );
+        }
+    }
+
+    #[test]
+    fn broken_keywords_miss_the_vocabulary() {
+        let d = doc();
+        let p = pools(&d);
+        let w = generate_workload(&d, &WorkloadConfig::default());
+        for q in w.iter().filter(|q| {
+            matches!(
+                q.kind,
+                PerturbKind::Typo | PerturbKind::Synonym | PerturbKind::Stemming
+            )
+        }) {
+            assert!(
+                q.keywords.iter().any(|k| !p.vocab.contains(k)),
+                "{q:?} should contain an out-of-vocabulary keyword"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = doc();
+        let a = generate_workload(&d, &WorkloadConfig::default());
+        let b = generate_workload(&d, &WorkloadConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.keywords, y.keywords);
+        }
+    }
+}

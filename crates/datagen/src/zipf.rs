@@ -1,0 +1,104 @@
+//! A seeded Zipf-distributed sampler.
+//!
+//! Keyword frequencies in DBLP are heavily skewed — the premise behind
+//! the paper's short-list eager algorithm ("the frequencies of query
+//! keywords typically vary significantly", §VI-C). The generators sample
+//! title terms with this Zipf law so the synthetic corpora reproduce that
+//! skew. Implemented over a precomputed CDF with binary search (the
+//! workspace avoids extra crates such as `rand_distr` — DESIGN.md §5).
+
+use rand::Rng;
+
+/// Zipf sampler over ranks `0..n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `n` must be positive; `s >= 0` (s = 0 is
+    /// uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(s >= 0.0, "negative exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `0..n` (0 = most probable).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skews_toward_low_ranks() {
+        let z = Zipf::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50] * 5);
+        // everything stays in range (no panic) and the tail is hit
+        assert!(counts.iter().skip(50).sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.3, "min={min} max={max}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(50, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_domain_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

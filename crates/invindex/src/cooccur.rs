@@ -1,0 +1,97 @@
+//! Co-occurrence frequencies `f^T_{ki,kj}` (Formula 7).
+//!
+//! The paper precomputes a *co-occur frequency table* with worst-case
+//! space `O(K^2 · T)` (§VII). We instead derive each requested entry from
+//! the inverted lists — the set of `T`-typed nodes containing a keyword is
+//! the distinct-`T`-ancestor projection of its posting list, and the
+//! co-occurrence count is the size of the intersection of two such sorted
+//! sets — and memoize both the projections and the final counts. This
+//! keeps identical query-time semantics while avoiding the quadratic
+//! build; `DESIGN.md` records the substitution and the ablation bench
+//! measures the trade-off.
+
+use crate::index::Index;
+use crate::stats::KeywordId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use xmldom::{Dewey, NodeTypeId};
+
+/// Memo of distinct `T`-typed ancestor sets per `(keyword, type)`.
+type AncestorMemo = HashMap<(KeywordId, NodeTypeId), Arc<Vec<Dewey>>>;
+
+/// Memoizing provider of `f^T_{ki,kj}`.
+#[derive(Default)]
+pub struct CoOccurrence {
+    ancestors: Mutex<AncestorMemo>,
+    counts: Mutex<HashMap<(NodeTypeId, KeywordId, KeywordId), u64>>,
+}
+
+impl CoOccurrence {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `f^T_{ki,kj}`: number of `T`-typed nodes whose subtree contains
+    /// both keywords. Symmetric in `ki`/`kj`.
+    pub fn co_occur(&self, index: &Index, t: NodeTypeId, ki: KeywordId, kj: KeywordId) -> u64 {
+        let (a, b) = if ki <= kj { (ki, kj) } else { (kj, ki) };
+        if let Some(&n) = self.counts.lock().get(&(t, a, b)) {
+            return n;
+        }
+        let la = self.typed_ancestors(index, a, t);
+        let n = if a == b {
+            la.len() as u64
+        } else {
+            let lb = self.typed_ancestors(index, b, t);
+            sorted_intersection_size(&la, &lb)
+        };
+        self.counts.lock().insert((t, a, b), n);
+        n
+    }
+
+    fn typed_ancestors(&self, index: &Index, k: KeywordId, t: NodeTypeId) -> Arc<Vec<Dewey>> {
+        if let Some(v) = self.ancestors.lock().get(&(k, t)) {
+            return Arc::clone(v);
+        }
+        let v = Arc::new(index.typed_ancestors(k, t));
+        self.ancestors.lock().insert((k, t), Arc::clone(&v));
+        v
+    }
+}
+
+fn sorted_intersection_size(a: &[Dewey], b: &[Dewey]) -> u64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Dewey {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn intersection_size_basics() {
+        let a = vec![d("0.0"), d("0.1"), d("0.3")];
+        let b = vec![d("0.1"), d("0.2"), d("0.3")];
+        assert_eq!(sorted_intersection_size(&a, &b), 2);
+        assert_eq!(sorted_intersection_size(&a, &[]), 0);
+        assert_eq!(sorted_intersection_size(&a, &a), 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Instrumented cursors over posting lists.
+//!
+//! The paper's core efficiency claims (Theorems 1 and 2) are about *how
+//! often* the keyword inverted lists are scanned. To make those claims
+//! testable rather than taken on faith, every traversal in the refinement
+//! algorithms goes through a [`ListCursor`], which counts sequential
+//! advances and random accesses into shared [`ScanStats`]. Integration
+//! tests assert `advances <= list length` for the one-scan algorithms.
+
+use crate::postings::{Posting, PostingList};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xmldom::Dewey;
+
+/// Shared counters for list-access instrumentation.
+#[derive(Debug, Default)]
+pub struct ScanStats {
+    advances: AtomicU64,
+    random_accesses: AtomicU64,
+}
+
+impl ScanStats {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Sequential cursor advances across all instrumented lists.
+    pub fn advances(&self) -> u64 {
+        self.advances.load(Ordering::Relaxed)
+    }
+
+    /// Random (seek/probe) accesses across all instrumented lists.
+    pub fn random_accesses(&self) -> u64 {
+        self.random_accesses.load(Ordering::Relaxed)
+    }
+
+    fn bump_advance(&self) {
+        self.advances.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bump_random(&self) {
+        self.random_accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a sequential advance performed outside a [`ListCursor`]
+    /// (algorithms that account accesses manually, e.g. rescans).
+    pub fn record_advance(&self) {
+        self.bump_advance();
+    }
+
+    /// Records `n` sequential advances at once.
+    pub fn record_advances(&self, n: u64) {
+        self.advances.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a random (probe) access performed outside a cursor.
+    pub fn record_random_access(&self) {
+        self.bump_random();
+    }
+}
+
+/// A forward cursor over one posting list.
+pub struct ListCursor<'a> {
+    list: &'a PostingList,
+    pos: usize,
+    stats: Arc<ScanStats>,
+}
+
+impl<'a> ListCursor<'a> {
+    pub fn new(list: &'a PostingList, stats: Arc<ScanStats>) -> Self {
+        ListCursor {
+            list,
+            pos: 0,
+            stats,
+        }
+    }
+
+    /// The posting under the cursor, or `None` at end of list.
+    pub fn peek(&self) -> Option<&'a Posting> {
+        self.list.get(self.pos)
+    }
+
+    /// Advances one posting, returning the posting that was under the
+    /// cursor. (Deliberately cursor-style rather than `Iterator`: the
+    /// callers interleave `peek`/`seek`/`skip_partition`.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<&'a Posting> {
+        let p = self.list.get(self.pos)?;
+        self.pos += 1;
+        self.stats.bump_advance();
+        Some(p)
+    }
+
+    /// True when all postings have been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos >= self.list.len()
+    }
+
+    /// Current cursor offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Total length of the underlying list.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Moves the cursor forward to the first posting `>= target`
+    /// (counts as a random access; never moves backward).
+    pub fn seek(&mut self, target: &Dewey) {
+        self.stats.bump_random();
+        let lb = self.list.lower_bound(target);
+        if lb > self.pos {
+            self.pos = lb;
+        }
+    }
+
+    /// Jumps past the end of the partition rooted at `partition_root`
+    /// (Algorithm 2 line 8). Returns the index range of the skipped
+    /// partition sub-list relative to the whole list.
+    pub fn skip_partition(&mut self, partition_root: &Dewey) -> std::ops::Range<usize> {
+        let range = self.list.partition_range(partition_root);
+        let consumed = range.end.saturating_sub(self.pos.max(range.start));
+        for _ in 0..consumed {
+            self.stats.bump_advance();
+        }
+        if range.end > self.pos {
+            self.pos = range.end;
+        }
+        range
+    }
+
+    /// Underlying list access for sub-list slicing.
+    pub fn list(&self) -> &'a PostingList {
+        self.list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postings::Posting;
+    use xmldom::NodeTypeId;
+
+    fn list() -> PostingList {
+        PostingList::from_sorted(
+            ["0.0.0", "0.0.1", "0.1.0", "0.1.2", "0.2"]
+                .iter()
+                .map(|s| Posting::new(s.parse().unwrap(), NodeTypeId(0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn sequential_scan_counts_advances() {
+        let l = list();
+        let stats = ScanStats::new();
+        let mut c = ListCursor::new(&l, Arc::clone(&stats));
+        let mut n = 0;
+        while c.next().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        assert!(c.is_exhausted());
+        assert_eq!(stats.advances(), 5);
+        assert_eq!(stats.random_accesses(), 0);
+        assert_eq!(c.next(), None);
+        assert_eq!(stats.advances(), 5); // no phantom advances at EOF
+    }
+
+    #[test]
+    fn seek_is_random_access_and_monotone() {
+        let l = list();
+        let stats = ScanStats::new();
+        let mut c = ListCursor::new(&l, Arc::clone(&stats));
+        c.seek(&"0.1".parse().unwrap());
+        assert_eq!(c.peek().unwrap().dewey.to_string(), "0.1.0");
+        // seeking backwards does not rewind
+        c.seek(&"0.0".parse().unwrap());
+        assert_eq!(c.peek().unwrap().dewey.to_string(), "0.1.0");
+        assert_eq!(stats.random_accesses(), 2);
+    }
+
+    #[test]
+    fn skip_partition_jumps_whole_subtree() {
+        let l = list();
+        let stats = ScanStats::new();
+        let mut c = ListCursor::new(&l, Arc::clone(&stats));
+        let range = c.skip_partition(&"0.0".parse().unwrap());
+        assert_eq!(range, 0..2);
+        assert_eq!(c.peek().unwrap().dewey.to_string(), "0.1.0");
+        // skipped postings are accounted as advances (they were consumed)
+        assert_eq!(stats.advances(), 2);
+        let range = c.skip_partition(&"0.1".parse().unwrap());
+        assert_eq!(range, 2..4);
+        assert_eq!(c.peek().unwrap().dewey.to_string(), "0.2");
+    }
+}

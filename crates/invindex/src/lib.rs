@@ -1,0 +1,24 @@
+//! `invindex` — keyword inverted lists and document statistics (§VII).
+//!
+//! * [`postings`]: document-ordered posting lists with delta/front-coded
+//!   serialization;
+//! * [`index`]: the one-pass index builder and in-memory [`Index`];
+//! * [`stats`]: the frequency tables (`N_T`, `G_T`, `tf(k,T)`, `f^T_k`);
+//! * [`cooccur`]: memoized co-occurrence frequencies `f^T_{ki,kj}`;
+//! * [`cursor`]: scan-instrumented list cursors (used to *prove* the
+//!   one-scan property of the refinement algorithms in tests);
+//! * [`persist`]: storage of the whole index in any [`kvstore::KvStore`].
+
+pub mod cooccur;
+pub mod cursor;
+pub mod parallel;
+pub mod index;
+pub mod persist;
+pub mod postings;
+pub mod stats;
+
+pub use cursor::{ListCursor, ScanStats};
+pub use index::Index;
+pub use parallel::build_parallel;
+pub use postings::{Posting, PostingList};
+pub use stats::{KeywordId, KeywordTable, TypeStats};

@@ -1,0 +1,208 @@
+//! Parallel index construction.
+//!
+//! The sequential builder (`Index::build`) is a two-pass algorithm; both
+//! passes decompose cleanly:
+//!
+//! * pass 1 (tokenize + count): nodes are tokenized in parallel chunks;
+//!   interning and document-order assembly stay sequential (they are a
+//!   small fraction of the work);
+//! * pass 2 (`f^T_k` distinct-ancestor counting): embarrassingly parallel
+//!   across keywords — each worker owns a disjoint keyword range and
+//!   produces a local `df` map, merged at the end.
+//!
+//! The result is bit-identical to the sequential build (asserted by the
+//! test suite), so callers can switch freely.
+
+use crate::index::Index;
+use crate::postings::{Posting, PostingList};
+use crate::stats::{KeywordId, KeywordTable, TypeStats};
+use std::collections::HashMap;
+use std::sync::Arc;
+use xmldom::{tokenize, Document, NodeTypeId};
+
+/// One worker's output for pass 1a: `(node id, sorted token counts)`.
+type TokenizedChunk = Vec<(u32, Vec<(String, u64)>)>;
+
+/// Builds the index using up to `threads` worker threads. `threads == 0`
+/// or `1` falls back to the sequential builder.
+pub fn build_parallel(doc: Arc<Document>, threads: usize) -> Index {
+    if threads <= 1 {
+        return Index::build(doc);
+    }
+    let num_types = doc.node_types().len();
+    let node_count = doc.len();
+
+    // ---- pass 1a (parallel): tokenize every node ---------------------
+    // Each worker produces, for its node range, the per-node token counts
+    // (as strings; interning happens sequentially afterwards).
+    let node_ids: Vec<u32> = (0..node_count as u32).collect();
+    let chunk = node_count.div_ceil(threads).max(1);
+    let mut tokenized: Vec<TokenizedChunk> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for ids in node_ids.chunks(chunk) {
+            let doc = &doc;
+            handles.push(s.spawn(move |_| {
+                let mut out = Vec::with_capacity(ids.len());
+                let mut counts: HashMap<String, u64> = HashMap::new();
+                for &raw in ids {
+                    let id = xmldom::NodeId(raw);
+                    counts.clear();
+                    for tok in tokenize(doc.tag_name(id)) {
+                        *counts.entry(tok).or_insert(0) += 1;
+                    }
+                    for tok in tokenize(&doc.node(id).text) {
+                        *counts.entry(tok).or_insert(0) += 1;
+                    }
+                    for (name, value) in &doc.node(id).attributes {
+                        for tok in tokenize(name).into_iter().chain(tokenize(value)) {
+                            *counts.entry(tok).or_insert(0) += 1;
+                        }
+                    }
+                    if !counts.is_empty() {
+                        let mut v: Vec<(String, u64)> =
+                            counts.drain().collect();
+                        // deterministic order for identical interning
+                        v.sort();
+                        out.push((raw, v));
+                    }
+                }
+                out
+            }));
+        }
+        for h in handles {
+            tokenized.push(h.join().expect("tokenizer worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    // ---- pass 1b (sequential): intern, postings, N_T, tf -------------
+    // NOTE: interning order differs from the sequential builder (which
+    // interns tag tokens before text tokens per node, unsorted); keyword
+    // *ids* may therefore differ, but the keyword -> list/stats mapping is
+    // identical, which is what the equivalence test asserts.
+    let mut vocab = KeywordTable::new();
+    let mut lists: Vec<PostingList> = Vec::new();
+    let mut stats = TypeStats::new(num_types);
+    for (_, node) in doc.nodes() {
+        stats.bump_n_nodes(node.node_type);
+    }
+    for chunk in &tokenized {
+        for (raw, counts) in chunk {
+            let id = xmldom::NodeId(*raw);
+            let node = doc.node(id);
+            let type_path = doc.node_types().path(node.node_type).to_vec();
+            for (tok, c) in counts {
+                let k = vocab.intern(tok);
+                while lists.len() <= k.0 as usize {
+                    lists.push(PostingList::new());
+                }
+                lists[k.0 as usize].push(Posting::new(node.dewey.clone(), node.node_type));
+                for m in 1..=type_path.len() {
+                    let t = doc
+                        .node_types()
+                        .get(&type_path[..m])
+                        .expect("prefix interned");
+                    stats.add_tf(t, k, *c);
+                }
+            }
+        }
+    }
+
+    // ---- pass 2 (parallel): f^T_k per keyword -------------------------
+    let kw_count = lists.len();
+    let kw_chunk = kw_count.div_ceil(threads).max(1);
+    let mut partials: Vec<HashMap<(NodeTypeId, KeywordId), u64>> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        let lists_ref = &lists;
+        let doc_ref = &doc;
+        for start in (0..kw_count).step_by(kw_chunk) {
+            let end = (start + kw_chunk).min(kw_count);
+            handles.push(s.spawn(move |_| {
+                let mut df: HashMap<(NodeTypeId, KeywordId), u64> = HashMap::new();
+                for (kid, list) in lists_ref.iter().enumerate().take(end).skip(start) {
+                    let k = KeywordId(kid as u32);
+                    let mut prev: Option<&Posting> = None;
+                    for p in list.iter() {
+                        let shared = prev
+                            .map(|q| q.dewey.common_prefix_len(&p.dewey))
+                            .unwrap_or(0);
+                        let path = doc_ref.node_types().path(p.node_type);
+                        for m in (shared + 1)..=p.dewey.len() {
+                            let t = doc_ref
+                                .node_types()
+                                .get(&path[..m])
+                                .expect("prefix interned");
+                            *df.entry((t, k)).or_insert(0) += 1;
+                        }
+                        prev = Some(p);
+                    }
+                }
+                df
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("df worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    for partial in partials {
+        for ((t, k), v) in partial {
+            stats.add_df(t, k, v);
+        }
+    }
+
+    Index::from_parts(doc, vocab, lists, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::fixtures::figure1;
+
+    fn equivalent(doc: Arc<Document>, threads: usize) {
+        let seq = Index::build(Arc::clone(&doc));
+        let par = build_parallel(doc, threads);
+        assert_eq!(seq.vocabulary().len(), par.vocabulary().len());
+        // keyword ids may differ; compare through the string keys
+        for (k_seq, text) in seq.vocabulary().iter() {
+            let k_par = par
+                .vocabulary()
+                .get(text)
+                .unwrap_or_else(|| panic!("{text} missing in parallel vocab"));
+            assert_eq!(
+                seq.list_by_id(k_seq),
+                par.list_by_id(k_par),
+                "lists differ for {text}"
+            );
+            for t in seq.document().node_types().iter() {
+                assert_eq!(seq.stats().tf(t, k_seq), par.stats().tf(t, k_par), "{text}");
+                assert_eq!(seq.stats().df(t, k_seq), par.stats().df(t, k_par), "{text}");
+            }
+        }
+        for t in seq.document().node_types().iter() {
+            assert_eq!(seq.stats().n_nodes(t), par.stats().n_nodes(t));
+            assert_eq!(
+                seq.stats().distinct_keywords(t),
+                par.stats().distinct_keywords(t)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_on_figure1() {
+        for threads in [2, 3, 8] {
+            equivalent(Arc::new(figure1()), threads);
+        }
+    }
+
+    #[test]
+    fn one_thread_falls_back_to_sequential() {
+        let doc = Arc::new(figure1());
+        let a = Index::build(Arc::clone(&doc));
+        let b = build_parallel(doc, 1);
+        assert_eq!(a.total_postings(), b.total_postings());
+    }
+}

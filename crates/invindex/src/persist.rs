@@ -1,0 +1,258 @@
+//! Index persistence over any [`KvStore`] (the paper stores all indices in
+//! Berkeley DB, §VII; we store them in the workspace B+-tree).
+//!
+//! Key space:
+//!
+//! * `M/version`                — format version;
+//! * `V/<keyword>`              — keyword id (u32 LE);
+//! * `L/<id:u32 BE>`            — encoded posting list;
+//! * `S/N`, `S/G`               — `N_T` / `G_T` vectors (varints);
+//! * `S/T/<type BE><kw BE>`     — `tf(k,T)` (varint);
+//! * `S/D/<type BE><kw BE>`     — `f^T_k` (varint).
+//!
+//! Node-type and keyword ids are deterministic for a given document (both
+//! interners assign ids in parse order), so an index loaded against the
+//! same document is bit-identical to a rebuilt one.
+
+use crate::index::Index;
+use crate::postings::{read_varint, write_varint, PostingList};
+use crate::stats::{KeywordId, KeywordTable, TypeStats};
+use kvstore::{KvError, KvStore, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+use xmldom::{Document, NodeTypeId};
+
+const FORMAT_VERSION: u64 = 1;
+
+/// Writes the index into `store`.
+pub fn persist(index: &Index, store: &mut dyn KvStore) -> Result<()> {
+    let mut buf = Vec::new();
+    write_varint(&mut buf, FORMAT_VERSION);
+    store.put(b"M/version", &buf)?;
+
+    for (k, text) in index.vocabulary().iter() {
+        let mut key = Vec::with_capacity(2 + text.len());
+        key.extend_from_slice(b"V/");
+        key.extend_from_slice(text.as_bytes());
+        store.put(&key, &k.0.to_le_bytes())?;
+    }
+
+    for (i, list) in index.lists().iter().enumerate() {
+        let mut key = Vec::with_capacity(6);
+        key.extend_from_slice(b"L/");
+        key.extend_from_slice(&(i as u32).to_be_bytes());
+        store.put(&key, &list.encode())?;
+    }
+
+    let mut nbuf = Vec::new();
+    for &n in index.stats().n_nodes_vec() {
+        write_varint(&mut nbuf, n);
+    }
+    store.put(b"S/N", &nbuf)?;
+
+    let mut gbuf = Vec::new();
+    for &g in index.stats().distinct_keywords_vec() {
+        write_varint(&mut gbuf, g);
+    }
+    store.put(b"S/G", &gbuf)?;
+
+    for (t, k, v) in index.stats().iter_tf() {
+        store.put(&stat_key(b"S/T/", t, k), &varint_vec(v))?;
+    }
+    for (t, k, v) in index.stats().iter_df() {
+        store.put(&stat_key(b"S/D/", t, k), &varint_vec(v))?;
+    }
+    store.sync()
+}
+
+/// Loads an index from `store` against the (identical) source document.
+pub fn load(doc: Arc<Document>, store: &dyn KvStore) -> Result<Index> {
+    let vbuf = store
+        .get(b"M/version")?
+        .ok_or_else(|| KvError::Corrupt("missing index version".into()))?;
+    let mut pos = 0;
+    let version = read_varint(&vbuf, &mut pos)
+        .ok_or_else(|| KvError::Corrupt("bad version encoding".into()))?;
+    if version != FORMAT_VERSION {
+        return Err(KvError::Corrupt(format!(
+            "unsupported index version {version}"
+        )));
+    }
+
+    let mut vocab = KeywordTable::new();
+    let mut texts: Vec<(u32, String)> = Vec::new();
+    for (key, value) in store.scan_prefix(b"V/")? {
+        let text = String::from_utf8(key[2..].to_vec())
+            .map_err(|_| KvError::Corrupt("non-UTF-8 keyword".into()))?;
+        let id = u32::from_le_bytes(
+            value
+                .as_slice()
+                .try_into()
+                .map_err(|_| KvError::Corrupt("bad keyword id".into()))?,
+        );
+        texts.push((id, text));
+    }
+    texts.sort_by_key(|(id, _)| *id);
+    for (expected, (id, text)) in texts.iter().enumerate() {
+        if *id as usize != expected {
+            return Err(KvError::Corrupt("keyword id gap".into()));
+        }
+        vocab.intern(text);
+    }
+
+    let mut lists = vec![PostingList::new(); vocab.len()];
+    for (key, value) in store.scan_prefix(b"L/")? {
+        let id = u32::from_be_bytes(
+            key[2..]
+                .try_into()
+                .map_err(|_| KvError::Corrupt("bad list key".into()))?,
+        ) as usize;
+        if id >= lists.len() {
+            return Err(KvError::Corrupt("list for unknown keyword".into()));
+        }
+        lists[id] = PostingList::decode(&value)
+            .ok_or_else(|| KvError::Corrupt(format!("undecodable list {id}")))?;
+    }
+
+    let n_nodes = decode_varint_vec(
+        &store
+            .get(b"S/N")?
+            .ok_or_else(|| KvError::Corrupt("missing S/N".into()))?,
+    )?;
+    let distinct = decode_varint_vec(
+        &store
+            .get(b"S/G")?
+            .ok_or_else(|| KvError::Corrupt("missing S/G".into()))?,
+    )?;
+    if n_nodes.len() != doc.node_types().len() {
+        return Err(KvError::Corrupt(
+            "document does not match persisted index (type count)".into(),
+        ));
+    }
+
+    let mut tf = HashMap::new();
+    for (key, value) in store.scan_prefix(b"S/T/")? {
+        let (t, k) = parse_stat_key(&key)?;
+        tf.insert((t, k), decode_varint_scalar(&value)?);
+    }
+    let mut df = HashMap::new();
+    for (key, value) in store.scan_prefix(b"S/D/")? {
+        let (t, k) = parse_stat_key(&key)?;
+        df.insert((t, k), decode_varint_scalar(&value)?);
+    }
+
+    let stats = TypeStats::set_from_parts(n_nodes, distinct, tf, df);
+    Ok(Index::from_parts(doc, vocab, lists, stats))
+}
+
+fn stat_key(prefix: &[u8], t: NodeTypeId, k: KeywordId) -> Vec<u8> {
+    let mut key = Vec::with_capacity(prefix.len() + 8);
+    key.extend_from_slice(prefix);
+    key.extend_from_slice(&t.0.to_be_bytes());
+    key.extend_from_slice(&k.0.to_be_bytes());
+    key
+}
+
+fn parse_stat_key(key: &[u8]) -> Result<(NodeTypeId, KeywordId)> {
+    if key.len() != 4 + 8 {
+        return Err(KvError::Corrupt("bad stat key".into()));
+    }
+    let t = u32::from_be_bytes(key[4..8].try_into().unwrap());
+    let k = u32::from_be_bytes(key[8..12].try_into().unwrap());
+    Ok((NodeTypeId(t), KeywordId(k)))
+}
+
+fn varint_vec(v: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(2);
+    write_varint(&mut buf, v);
+    buf
+}
+
+fn decode_varint_scalar(bytes: &[u8]) -> Result<u64> {
+    let mut pos = 0;
+    let v = read_varint(bytes, &mut pos)
+        .ok_or_else(|| KvError::Corrupt("bad varint".into()))?;
+    if pos != bytes.len() {
+        return Err(KvError::Corrupt("trailing bytes in varint".into()));
+    }
+    Ok(v)
+}
+
+fn decode_varint_vec(bytes: &[u8]) -> Result<Vec<u64>> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        out.push(
+            read_varint(bytes, &mut pos)
+                .ok_or_else(|| KvError::Corrupt("bad varint vector".into()))?,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvstore::MemKv;
+    use xmldom::fixtures::figure1;
+
+    #[test]
+    fn persist_load_roundtrip_preserves_everything() {
+        let doc = Arc::new(figure1());
+        let built = Index::build(Arc::clone(&doc));
+        let mut store = MemKv::new();
+        persist(&built, &mut store).unwrap();
+        let loaded = load(Arc::clone(&doc), &store).unwrap();
+
+        assert_eq!(built.vocabulary().len(), loaded.vocabulary().len());
+        for (k, text) in built.vocabulary().iter() {
+            assert_eq!(loaded.vocabulary().get(text), Some(k));
+            assert_eq!(built.list_by_id(k), loaded.list_by_id(k));
+        }
+        for t in doc.node_types().iter() {
+            assert_eq!(built.stats().n_nodes(t), loaded.stats().n_nodes(t));
+            assert_eq!(
+                built.stats().distinct_keywords(t),
+                loaded.stats().distinct_keywords(t)
+            );
+            for (k, _) in built.vocabulary().iter() {
+                assert_eq!(built.stats().tf(t, k), loaded.stats().tf(t, k));
+                assert_eq!(built.stats().df(t, k), loaded.stats().df(t, k));
+            }
+        }
+    }
+
+    #[test]
+    fn load_rejects_missing_or_mismatched_state() {
+        let doc = Arc::new(figure1());
+        let store = MemKv::new();
+        assert!(load(Arc::clone(&doc), &store).is_err());
+
+        let built = Index::build(Arc::clone(&doc));
+        let mut store = MemKv::new();
+        persist(&built, &mut store).unwrap();
+        // Different document (different type count) must be rejected.
+        let other = Arc::new(xmldom::fixtures::tiny());
+        assert!(load(other, &store).is_err());
+    }
+
+    #[test]
+    fn persist_works_on_disk_store_too() {
+        use kvstore::DiskKv;
+        let dir = std::env::temp_dir().join(format!("invindex_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.db");
+        let _ = std::fs::remove_file(&path);
+
+        let doc = Arc::new(figure1());
+        let built = Index::build(Arc::clone(&doc));
+        {
+            let mut store = DiskKv::open(&path).unwrap();
+            persist(&built, &mut store).unwrap();
+        }
+        let store = DiskKv::open(&path).unwrap();
+        let loaded = load(Arc::clone(&doc), &store).unwrap();
+        assert_eq!(loaded.total_postings(), built.total_postings());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,261 @@
+//! Posting lists: for each keyword, the document-ordered list of elements
+//! whose tag name or text contains the keyword.
+//!
+//! Lists are kept in memory as plain vectors for query processing and are
+//! (de)serialized with delta-varint compression for storage in the
+//! key-value store, mirroring how the paper keeps its keyword inverted
+//! lists in Berkeley DB (§VII).
+
+use xmldom::{Dewey, NodeTypeId};
+
+/// One entry of an inverted list: a node containing the keyword, plus its
+/// node type so statistics lookups need no document access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    pub dewey: Dewey,
+    pub node_type: NodeTypeId,
+}
+
+impl Posting {
+    pub fn new(dewey: Dewey, node_type: NodeTypeId) -> Self {
+        Posting { dewey, node_type }
+    }
+}
+
+/// A document-ordered list of postings for one keyword.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingList {
+    postings: Vec<Posting>,
+}
+
+impl PostingList {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a vector that must already be in document order.
+    pub fn from_sorted(postings: Vec<Posting>) -> Self {
+        debug_assert!(
+            postings.windows(2).all(|w| w[0].dewey < w[1].dewey),
+            "postings must be strictly document-ordered"
+        );
+        PostingList { postings }
+    }
+
+    /// Appends a posting that must follow the current tail in document
+    /// order.
+    pub fn push(&mut self, posting: Posting) {
+        debug_assert!(
+            self.postings
+                .last()
+                .map(|p| p.dewey < posting.dewey)
+                .unwrap_or(true),
+            "push out of document order"
+        );
+        self.postings.push(posting);
+    }
+
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    pub fn get(&self, i: usize) -> Option<&Posting> {
+        self.postings.get(i)
+    }
+
+    pub fn first(&self) -> Option<&Posting> {
+        self.postings.first()
+    }
+
+    pub fn last(&self) -> Option<&Posting> {
+        self.postings.last()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Posting> {
+        self.postings.iter()
+    }
+
+    pub fn as_slice(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// Index of the first posting with `dewey >= target` (lower bound).
+    pub fn lower_bound(&self, target: &Dewey) -> usize {
+        self.postings
+            .partition_point(|p| p.dewey < *target)
+    }
+
+    /// Index of the first posting with `dewey > target` (upper bound).
+    pub fn upper_bound(&self, target: &Dewey) -> usize {
+        self.postings
+            .partition_point(|p| p.dewey <= *target)
+    }
+
+    /// The sub-list of postings lying inside the subtree rooted at
+    /// `partition_root` (postings whose Dewey has it as prefix), as an
+    /// index range.
+    pub fn partition_range(&self, partition_root: &Dewey) -> std::ops::Range<usize> {
+        let start = self.lower_bound(partition_root);
+        let end = self.postings[start..]
+            .partition_point(|p| partition_root.is_ancestor_or_self_of(&p.dewey))
+            + start;
+        start..end
+    }
+
+    /// Serializes with per-posting Dewey front-coding: each posting stores
+    /// the length of the component prefix shared with its predecessor, the
+    /// remaining components (varint) and the node type (varint).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.postings.len() * 6 + 4);
+        write_varint(&mut out, self.postings.len() as u64);
+        let mut prev: &[u32] = &[];
+        for p in &self.postings {
+            let comps = p.dewey.components();
+            let shared = comps
+                .iter()
+                .zip(prev.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            write_varint(&mut out, shared as u64);
+            write_varint(&mut out, (comps.len() - shared) as u64);
+            for &c in &comps[shared..] {
+                write_varint(&mut out, c as u64);
+            }
+            write_varint(&mut out, p.node_type.0 as u64);
+            prev = comps;
+        }
+        out
+    }
+
+    /// Inverse of [`PostingList::encode`].
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let n = read_varint(bytes, &mut pos)? as usize;
+        let mut postings = Vec::with_capacity(n);
+        let mut prev: Vec<u32> = Vec::new();
+        for _ in 0..n {
+            let shared = read_varint(bytes, &mut pos)? as usize;
+            let rest = read_varint(bytes, &mut pos)? as usize;
+            if shared > prev.len() {
+                return None;
+            }
+            let mut comps = prev[..shared].to_vec();
+            for _ in 0..rest {
+                comps.push(read_varint(bytes, &mut pos)? as u32);
+            }
+            let node_type = NodeTypeId(read_varint(bytes, &mut pos)? as u32);
+            let dewey = Dewey::new(comps.clone())?;
+            postings.push(Posting { dewey, node_type });
+            prev = comps;
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(PostingList { postings })
+    }
+}
+
+/// LEB128 unsigned varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint, advancing `pos`. `None` on truncation/overflow.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut result = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        result |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(result);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str, t: u32) -> Posting {
+        Posting::new(s.parse().unwrap(), NodeTypeId(t))
+    }
+
+    fn sample() -> PostingList {
+        PostingList::from_sorted(vec![
+            p("0.0.1", 3),
+            p("0.0.2.0", 4),
+            p("0.1", 1),
+            p("0.1.1.0", 5),
+            p("0.2", 1),
+        ])
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x80], &mut pos), None); // truncated
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let list = sample();
+        let bytes = list.encode();
+        assert_eq!(PostingList::decode(&bytes).unwrap(), list);
+        // empty list
+        let empty = PostingList::new();
+        assert_eq!(PostingList::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(PostingList::decode(&[]).is_none());
+        assert!(PostingList::decode(&[5, 0]).is_none()); // claims 5, has none
+        let mut bytes = sample().encode();
+        bytes.push(0); // trailing junk
+        assert!(PostingList::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn bounds_and_partition_range() {
+        let list = sample();
+        assert_eq!(list.lower_bound(&"0.1".parse().unwrap()), 2);
+        assert_eq!(list.upper_bound(&"0.1".parse().unwrap()), 3);
+        assert_eq!(list.lower_bound(&"0".parse().unwrap()), 0);
+        assert_eq!(list.lower_bound(&"0.9".parse().unwrap()), 5);
+        // partition 0.1 covers postings 0.1 and 0.1.1.0
+        assert_eq!(list.partition_range(&"0.1".parse().unwrap()), 2..4);
+        assert_eq!(list.partition_range(&"0.0".parse().unwrap()), 0..2);
+        assert_eq!(list.partition_range(&"0.5".parse().unwrap()), 5..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "document-ordered")]
+    fn from_sorted_rejects_disorder_in_debug() {
+        PostingList::from_sorted(vec![p("0.1", 0), p("0.0", 0)]);
+    }
+}

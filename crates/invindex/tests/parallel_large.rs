@@ -1,0 +1,25 @@
+//! Parallel index build equivalence on a realistic corpus.
+
+use datagen::{generate_dblp, DblpConfig};
+use invindex::{build_parallel, Index};
+use std::sync::Arc;
+
+#[test]
+fn parallel_build_matches_sequential_on_dblp() {
+    let doc = Arc::new(generate_dblp(&DblpConfig {
+        authors: 120,
+        ..Default::default()
+    }));
+    let seq = Index::build(Arc::clone(&doc));
+    let par = build_parallel(Arc::clone(&doc), 4);
+    assert_eq!(seq.vocabulary().len(), par.vocabulary().len());
+    assert_eq!(seq.total_postings(), par.total_postings());
+    for (k_seq, text) in seq.vocabulary().iter() {
+        let k_par = par.vocabulary().get(text).expect("vocab parity");
+        assert_eq!(seq.list_by_id(k_seq), par.list_by_id(k_par), "{text}");
+        for t in doc.node_types().iter() {
+            assert_eq!(seq.stats().df(t, k_seq), par.stats().df(t, k_par));
+            assert_eq!(seq.stats().tf(t, k_seq), par.stats().tf(t, k_par));
+        }
+    }
+}

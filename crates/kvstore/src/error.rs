@@ -1,0 +1,50 @@
+//! Error type for the key-value store.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the store.
+#[derive(Debug)]
+pub enum KvError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// On-disk state failed validation (bad magic, bad page type, torn
+    /// entry, dangling page reference).
+    Corrupt(String),
+    /// Key exceeds [`crate::btree::MAX_KEY_LEN`].
+    KeyTooLarge(usize),
+    /// Value exceeds the maximum representable length.
+    ValueTooLarge(usize),
+    /// The store was opened read-only and a write was attempted.
+    ReadOnly,
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::Io(e) => write!(f, "I/O error: {e}"),
+            KvError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            KvError::KeyTooLarge(n) => write!(f, "key of {n} bytes exceeds maximum"),
+            KvError::ValueTooLarge(n) => write!(f, "value of {n} bytes exceeds maximum"),
+            KvError::ReadOnly => write!(f, "store is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for KvError {
+    fn from(e: io::Error) -> Self {
+        KvError::Io(e)
+    }
+}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, KvError>;

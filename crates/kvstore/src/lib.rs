@@ -1,0 +1,26 @@
+//! `kvstore` — a page-based persistent B+-tree key-value store.
+//!
+//! The paper stores all of its indices (keyword inverted lists, frequency
+//! table, co-occurrence table) in Berkeley DB (§VII). This crate is the
+//! workspace's from-scratch substitute: ordered keyed storage with
+//! `O(log n)` lookups, prefix/range scans and values of arbitrary size.
+//!
+//! * [`pager`]: fixed-size page storage (in-memory or file-backed).
+//! * [`btree`]: the B+-tree itself.
+//! * [`store`]: the [`KvStore`] trait plus [`MemKv`] (BTreeMap model),
+//!   [`MemTreeKv`] (B+-tree over memory) and [`DiskKv`] (B+-tree over a
+//!   file).
+
+pub mod btree;
+pub mod durable;
+pub mod error;
+pub mod pager;
+pub mod store;
+pub mod wal;
+
+pub use btree::{BTree, MAX_KEY_LEN};
+pub use error::{KvError, Result};
+pub use pager::{FilePager, MemPager, PageId, Pager, PAGE_SIZE};
+pub use durable::DurableKv;
+pub use store::{DiskKv, KvStore, MemKv, MemTreeKv};
+pub use wal::{crc32, Wal, WalRecord};

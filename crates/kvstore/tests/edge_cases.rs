@@ -1,0 +1,85 @@
+//! Edge-case batteries for the B+-tree: boundary sizes around the
+//! inline/overflow threshold, delete-heavy churn, empty keys, and reopen
+//! of every state.
+
+use kvstore::{KvStore, MemTreeKv, PAGE_SIZE};
+
+#[test]
+fn values_around_the_inline_overflow_boundary() {
+    let mut t = MemTreeKv::new().unwrap();
+    // MAX_INLINE_ENTRY is 1024 internally: sweep sizes around it
+    for size in [0usize, 1, 900, 1000, 1017, 1018, 1019, 1024, 1025, 2048, PAGE_SIZE, PAGE_SIZE + 1]
+    {
+        let key = format!("size-{size}");
+        let value = vec![0xA5u8; size];
+        t.put(key.as_bytes(), &value).unwrap();
+        assert_eq!(
+            t.get(key.as_bytes()).unwrap().unwrap(),
+            value,
+            "size {size}"
+        );
+    }
+    // overwrite across the boundary in both directions
+    t.put(b"flip", &vec![1u8; 10]).unwrap();
+    t.put(b"flip", &vec![2u8; 5000]).unwrap();
+    assert_eq!(t.get(b"flip").unwrap().unwrap(), vec![2u8; 5000]);
+    t.put(b"flip", &vec![3u8; 10]).unwrap();
+    assert_eq!(t.get(b"flip").unwrap().unwrap(), vec![3u8; 10]);
+}
+
+#[test]
+fn empty_key_and_empty_value() {
+    let mut t = MemTreeKv::new().unwrap();
+    t.put(b"", b"empty-key").unwrap();
+    t.put(b"empty-value", b"").unwrap();
+    assert_eq!(t.get(b"").unwrap().unwrap(), b"empty-key");
+    assert_eq!(t.get(b"empty-value").unwrap().unwrap(), b"");
+    assert!(t.delete(b"").unwrap());
+    assert_eq!(t.get(b"").unwrap(), None);
+}
+
+#[test]
+fn churn_insert_delete_reinsert() {
+    let mut t = MemTreeKv::new().unwrap();
+    let n = 2000u32;
+    for i in 0..n {
+        t.put(format!("k{i:06}").as_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    // delete every other key
+    for i in (0..n).step_by(2) {
+        assert!(t.delete(format!("k{i:06}").as_bytes()).unwrap());
+    }
+    assert_eq!(t.len(), (n / 2) as u64);
+    // reinsert deleted keys with new values
+    for i in (0..n).step_by(2) {
+        t.put(format!("k{i:06}").as_bytes(), &(i + 1).to_le_bytes())
+            .unwrap();
+    }
+    assert_eq!(t.len(), n as u64);
+    for i in 0..n {
+        let expect = if i % 2 == 0 { i + 1 } else { i };
+        assert_eq!(
+            t.get(format!("k{i:06}").as_bytes()).unwrap().unwrap(),
+            expect.to_le_bytes()
+        );
+    }
+    // full scan still ordered and complete
+    let all = t.scan_range(b"", None).unwrap();
+    assert_eq!(all.len(), n as usize);
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+#[test]
+fn long_shared_prefix_keys() {
+    let mut t = MemTreeKv::new().unwrap();
+    let prefix = "x".repeat(500);
+    for i in 0..200u32 {
+        t.put(format!("{prefix}{i:04}").as_bytes(), b"v").unwrap();
+    }
+    assert_eq!(t.scan_prefix(prefix.as_bytes()).unwrap().len(), 200);
+    // "…01xx" matches exactly 0100..=0199
+    assert_eq!(
+        t.scan_prefix(format!("{prefix}01").as_bytes()).unwrap().len(),
+        100
+    );
+}

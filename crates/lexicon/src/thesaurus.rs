@@ -1,0 +1,179 @@
+//! Synonym thesaurus — the WordNet substitute (see DESIGN.md).
+//!
+//! The paper draws synonym-substitution rules and their similarity scores
+//! from WordNet \[18\]. Rules are consumed purely as `(S1 → S2, ds)` pairs,
+//! so any thesaurus with sensible scores preserves behaviour; this module
+//! ships a curated bibliographic-domain thesaurus (the domain of DBLP and
+//! of every worked example in the paper) and supports user extension.
+
+use std::collections::HashMap;
+
+/// A thesaurus: groups of mutual synonyms with a per-pair dissimilarity.
+#[derive(Debug, Default, Clone)]
+pub struct Thesaurus {
+    /// word -> (synonym, dissimilarity) pairs.
+    entries: HashMap<String, Vec<(String, f64)>>,
+}
+
+impl Thesaurus {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The default bibliographic-domain thesaurus.
+    pub fn bibliographic() -> Self {
+        let mut t = Thesaurus::new();
+        // publication kinds (Example 1 of the paper)
+        t.add_group(
+            &["publication", "article", "inproceedings", "proceedings", "paper"],
+            1.0,
+        );
+        t.add_group(&["author", "writer"], 1.0);
+        t.add_group(&["database", "db"], 1.0);
+        t.add_group(&["journal", "periodical"], 1.0);
+        t.add_group(&["conference", "symposium", "workshop"], 1.5);
+        t.add_group(&["search", "retrieval", "lookup"], 1.5);
+        t.add_group(&["efficient", "fast", "scalable"], 1.5);
+        t.add_group(&["approach", "method", "technique", "algorithm"], 1.5);
+        t.add_group(&["evaluation", "assessment"], 1.5);
+        t.add_group(&["hobby", "interest", "pastime"], 1.0);
+        t.add_group(&["year", "date"], 1.5);
+        t.add_group(&["title", "name"], 1.5);
+        t
+    }
+
+    /// Adds a group of mutual synonyms with uniform pairwise
+    /// dissimilarity.
+    pub fn add_group(&mut self, words: &[&str], dissimilarity: f64) {
+        for &a in words {
+            for &b in words {
+                if a != b {
+                    self.add_pair(a, b, dissimilarity);
+                }
+            }
+        }
+    }
+
+    /// Adds one directed synonym pair.
+    pub fn add_pair(&mut self, from: &str, to: &str, dissimilarity: f64) {
+        let list = self.entries.entry(from.to_string()).or_default();
+        if let Some(existing) = list.iter_mut().find(|(w, _)| w == to) {
+            existing.1 = existing.1.min(dissimilarity);
+        } else {
+            list.push((to.to_string(), dissimilarity));
+        }
+    }
+
+    /// Synonyms of `word` with their dissimilarity scores.
+    pub fn synonyms(&self, word: &str) -> &[(String, f64)] {
+        self.entries.get(word).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of head words.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Acronym table: short form ↔ expansion word sequence.
+#[derive(Debug, Default, Clone)]
+pub struct AcronymTable {
+    expansions: HashMap<String, Vec<Vec<String>>>,
+    /// joined expansion ("world wide web") -> acronym
+    reverse: HashMap<Vec<String>, String>,
+}
+
+impl AcronymTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The default computer-science acronym table (the paper's `WWW ↔
+    /// world wide web`, Table II rule 6, plus common DBLP-domain forms).
+    pub fn computer_science() -> Self {
+        let mut t = AcronymTable::new();
+        t.add("www", &["world", "wide", "web"]);
+        t.add("db", &["data", "base"]);
+        t.add("db", &["database"]);
+        t.add("ml", &["machine", "learning"]);
+        t.add("ai", &["artificial", "intelligence"]);
+        t.add("ir", &["information", "retrieval"]);
+        t.add("nlp", &["natural", "language", "processing"]);
+        t.add("dbms", &["database", "management", "system"]);
+        t.add("olap", &["online", "analytical", "processing"]);
+        t.add("p2p", &["peer", "to", "peer"]);
+        t
+    }
+
+    /// Registers `acronym ↔ expansion`.
+    pub fn add(&mut self, acronym: &str, expansion: &[&str]) {
+        let exp: Vec<String> = expansion.iter().map(|s| s.to_string()).collect();
+        self.reverse.insert(exp.clone(), acronym.to_string());
+        self.expansions
+            .entry(acronym.to_string())
+            .or_default()
+            .push(exp);
+    }
+
+    /// All expansions of an acronym.
+    pub fn expansions(&self, acronym: &str) -> &[Vec<String>] {
+        self.expansions
+            .get(acronym)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The acronym for an exact expansion phrase, if registered.
+    pub fn acronym_of(&self, phrase: &[String]) -> Option<&str> {
+        self.reverse.get(phrase).map(|s| s.as_str())
+    }
+
+    /// Iterates `(acronym, expansion)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.expansions
+            .iter()
+            .flat_map(|(a, exps)| exps.iter().map(move |e| (a.as_str(), e.as_slice())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bibliographic_groups_are_symmetric() {
+        let t = Thesaurus::bibliographic();
+        let syns = t.synonyms("publication");
+        assert!(syns.iter().any(|(w, _)| w == "article"));
+        assert!(syns.iter().any(|(w, _)| w == "inproceedings"));
+        let back = t.synonyms("article");
+        assert!(back.iter().any(|(w, _)| w == "publication"));
+        assert!(t.synonyms("zebra").is_empty());
+    }
+
+    #[test]
+    fn add_pair_keeps_minimum_score() {
+        let mut t = Thesaurus::new();
+        t.add_pair("a", "b", 2.0);
+        t.add_pair("a", "b", 1.0);
+        t.add_pair("a", "b", 3.0);
+        assert_eq!(t.synonyms("a"), &[("b".to_string(), 1.0)]);
+    }
+
+    #[test]
+    fn acronyms_roundtrip() {
+        let t = AcronymTable::computer_science();
+        let exps = t.expansions("www");
+        assert_eq!(exps.len(), 1);
+        assert_eq!(exps[0], ["world", "wide", "web"]);
+        let phrase: Vec<String> = ["world", "wide", "web"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(t.acronym_of(&phrase), Some("www"));
+        assert!(t.expansions("zzz").is_empty());
+        // multiple expansions of the same acronym
+        assert_eq!(t.expansions("db").len(), 2);
+    }
+}

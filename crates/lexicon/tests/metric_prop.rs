@@ -1,0 +1,105 @@
+//! Property tests for the lexical machinery: edit-distance metric laws,
+//! stemmer stability, and rule-generation soundness.
+
+use lexicon::{
+    damerau_levenshtein, generate_rules, levenshtein, porter_stem, within_distance,
+    AcronymTable, RuleGenConfig, Thesaurus, VocabIndex,
+};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{0,10}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn levenshtein_is_a_metric(a in word(), b in word(), c in word()) {
+        // identity
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b) == 0, a == b);
+        // symmetry
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        // triangle inequality
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // bounded by longer length
+        prop_assert!(levenshtein(&a, &b) <= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn damerau_is_symmetric_and_bounded_by_levenshtein(a in word(), b in word()) {
+        let d = damerau_levenshtein(&a, &b);
+        prop_assert_eq!(d, damerau_levenshtein(&b, &a));
+        prop_assert!(d <= levenshtein(&a, &b));
+        // length difference is a lower bound
+        prop_assert!(d >= a.chars().count().abs_diff(b.chars().count()));
+    }
+
+    #[test]
+    fn within_distance_is_consistent(a in word(), b in word(), max in 0usize..4) {
+        match within_distance(&a, &b, max) {
+            Some(d) => {
+                prop_assert!(d <= max);
+                prop_assert_eq!(d, damerau_levenshtein(&a, &b));
+            }
+            None => prop_assert!(damerau_levenshtein(&a, &b) > max),
+        }
+    }
+
+    #[test]
+    fn single_edits_are_distance_one(a in "[a-z]{2,8}", pos_seed in any::<usize>()) {
+        let chars: Vec<char> = a.chars().collect();
+        let pos = pos_seed % chars.len();
+        // deletion
+        let mut del: Vec<char> = chars.clone();
+        del.remove(pos);
+        let del: String = del.into_iter().collect();
+        prop_assert_eq!(damerau_levenshtein(&a, &del), 1);
+        // substitution with a guaranteed-different char
+        let mut sub = chars.clone();
+        sub[pos] = if sub[pos] == 'z' { 'a' } else { 'z' };
+        let changed = sub != chars;
+        let sub: String = sub.into_iter().collect();
+        if changed {
+            prop_assert_eq!(damerau_levenshtein(&a, &sub), 1);
+        }
+    }
+
+    #[test]
+    fn porter_stem_never_grows_lowercase_ascii_words(a in "[a-z]{3,12}") {
+        let s = porter_stem(&a);
+        prop_assert!(s.len() <= a.len());
+        prop_assert!(!s.is_empty());
+        prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn generated_rules_are_sound(
+        query in proptest::collection::vec("[a-z]{2,8}", 1..4),
+        vocab_words in proptest::collection::btree_set("[a-z]{2,8}", 1..12),
+    ) {
+        let vocab = VocabIndex::new(vocab_words.iter().cloned());
+        let rules = generate_rules(
+            &query,
+            &vocab,
+            &Thesaurus::bibliographic(),
+            &AcronymTable::computer_science(),
+            &RuleGenConfig::default(),
+        );
+        for (_, r) in rules.iter() {
+            // every RHS keyword must exist in the data
+            for w in &r.rhs {
+                prop_assert!(vocab.contains(w), "rule {} has non-vocab RHS", r);
+            }
+            // every LHS is a contiguous subsequence of the query
+            let l = r.lhs.len();
+            let found = (0..query.len().saturating_sub(l - 1))
+                .any(|i| query[i..i + l] == r.lhs[..]);
+            prop_assert!(found, "rule {} LHS not in query {:?}", r, query);
+            // scores are positive and below the deletion cost ceiling for
+            // merge/split (the paper's ordering principle)
+            prop_assert!(r.dissimilarity > 0.0);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! `xmldom` — the XML substrate of the XRefine reproduction.
+//!
+//! Provides everything the paper assumes of its XML layer (§III, §VII):
+//!
+//! * [`dewey::Dewey`] labels whose lexicographic order is document order
+//!   and whose longest common prefix is the LCA;
+//! * a from-scratch XML 1.0 [`parser`];
+//! * an arena [`tree::Document`] with interned tag names and node types
+//!   (prefix paths, Definition 3.1);
+//! * the canonical keyword [`fn@tokenize`]r shared by index build and query
+//!   parsing;
+//! * the paper's Figure 1 document as a reusable [`fixtures`] fixture.
+
+pub mod dewey;
+pub mod fixtures;
+pub mod intern;
+pub mod parser;
+pub mod tokenize;
+pub mod tree;
+
+pub use dewey::Dewey;
+pub use intern::{NodeTypeId, NodeTypeTable, Symbol, SymbolTable};
+pub use parser::{parse_document, parse_with, ParseError, ParseErrorKind, XmlHandler};
+pub use tokenize::{normalize_keyword, tokenize, tokenize_query};
+pub use tree::{Document, DocumentBuilder, Node, NodeId};

@@ -1,0 +1,86 @@
+//! Keyword tokenization.
+//!
+//! A keyword in the paper matches either a *tag name* or a *value term* in
+//! the XML data (§III). This module defines the single tokenization used
+//! everywhere — index build, query parsing and rule mining — so that the
+//! three always agree on what a keyword is: lowercase alphanumeric runs.
+
+/// Splits text into lowercase keyword tokens.
+///
+/// Tokens are maximal runs of alphanumeric characters; everything else is a
+/// separator. Case is folded so queries match regardless of capitalization.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Normalizes a single keyword the same way [`tokenize`] does, returning
+/// `None` if the input contains no alphanumeric characters. If the input
+/// would split into several tokens, only the first is returned; use
+/// [`tokenize`] when that matters.
+pub fn normalize_keyword(raw: &str) -> Option<String> {
+    tokenize(raw).into_iter().next()
+}
+
+/// Tokenizes a whole keyword query string into its keyword list, preserving
+/// order and duplicates (`{on, line, data, base}` has four keywords).
+pub fn tokenize_query(query: &str) -> Vec<String> {
+    tokenize(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumerics_and_lowercases() {
+        assert_eq!(
+            tokenize("Online Database-Tuning, 2003!"),
+            ["online", "database", "tuning", "2003"]
+        );
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- ,,, !!!").is_empty());
+    }
+
+    #[test]
+    fn unicode_casefolding() {
+        assert_eq!(tokenize("Über-Straße"), ["über", "straße"]);
+    }
+
+    #[test]
+    fn digits_are_keywords() {
+        assert_eq!(tokenize("year: 2003"), ["year", "2003"]);
+    }
+
+    #[test]
+    fn normalize_keyword_takes_first_token() {
+        assert_eq!(normalize_keyword("  XML "), Some("xml".to_string()));
+        assert_eq!(normalize_keyword("twig join"), Some("twig".to_string()));
+        assert_eq!(normalize_keyword("!!"), None);
+    }
+
+    #[test]
+    fn query_tokenization_preserves_duplicates_and_order() {
+        assert_eq!(
+            tokenize_query("on line data base on"),
+            ["on", "line", "data", "base", "on"]
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the XML substrate: parser round-trips, Dewey
+//! algebra laws, and tokenizer invariants.
+
+use proptest::prelude::*;
+use xmldom::{parse_document, tokenize, Dewey, DocumentBuilder};
+
+/// Strategy: a random tree shape encoded as nested (tag, text, children).
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    tag: String,
+    text: String,
+    children: Vec<TreeSpec>,
+}
+
+fn tag_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes XML-hostile characters to exercise escaping.
+    proptest::collection::vec(
+        prop_oneof![
+            Just("word".to_string()),
+            Just("x<y".to_string()),
+            Just("a&b".to_string()),
+            Just("\"q\"".to_string()),
+            Just("ünïcode".to_string()),
+            Just("2003".to_string()),
+        ],
+        0..3,
+    )
+    .prop_map(|v| v.join(" "))
+}
+
+fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
+    let leaf = (tag_strategy(), text_strategy()).prop_map(|(tag, text)| TreeSpec {
+        tag,
+        text,
+        children: Vec::new(),
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            tag_strategy(),
+            text_strategy(),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, text, children)| TreeSpec {
+                tag,
+                text,
+                children,
+            })
+    })
+}
+
+fn build(spec: &TreeSpec, b: &mut DocumentBuilder) {
+    b.open_element(&spec.tag);
+    if !spec.text.is_empty() {
+        b.text(&spec.text);
+    }
+    for c in &spec.children {
+        build(c, b);
+    }
+    b.close_element();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn render_parse_roundtrip_preserves_structure(spec in tree_strategy()) {
+        let mut b = DocumentBuilder::new();
+        build(&spec, &mut b);
+        let doc = b.finish();
+        let xml = doc.to_xml();
+        let doc2 = parse_document(&xml).unwrap();
+        prop_assert_eq!(doc.len(), doc2.len());
+        for ((_, a), (id2, b2)) in doc.nodes().zip(doc2.nodes()) {
+            prop_assert_eq!(&a.dewey, &b2.dewey);
+            prop_assert_eq!(
+                doc.symbols().resolve(a.tag),
+                doc2.tag_name(id2)
+            );
+            // text survives modulo whitespace normalization
+            prop_assert_eq!(
+                tokenize(&a.text),
+                tokenize(&b2.text)
+            );
+        }
+    }
+
+    #[test]
+    fn dewey_lca_laws(
+        a in proptest::collection::vec(0u32..4, 0..5),
+        b in proptest::collection::vec(0u32..4, 0..5),
+    ) {
+        let mk = |mut v: Vec<u32>| { let mut c = vec![0]; c.append(&mut v); Dewey::new(c).unwrap() };
+        let x = mk(a);
+        let y = mk(b);
+        let l = x.lca(&y).unwrap();
+        // commutative
+        prop_assert_eq!(&l, &y.lca(&x).unwrap());
+        // the LCA is an ancestor-or-self of both
+        prop_assert!(l.is_ancestor_or_self_of(&x));
+        prop_assert!(l.is_ancestor_or_self_of(&y));
+        // idempotent
+        prop_assert_eq!(&x.lca(&x).unwrap(), &x);
+        // deepest: the LCA's child toward x is not an ancestor of y
+        if l != x && l != y {
+            let next = Dewey::new(x.components()[..l.len() + 1].to_vec()).unwrap();
+            prop_assert!(!next.is_ancestor_or_self_of(&y));
+        }
+        // order-preserving byte encoding agrees with component order
+        prop_assert_eq!(
+            x.to_order_preserving_bytes().cmp(&y.to_order_preserving_bytes()),
+            x.cmp(&y)
+        );
+    }
+
+    #[test]
+    fn tokenizer_is_idempotent_and_lowercase(s in "\\PC{0,40}") {
+        let once = tokenize(&s);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(&once, &again);
+        for t in &once {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(t.to_lowercase(), t.clone());
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,120}") {
+        let _ = parse_document(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_tag_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b x='1'>".to_string()),
+                Just("text".to_string()),
+                Just("<!-- c -->".to_string()),
+                Just("<![CDATA[d]]>".to_string()),
+                Just("&amp;".to_string()),
+                Just("<?pi?>".to_string()),
+                Just("</".to_string()),
+                Just("<".to_string()),
+            ],
+            0..12
+        )
+    ) {
+        let _ = parse_document(&parts.concat());
+    }
+}

@@ -1,0 +1,71 @@
+//! The streaming (SAX-style) parse API: consumers that never build a DOM.
+
+use xmldom::{parse_document, parse_with, XmlHandler};
+
+/// A handler that computes corpus statistics in one streaming pass.
+#[derive(Default, Debug)]
+struct StatsCollector {
+    elements: usize,
+    attributes: usize,
+    text_chunks: usize,
+    max_depth: usize,
+    depth: usize,
+    tag_trace: Vec<String>,
+}
+
+impl XmlHandler for StatsCollector {
+    fn start_element(&mut self, name: &str) {
+        self.elements += 1;
+        self.depth += 1;
+        self.max_depth = self.max_depth.max(self.depth);
+        self.tag_trace.push(format!("+{name}"));
+    }
+
+    fn attribute(&mut self, _name: &str, _value: &str) {
+        self.attributes += 1;
+    }
+
+    fn text(&mut self, _text: &str) {
+        self.text_chunks += 1;
+    }
+
+    fn end_element(&mut self) {
+        self.depth -= 1;
+        self.tag_trace.push("-".to_string());
+    }
+}
+
+#[test]
+fn streaming_pass_collects_statistics() {
+    let xml = r#"<bib><author id="1"><name>Ann</name><year>2003</year></author><author id="2"/></bib>"#;
+    let mut stats = StatsCollector::default();
+    parse_with(xml, &mut stats).unwrap();
+    assert_eq!(stats.elements, 5);
+    assert_eq!(stats.attributes, 2);
+    assert_eq!(stats.text_chunks, 2);
+    assert_eq!(stats.max_depth, 3);
+    assert_eq!(stats.depth, 0, "events balanced");
+    assert_eq!(
+        stats.tag_trace,
+        ["+bib", "+author", "+name", "-", "+year", "-", "-", "+author", "-", "-"]
+    );
+}
+
+#[test]
+fn streaming_enforces_well_formedness() {
+    let mut stats = StatsCollector::default();
+    assert!(parse_with("<a><b></a>", &mut stats).is_err());
+    let mut stats = StatsCollector::default();
+    assert!(parse_with("", &mut stats).is_err());
+    let mut stats = StatsCollector::default();
+    assert!(parse_with("<a/><b/>", &mut stats).is_err());
+}
+
+#[test]
+fn streaming_and_dom_agree_on_element_count() {
+    let doc = xmldom::fixtures::figure1();
+    let xml = doc.to_xml();
+    let mut stats = StatsCollector::default();
+    parse_with(&xml, &mut stats).unwrap();
+    assert_eq!(stats.elements, parse_document(&xml).unwrap().len());
+}

@@ -1,0 +1,212 @@
+//! XRefine — the interactive keyword-search prototype of the paper.
+//!
+//! ```text
+//! xrefine-cli [--data <file.xml>|dblp|baseball|figure1] \
+//!             [--algorithm partition|sle|stack] [--k N]
+//! ```
+//!
+//! Reads keyword queries from stdin (one per line) and prints either the
+//! original query's meaningful results or the Top-K refined queries with
+//! their results.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+use xrefine::{Algorithm, EngineConfig, XRefineEngine};
+
+struct Options {
+    data: String,
+    algorithm: Algorithm,
+    k: usize,
+    max_render: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        data: "figure1".to_string(),
+        algorithm: Algorithm::Partition,
+        k: 3,
+        max_render: 2,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data" => {
+                opts.data = args.get(i + 1).ok_or("--data needs a value")?.clone();
+                i += 2;
+            }
+            "--algorithm" => {
+                opts.algorithm = match args.get(i + 1).map(|s| s.as_str()) {
+                    Some("partition") => Algorithm::Partition,
+                    Some("sle") => Algorithm::ShortListEager,
+                    Some("stack") => Algorithm::StackRefine,
+                    other => return Err(format!("unknown algorithm {other:?}")),
+                };
+                i += 2;
+            }
+            "--k" => {
+                opts.k = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--k needs a positive integer")?;
+                i += 2;
+            }
+            "--max-render" => {
+                opts.max_render = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--max-render needs an integer")?;
+                i += 2;
+            }
+            "--help" | "-h" => {
+                return Err("usage: xrefine-cli [--data <file.xml>|dblp|baseball|figure1] [--algorithm partition|sle|stack] [--k N]".into());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_document(spec: &str) -> Result<Arc<xmldom::Document>, String> {
+    match spec {
+        "figure1" => Ok(Arc::new(xmldom::fixtures::figure1())),
+        "dblp" => Ok(Arc::new(datagen::generate_dblp(&datagen::DblpConfig {
+            authors: 500,
+            ..Default::default()
+        }))),
+        "baseball" => Ok(Arc::new(datagen::generate_baseball(
+            &datagen::BaseballConfig::default(),
+        ))),
+        path => {
+            let xml = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            Ok(Arc::new(
+                xmldom::parse_document(&xml).map_err(|e| format!("parse error: {e}"))?,
+            ))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match load_document(&opts.data) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "indexed {} elements from '{}' ({:?}, Top-{})",
+        doc.len(),
+        opts.data,
+        opts.algorithm,
+        opts.k
+    );
+    let engine = XRefineEngine::from_document(
+        doc,
+        EngineConfig {
+            algorithm: opts.algorithm,
+            k: opts.k,
+            ..Default::default()
+        },
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    eprint!("query> ");
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            eprint!("query> ");
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        let outcome = engine.answer(line);
+        if outcome.original_ok {
+            let r = outcome.best().expect("original result present");
+            let _ = writeln!(
+                out,
+                "query has {} meaningful result(s); no refinement needed",
+                r.slcas.len()
+            );
+            render(&engine, &r.slcas, opts.max_render, &mut out);
+            // over-broad queries get narrowing suggestions (§IX extension)
+            if let Some(suggestions) =
+                engine.narrow(line, &xrefine::NarrowOptions::default())
+            {
+                if !suggestions.is_empty() {
+                    let _ = writeln!(out, "result set is large; consider narrowing:");
+                    for s in &suggestions {
+                        let _ = writeln!(
+                            out,
+                            "  + \"{}\" -> {} result(s)",
+                            s.added,
+                            s.refinement.slcas.len()
+                        );
+                    }
+                }
+            }
+        } else if outcome.refinements.is_empty() {
+            let _ = writeln!(out, "no refined query with meaningful results found");
+        } else {
+            let _ = writeln!(
+                out,
+                "query needs refinement; Top-{} refined queries:",
+                outcome.refinements.len()
+            );
+            for (rank, r) in outcome.refinements.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  #{} {{{}}}  dSim={}  rank={:.4}  results={}",
+                    rank + 1,
+                    r.candidate.keywords.join(", "),
+                    r.candidate.dissimilarity,
+                    r.rank_score,
+                    r.slcas.len()
+                );
+            }
+            if let Some((_, steps)) =
+                engine.explain(line, &outcome.refinements[0].candidate.keywords)
+            {
+                let rendered: Vec<String> = steps
+                    .iter()
+                    .filter(|s| !matches!(s, xrefine::AppliedOp::Kept(_)))
+                    .map(|s| s.to_string())
+                    .collect();
+                if !rendered.is_empty() {
+                    let _ = writeln!(out, "  derivation: {}", rendered.join("; "));
+                }
+            }
+            render(
+                &engine,
+                &outcome.refinements[0].slcas,
+                opts.max_render,
+                &mut out,
+            );
+        }
+        eprint!("query> ");
+    }
+    ExitCode::SUCCESS
+}
+
+fn render(engine: &XRefineEngine, slcas: &[xmldom::Dewey], max: usize, out: &mut impl Write) {
+    for d in slcas.iter().take(max) {
+        if let Some(xml) = engine.render(d) {
+            let _ = writeln!(out, "--- result at {d} ---");
+            for line in xml.lines().take(12) {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+    }
+}

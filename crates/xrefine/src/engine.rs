@@ -1,0 +1,308 @@
+//! `XRefineEngine` — the search-engine facade (the paper's "XRefine"
+//! prototype): parse/index a document once, then answer keyword queries
+//! with automatic refinement.
+
+use crate::partition::{partition_refine, PartitionOptions, SlcaMethod};
+use crate::query::Query;
+use crate::ranking::RankingConfig;
+use crate::results::RefineOutcome;
+use crate::session::RefineSession;
+use crate::sle::{sle_refine, SleOptions};
+use crate::stack_refine::stack_refine;
+use invindex::{Index, Posting};
+use lexicon::{generate_rules, AcronymTable, RuleGenConfig, RuleSet, Thesaurus, VocabIndex};
+use slca::SearchForConfig;
+use std::sync::Arc;
+use xmldom::{parse_document, Dewey, Document, ParseError};
+
+/// Which refinement algorithm answers queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Algorithm 1 (`stack-refine`): optimal RQ only.
+    StackRefine,
+    /// Algorithm 2 (`Partition`): Top-K.
+    Partition,
+    /// Algorithm 3 (`SLE`): Top-K.
+    ShortListEager,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub algorithm: Algorithm,
+    /// K of Top-K refinement.
+    pub k: usize,
+    pub ranking: RankingConfig,
+    pub rulegen: RuleGenConfig,
+    pub search_for: SearchForConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            algorithm: Algorithm::Partition,
+            k: 3,
+            ranking: RankingConfig::default(),
+            rulegen: RuleGenConfig::default(),
+            search_for: SearchForConfig::default(),
+        }
+    }
+}
+
+/// The XRefine prototype engine.
+pub struct XRefineEngine {
+    index: Index,
+    vocab: VocabIndex,
+    thesaurus: Thesaurus,
+    acronyms: AcronymTable,
+    config: EngineConfig,
+}
+
+impl XRefineEngine {
+    /// Parses and indexes an XML document.
+    pub fn from_xml(xml: &str, config: EngineConfig) -> Result<Self, ParseError> {
+        Ok(Self::from_document(Arc::new(parse_document(xml)?), config))
+    }
+
+    /// Indexes an already-built document.
+    pub fn from_document(doc: Arc<Document>, config: EngineConfig) -> Self {
+        Self::from_index(Index::build(doc), config)
+    }
+
+    /// Indexes an already-built document using `threads` workers for the
+    /// index build (identical output; see `invindex::parallel`).
+    pub fn from_document_parallel(
+        doc: Arc<Document>,
+        config: EngineConfig,
+        threads: usize,
+    ) -> Self {
+        Self::from_index(invindex::build_parallel(doc, threads), config)
+    }
+
+    /// Wraps an existing index.
+    pub fn from_index(index: Index, config: EngineConfig) -> Self {
+        let vocab = VocabIndex::new(index.vocabulary().iter().map(|(_, w)| w.to_string()));
+        XRefineEngine {
+            index,
+            vocab,
+            thesaurus: Thesaurus::bibliographic(),
+            acronyms: AcronymTable::computer_science(),
+            config,
+        }
+    }
+
+    /// Swaps the thesaurus (e.g. for a non-bibliographic corpus).
+    pub fn with_thesaurus(mut self, thesaurus: Thesaurus) -> Self {
+        self.thesaurus = thesaurus;
+        self
+    }
+
+    pub fn with_acronyms(mut self, acronyms: AcronymTable) -> Self {
+        self.acronyms = acronyms;
+        self
+    }
+
+    pub fn index(&self) -> &Index {
+        &self.index
+    }
+
+    pub fn document(&self) -> &Arc<Document> {
+        self.index.document()
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
+    /// The pertinent rule set for a query (`getNewKeywords` consultation).
+    pub fn rules_for(&self, query: &Query) -> RuleSet {
+        generate_rules(
+            query.keywords(),
+            &self.vocab,
+            &self.thesaurus,
+            &self.acronyms,
+            &self.config.rulegen,
+        )
+    }
+
+    /// Answers a free-text query.
+    pub fn answer(&self, query_text: &str) -> RefineOutcome {
+        self.answer_query(Query::parse(query_text))
+    }
+
+    /// Answers a parsed query with the configured algorithm.
+    pub fn answer_query(&self, query: Query) -> RefineOutcome {
+        let rules = self.rules_for(&query);
+        let session = RefineSession::with_search_for(
+            &self.index,
+            query,
+            rules,
+            &self.config.search_for,
+        );
+        match self.config.algorithm {
+            Algorithm::StackRefine => stack_refine(&session),
+            Algorithm::Partition => partition_refine(
+                &session,
+                &PartitionOptions {
+                    k: self.config.k,
+                    slca: slca::slca_scan_eager,
+                    ranking: self.config.ranking.clone(),
+                },
+            ),
+            Algorithm::ShortListEager => sle_refine(
+                &session,
+                &SleOptions {
+                    k: self.config.k,
+                    slca: slca::slca_scan_eager,
+                    ranking: self.config.ranking.clone(),
+                    smart_choice: true,
+                },
+            ),
+        }
+    }
+
+    /// Explains how a refined query derives from `query_text`: the
+    /// cheapest refinement sequence (Definition 3.6) reaching exactly
+    /// `target`'s keyword set over the whole-document vocabulary.
+    pub fn explain(
+        &self,
+        query_text: &str,
+        target: &[String],
+    ) -> Option<(f64, Vec<crate::dp::AppliedOp>)> {
+        let query = Query::parse(query_text);
+        let rules = self.rules_for(&query);
+        let available = |w: &str| self.index.contains_keyword(w);
+        crate::dp::explain_rq(&query, &available, &rules, target)
+    }
+
+    /// Narrowing refinement for over-broad queries (the paper's §IX
+    /// future work): `None` when the query does not have "too many"
+    /// meaningful results.
+    pub fn narrow(
+        &self,
+        query_text: &str,
+        options: &crate::narrow::NarrowOptions,
+    ) -> Option<Vec<crate::narrow::Narrowing>> {
+        crate::narrow::narrow_refine(&self.index, &Query::parse(query_text), options)
+    }
+
+    /// Plain SLCA of the query with no refinement (the `stack-slca` /
+    /// `scan-slca` baselines of Figure 4).
+    pub fn baseline_slca(&self, query: &Query, method: SlcaMethod) -> Vec<Dewey> {
+        let slices: Vec<&[Posting]> = query
+            .keywords()
+            .iter()
+            .map(|k| {
+                self.index
+                    .list(k)
+                    .map(|l| l.as_slice())
+                    .unwrap_or(&[])
+            })
+            .collect();
+        method(&slices)
+    }
+
+    /// Renders a result subtree back to XML (for display).
+    pub fn render(&self, dewey: &Dewey) -> Option<String> {
+        let doc = self.index.document();
+        let id = doc.node_by_dewey(dewey)?;
+        Some(doc.subtree_to_xml(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::fixtures::figure1;
+
+    fn engine(algorithm: Algorithm) -> XRefineEngine {
+        XRefineEngine::from_document(
+            Arc::new(figure1()),
+            EngineConfig {
+                algorithm,
+                k: 2,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn from_xml_end_to_end() {
+        let e = XRefineEngine::from_xml(
+            "<bib><author><name>Ann</name><hobby>chess</hobby></author></bib>",
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let out = e.answer("ann chess");
+        assert!(out.original_ok);
+        assert!(!out.best().unwrap().slcas.is_empty());
+    }
+
+    #[test]
+    fn all_algorithms_answer_example1() {
+        // {database, publication}: needs synonym substitution.
+        for alg in [
+            Algorithm::StackRefine,
+            Algorithm::Partition,
+            Algorithm::ShortListEager,
+        ] {
+            let e = engine(alg);
+            let out = e.answer("database publication");
+            assert!(!out.original_ok, "{alg:?}");
+            let best = out.best().unwrap_or_else(|| panic!("{alg:?} found nothing"));
+            assert!(best.candidate.dissimilarity > 0.0);
+            assert!(!best.slcas.is_empty());
+            // some top candidate repairs the missing term at dSim 1 while
+            // keeping "database" (e.g. publication -> publications)
+            if alg != Algorithm::StackRefine {
+                assert!(
+                    out.refinements.iter().any(|r| {
+                        r.candidate.dissimilarity == 1.0
+                            && r.candidate.keywords.contains(&"database".to_string())
+                    }),
+                    "{alg:?}: {:?}",
+                    out.refinements
+                        .iter()
+                        .map(|r| &r.candidate.keywords)
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_rules_cover_spelling_and_stemming() {
+        let e = engine(Algorithm::Partition);
+        let q = Query::parse("databse publication");
+        let rules = e.rules_for(&q);
+        assert!(rules
+            .iter()
+            .any(|(_, r)| r.lhs == ["databse"] && r.rhs == ["database"]));
+        assert!(rules
+            .iter()
+            .any(|(_, r)| r.lhs == ["publication"] && r.rhs == ["publications"]));
+    }
+
+    #[test]
+    fn baseline_slca_matches_direct_computation() {
+        let e = engine(Algorithm::Partition);
+        let q = Query::parse("xml john 2003");
+        let got = e.baseline_slca(&q, slca::slca_scan_eager);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].to_string(), "0");
+    }
+
+    #[test]
+    fn render_produces_xml_snippet() {
+        let e = engine(Algorithm::Partition);
+        let out = e.answer("john fishing");
+        let d = &out.best().unwrap().slcas[0];
+        let xml = e.render(d).unwrap();
+        assert!(xml.contains("fishing") || xml.contains("John"));
+        assert!(e.render(&"0.9.9".parse().unwrap()).is_none());
+    }
+}

@@ -1,0 +1,331 @@
+//! Algorithm 2: partition-based Top-K query refinement.
+//!
+//! The document is consumed as its ordered partitions (Definition 6.1 —
+//! the subtrees rooted at the children of the document root). Per
+//! partition, one dynamic-program invocation yields the approximate
+//! Top-2K refined-query candidates whose keywords all occur inside the
+//! partition; candidates that beat the running `RQSortedList` threshold
+//! get their SLCAs computed *within the partition* by a pluggable SLCA
+//! method (scan-eager by default — Lemma 3's orthogonality). A final pass
+//! applies the full ranking model (Formula 10) to pick the Top-K.
+//!
+//! Root-level matches (postings on the document root itself) belong to no
+//! partition and are skipped — the root is never a meaningful result.
+
+use crate::dp::get_top_optimal_rqs;
+use crate::query::RqCandidate;
+use crate::ranking::{Ranker, RankingConfig};
+use crate::results::{RefineOutcome, Refinement};
+use crate::rqlist::RqSortedList;
+use crate::session::RefineSession;
+use crate::util::KeyMask;
+use invindex::{ListCursor, Posting};
+use std::collections::HashMap;
+use xmldom::Dewey;
+
+/// Memo of dynamic-program results keyed by the available-keyword mask
+/// `T`. Algorithm 2's advantage (3) — "`getOptimalRQ` is employed once
+/// for RQ candidates that have multiple matching results" — generalizes
+/// across partitions: the DP's output depends only on `T`, and under
+/// Zipf-skewed data many partitions expose identical keyword sets.
+pub(crate) struct DpMemo {
+    memo: HashMap<KeyMask, std::rc::Rc<Vec<RqCandidate>>>,
+}
+
+impl DpMemo {
+    pub(crate) fn new() -> Self {
+        DpMemo {
+            memo: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn candidates(
+        &mut self,
+        session: &RefineSession<'_>,
+        mask: KeyMask,
+        m: usize,
+    ) -> std::rc::Rc<Vec<RqCandidate>> {
+        if let Some(c) = self.memo.get(&mask) {
+            return std::rc::Rc::clone(c);
+        }
+        let availability = |w: &str| {
+            session
+                .pos(w)
+                .map(|i| mask.get(i))
+                .unwrap_or(false)
+        };
+        let dp = get_top_optimal_rqs(&session.query, &availability, &session.rules, m);
+        let rc = std::rc::Rc::new(dp.candidates);
+        self.memo.insert(mask, std::rc::Rc::clone(&rc));
+        rc
+    }
+}
+
+/// A pluggable SLCA computation over per-keyword posting slices.
+pub type SlcaMethod = fn(&[&[Posting]]) -> Vec<Dewey>;
+
+/// Options of the partition algorithm.
+pub struct PartitionOptions {
+    /// K of Top-K.
+    pub k: usize,
+    /// SLCA method used inside partitions (Lemma 3: any method works).
+    pub slca: SlcaMethod,
+    /// Ranking model applied in the final re-ranking pass.
+    pub ranking: RankingConfig,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions {
+            k: 1,
+            slca: slca::slca_scan_eager,
+            ranking: RankingConfig::default(),
+        }
+    }
+}
+
+/// Runs Algorithm 2.
+pub fn partition_refine(session: &RefineSession<'_>, options: &PartitionOptions) -> RefineOutcome {
+    let k = options.k.max(1);
+    let mut rq_list = RqSortedList::new(2 * k);
+    let mut slcas_by_rq: HashMap<String, Vec<Dewey>> = HashMap::new();
+    let mut dp_memo = DpMemo::new();
+
+    let mut cursors: Vec<ListCursor<'_>> = session
+        .lists
+        .iter()
+        .map(|l| ListCursor::new(l, session.scan_stats.clone()))
+        .collect();
+
+    loop {
+        // v_s: the smallest head across all cursors (line 5).
+        let mut smallest: Option<Dewey> = None;
+        for c in &cursors {
+            if let Some(p) = c.peek() {
+                if smallest.as_ref().map(|d| p.dewey < *d).unwrap_or(true) {
+                    smallest = Some(p.dewey.clone());
+                }
+            }
+        }
+        let Some(v) = smallest else { break };
+
+        let Some(pid) = v.partition() else {
+            // A match on the document root itself: advance past it.
+            for c in cursors.iter_mut() {
+                if c.peek().map(|p| p.dewey == v).unwrap_or(false) {
+                    c.next();
+                }
+            }
+            continue;
+        };
+
+        // Slice each list to the partition and advance the cursors past it
+        // (lines 6-8).
+        let mut slices: Vec<&[Posting]> = Vec::with_capacity(cursors.len());
+        for c in cursors.iter_mut() {
+            let range = c.skip_partition(&pid);
+            slices.push(&c.list().as_slice()[range]);
+        }
+
+        // T: keywords with a non-empty sub-list (line 9).
+        let mut mask = KeyMask::empty(session.width());
+        for (i, s) in slices.iter().enumerate() {
+            if !s.is_empty() {
+                mask.set(i);
+            }
+        }
+
+        // Candidates within this partition (line 10), memoized on T. We
+        // request more than 2K because candidates can fail the
+        // meaningful-SLCA check below; the surviving ones fill the Top-2K
+        // list (the paper's list is "approximate" for the same reason).
+        let candidates = dp_memo.candidates(session, mask, 2 * k + 8);
+        for cand in candidates.iter().cloned() {
+            let already = rq_list.contains(&cand);
+            if !already && cand.dissimilarity >= rq_list.admission_threshold() {
+                // Worse than the current Top-2K: skip even the SLCA
+                // computation (the paper's key optimization).
+                continue;
+            }
+            let rq_slices: Vec<&[Posting]> = cand
+                .keywords
+                .iter()
+                .map(|kw| {
+                    session
+                        .pos(kw)
+                        .map(|i| slices[i])
+                        .unwrap_or(&[])
+                })
+                .collect();
+            let found = (options.slca)(&rq_slices);
+            let meaningful: Vec<Dewey> = session.filter.filter(found);
+            if meaningful.is_empty() {
+                continue;
+            }
+            if already || rq_list.insert(cand.clone()) {
+                slcas_by_rq
+                    .entry(cand.canonical())
+                    .or_default()
+                    .extend(meaningful);
+            }
+        }
+    }
+
+    finalize(session, rq_list, slcas_by_rq, k, &options.ranking)
+}
+
+/// Shared final ranking pass (also used by short-list eager).
+pub(crate) fn finalize(
+    session: &RefineSession<'_>,
+    rq_list: RqSortedList,
+    slcas_by_rq: HashMap<String, Vec<Dewey>>,
+    k: usize,
+    ranking: &RankingConfig,
+) -> RefineOutcome {
+    let candidates: Vec<RqCandidate> = rq_list.into_vec();
+    let ranker = Ranker::new(session.index, &session.query, ranking.clone());
+    let ranked = ranker.rank_all(candidates);
+
+    let mut refinements: Vec<Refinement> = ranked
+        .into_iter()
+        .filter_map(|(cand, score)| {
+            let mut slcas = slcas_by_rq.get(&cand.canonical())?.clone();
+            slcas.sort();
+            slcas.dedup();
+            Some(Refinement {
+                candidate: cand,
+                rank_score: score,
+                slcas,
+            })
+        })
+        .collect();
+
+    // The zero-dissimilarity candidate is the original query: when present
+    // it wins outright (no refinement was needed), regardless of rank.
+    if let Some(ipos) = refinements
+        .iter()
+        .position(|r| r.candidate.dissimilarity == 0.0)
+    {
+        let original = refinements.remove(ipos);
+        refinements.insert(0, original);
+        refinements.truncate(1);
+        return RefineOutcome {
+            original_ok: true,
+            refinements,
+            advances: session.scan_stats.advances(),
+            random_accesses: session.scan_stats.random_accesses(),
+        };
+    }
+
+    refinements.truncate(k);
+    RefineOutcome {
+        original_ok: false,
+        refinements,
+        advances: session.scan_stats.advances(),
+        random_accesses: session.scan_stats.random_accesses(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use invindex::Index;
+    use lexicon::RuleSet;
+    use std::sync::Arc;
+    use xmldom::fixtures::figure1;
+
+    fn run(q: &[&str], k: usize) -> RefineOutcome {
+        let idx = Index::build(Arc::new(figure1()));
+        let query = Query::from_keywords(q.iter().map(|s| s.to_string()));
+        let session = RefineSession::new(&idx, query, RuleSet::table2());
+        let options = PartitionOptions {
+            k,
+            ..Default::default()
+        };
+        partition_refine(&session, &options)
+    }
+
+    #[test]
+    fn meaningful_original_query_short_circuits() {
+        let out = run(&["john", "fishing"], 2);
+        assert!(out.original_ok);
+        assert_eq!(out.refinements.len(), 1);
+        assert_eq!(out.best().unwrap().candidate.dissimilarity, 0.0);
+        assert!(!out.best().unwrap().slcas.is_empty());
+    }
+
+    #[test]
+    fn example5_top2_refinements() {
+        // Example 5: {article, online, database}. "article" exists (two
+        // nodes), online/database exist under author 0.0. Candidates with
+        // meaningful SLCAs are found per partition.
+        let out = run(&["article", "online", "database"], 2);
+        assert!(!out.original_ok || out.best().unwrap().candidate.dissimilarity == 0.0);
+        assert!(!out.refinements.is_empty());
+        for r in &out.refinements {
+            assert!(!r.slcas.is_empty());
+            // all results live inside partitions, never at the root
+            for d in &r.slcas {
+                assert!(d.len() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn one_scan_guarantee_theorem2() {
+        let idx = Index::build(Arc::new(figure1()));
+        let query = Query::from_keywords(["on", "line", "data", "base"]);
+        let session = RefineSession::new(&idx, query, RuleSet::table2());
+        let budget = session.total_list_len() as u64;
+        let out = partition_refine(&session, &PartitionOptions::default());
+        assert!(out.advances <= budget, "{} > {budget}", out.advances);
+        assert_eq!(out.random_accesses, 0);
+        assert!(!out.original_ok);
+        assert_eq!(
+            out.best().unwrap().candidate.keywords,
+            ["base", "data", "online"]
+        );
+        assert_eq!(out.best().unwrap().candidate.dissimilarity, 1.0);
+    }
+
+    #[test]
+    fn agrees_with_stack_refine_on_optimum() {
+        use crate::stack_refine::stack_refine;
+        for q in [
+            vec!["on", "line", "data", "base"],
+            vec!["xml", "john", "2003"],
+            vec!["database", "publication"],
+            vec!["john", "fishing"],
+        ] {
+            let idx = Index::build(Arc::new(figure1()));
+            let query = Query::from_keywords(q.iter().map(|s| s.to_string()));
+            let s1 = RefineSession::new(&idx, query.clone(), RuleSet::table2());
+            let s2 = RefineSession::new(&idx, query, RuleSet::table2());
+            let a = stack_refine(&s1);
+            let b = partition_refine(&s2, &PartitionOptions::default());
+            match (a.best(), b.best()) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(
+                        x.candidate.dissimilarity, y.candidate.dissimilarity,
+                        "query {q:?}"
+                    );
+                }
+                (None, None) => {}
+                other => panic!("disagreement on {q:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn k_bounds_result_count() {
+        let out = run(&["xml", "john", "2003"], 3);
+        assert!(out.refinements.len() <= 3);
+        assert!(!out.refinements.is_empty());
+        // ranked descending by score
+        assert!(out
+            .refinements
+            .windows(2)
+            .all(|w| w[0].rank_score >= w[1].rank_score));
+    }
+}

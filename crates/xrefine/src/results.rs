@@ -1,0 +1,44 @@
+//! Output types of the refinement algorithms.
+
+use crate::query::RqCandidate;
+use xmldom::Dewey;
+
+/// One refined query with its score and matching results.
+#[derive(Debug, Clone)]
+pub struct Refinement {
+    pub candidate: RqCandidate,
+    /// `Rank(RQ)` under the full ranking model (Formula 10); `0.0` when
+    /// the algorithm ranks by dissimilarity only (stack-refine).
+    pub rank_score: f64,
+    /// Meaningful SLCA results, in document order.
+    pub slcas: Vec<Dewey>,
+}
+
+/// The outcome of processing one query.
+#[derive(Debug, Clone)]
+pub struct RefineOutcome {
+    /// True when the original query itself had meaningful results (its
+    /// zero-dissimilarity candidate won): no refinement was necessary
+    /// (Definition 3.4).
+    pub original_ok: bool,
+    /// Ranked refinements (best first). When `original_ok`, the first
+    /// entry is the original query with its results.
+    pub refinements: Vec<Refinement>,
+    /// Sequential posting advances consumed (one-scan verification).
+    pub advances: u64,
+    /// Random accesses into the lists (SLE's probes).
+    pub random_accesses: u64,
+}
+
+impl RefineOutcome {
+    /// The best refinement, if any.
+    pub fn best(&self) -> Option<&Refinement> {
+        self.refinements.first()
+    }
+
+    /// Convenience: does the outcome propose an actual change to the
+    /// query?
+    pub fn needs_refinement(&self) -> bool {
+        !self.original_ok
+    }
+}

@@ -1,0 +1,161 @@
+//! `RQSortedList` (§VI-B): the running approximate Top-2K candidate list,
+//! ordered by dissimilarity, with `O(log n)` insert/evict and `O(1)`
+//! membership via a side hash set.
+
+use crate::query::RqCandidate;
+use std::collections::HashSet;
+
+/// A bounded candidate list sorted by ascending dissimilarity.
+#[derive(Debug)]
+pub struct RqSortedList {
+    capacity: usize,
+    /// Sorted ascending by (dissimilarity, keywords).
+    items: Vec<RqCandidate>,
+    members: HashSet<String>,
+}
+
+impl RqSortedList {
+    /// `capacity` is `2K` in Algorithm 2/3.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        RqSortedList {
+            capacity,
+            items: Vec::with_capacity(capacity + 1),
+            members: HashSet::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Worst (largest) dissimilarity currently held; `+∞` while not full,
+    /// so any candidate qualifies (Algorithm 2 line 12).
+    pub fn admission_threshold(&self) -> f64 {
+        if self.is_full() {
+            self.items
+                .last()
+                .map(|c| c.dissimilarity)
+                .unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `hasRQ`: membership by canonical keyword set.
+    pub fn contains(&self, rq: &RqCandidate) -> bool {
+        self.members.contains(&rq.canonical())
+    }
+
+    /// Dissimilarity of the `k`-th best candidate (1-based), if present —
+    /// the short-list-eager stop condition reads this.
+    pub fn kth_dissimilarity(&self, k: usize) -> Option<f64> {
+        self.items.get(k.checked_sub(1)?).map(|c| c.dissimilarity)
+    }
+
+    /// Attempts to insert; returns `true` if the candidate was admitted.
+    /// Duplicates (same keyword set) are rejected; when full, a candidate
+    /// strictly better than the worst evicts it.
+    pub fn insert(&mut self, rq: RqCandidate) -> bool {
+        if self.contains(&rq) {
+            return false;
+        }
+        if self.is_full() && rq.dissimilarity >= self.admission_threshold() {
+            return false;
+        }
+        let key = rq.canonical();
+        let pos = self
+            .items
+            .partition_point(|c| {
+                (c.dissimilarity, &c.keywords) < (rq.dissimilarity, &rq.keywords)
+            });
+        self.items.insert(pos, rq);
+        self.members.insert(key);
+        if self.items.len() > self.capacity {
+            let evicted = self.items.pop().expect("over capacity");
+            self.members.remove(&evicted.canonical());
+        }
+        true
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &RqCandidate> {
+        self.items.iter()
+    }
+
+    /// Consumes the list, yielding candidates in ascending dissimilarity.
+    pub fn into_vec(self) -> Vec<RqCandidate> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rq(words: &[&str], ds: f64) -> RqCandidate {
+        RqCandidate::new(words.iter().map(|s| s.to_string()).collect(), ds)
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut l = RqSortedList::new(4);
+        assert!(l.insert(rq(&["c"], 3.0)));
+        assert!(l.insert(rq(&["a"], 1.0)));
+        assert!(l.insert(rq(&["b"], 2.0)));
+        let ds: Vec<f64> = l.iter().map(|c| c.dissimilarity).collect();
+        assert_eq!(ds, [1.0, 2.0, 3.0]);
+        assert_eq!(l.kth_dissimilarity(2), Some(2.0));
+        assert_eq!(l.kth_dissimilarity(9), None);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut l = RqSortedList::new(4);
+        assert!(l.insert(rq(&["x", "y"], 2.0)));
+        assert!(!l.insert(rq(&["y", "x"], 1.0))); // same set
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn eviction_at_capacity() {
+        let mut l = RqSortedList::new(2);
+        l.insert(rq(&["a"], 1.0));
+        l.insert(rq(&["b"], 2.0));
+        assert!(l.is_full());
+        assert_eq!(l.admission_threshold(), 2.0);
+        // worse candidate rejected
+        assert!(!l.insert(rq(&["c"], 3.0)));
+        // better evicts the worst
+        assert!(l.insert(rq(&["d"], 0.5)));
+        let kws: Vec<&str> = l.iter().map(|c| c.keywords[0].as_str()).collect();
+        assert_eq!(kws, ["d", "a"]);
+        // evicted member can be re-inserted later
+        assert!(!l.contains(&rq(&["b"], 2.0)));
+    }
+
+    #[test]
+    fn threshold_is_infinite_until_full() {
+        let mut l = RqSortedList::new(3);
+        assert_eq!(l.admission_threshold(), f64::INFINITY);
+        l.insert(rq(&["a"], 5.0));
+        assert_eq!(l.admission_threshold(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        RqSortedList::new(0);
+    }
+}

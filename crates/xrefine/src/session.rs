@@ -1,0 +1,133 @@
+//! Per-query session state shared by the three refinement algorithms:
+//! the key set `KS` (original keywords plus every rule-generated one), the
+//! corresponding inverted lists, the meaningful-SLCA filter and the scan
+//! instrumentation.
+
+use crate::query::Query;
+use invindex::{Index, PostingList, ScanStats};
+use lexicon::RuleSet;
+use slca::{MeaningfulFilter, SearchForConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything a refinement algorithm needs for one query.
+pub struct RefineSession<'a> {
+    pub index: &'a Index,
+    pub query: Query,
+    pub rules: RuleSet,
+    /// `KS`: query keywords first (deduplicated), then rule-generated
+    /// keywords (Algorithm 1 line 3).
+    pub ks: Vec<String>,
+    /// `ks[i]` -> i.
+    pub ks_pos: HashMap<String, usize>,
+    /// One inverted list per `KS` keyword (empty list when the keyword
+    /// does not occur in the document).
+    pub lists: Vec<&'a PostingList>,
+    pub filter: MeaningfulFilter<'a>,
+    pub scan_stats: Arc<ScanStats>,
+}
+
+impl<'a> RefineSession<'a> {
+    pub fn new(index: &'a Index, query: Query, rules: RuleSet) -> Self {
+        Self::with_search_for(index, query, rules, &SearchForConfig::default())
+    }
+
+    pub fn with_search_for(
+        index: &'a Index,
+        query: Query,
+        rules: RuleSet,
+        search_for: &SearchForConfig,
+    ) -> Self {
+        let mut ks: Vec<String> = Vec::new();
+        let mut ks_pos: HashMap<String, usize> = HashMap::new();
+        let push = |w: &str, ks: &mut Vec<String>, pos: &mut HashMap<String, usize>| {
+            if !pos.contains_key(w) {
+                pos.insert(w.to_string(), ks.len());
+                ks.push(w.to_string());
+            }
+        };
+        for k in query.keywords() {
+            push(k, &mut ks, &mut ks_pos);
+        }
+        for k in rules.rhs_keywords() {
+            push(&k, &mut ks, &mut ks_pos);
+        }
+
+        static EMPTY: std::sync::OnceLock<PostingList> = std::sync::OnceLock::new();
+        let empty = EMPTY.get_or_init(PostingList::new);
+        let lists: Vec<&PostingList> = ks
+            .iter()
+            .map(|k| index.list(k).unwrap_or(empty))
+            .collect();
+
+        let mut query_ids: Vec<invindex::KeywordId> = query
+            .keywords()
+            .iter()
+            .filter_map(|k| index.vocabulary().get(k))
+            .collect();
+        if query_ids.is_empty() {
+            // None of the original keywords occurs in the document (e.g. a
+            // single misspelled term). Guideline 3's premise is that Q and
+            // its refinements share the same search-for nodes, so infer
+            // them from the rule-generated keywords instead.
+            query_ids = rules
+                .rhs_keywords()
+                .iter()
+                .filter_map(|k| index.vocabulary().get(k))
+                .collect();
+        }
+        let filter = MeaningfulFilter::infer(index, &query_ids, search_for);
+
+        RefineSession {
+            index,
+            query,
+            rules,
+            ks,
+            ks_pos,
+            lists,
+            filter,
+            scan_stats: ScanStats::new(),
+        }
+    }
+
+    /// `|KS|`.
+    pub fn width(&self) -> usize {
+        self.ks.len()
+    }
+
+    /// Index of a keyword within `KS`.
+    pub fn pos(&self, keyword: &str) -> Option<usize> {
+        self.ks_pos.get(keyword).copied()
+    }
+
+    /// Total length of all involved inverted lists (the one-scan budget).
+    pub fn total_list_len(&self) -> usize {
+        self.lists.iter().map(|l| l.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use xmldom::fixtures::figure1;
+
+    #[test]
+    fn ks_is_query_then_generated_deduped() {
+        let idx = Index::build(StdArc::new(figure1()));
+        let q = Query::from_keywords(["on", "line", "data", "base", "on"]);
+        let rules = RuleSet::table2();
+        let s = RefineSession::new(&idx, q, rules);
+        // query keywords deduplicated, then RHS keywords (sorted by
+        // rhs_keywords) minus duplicates
+        assert_eq!(s.ks[..4], ["on", "line", "data", "base"]);
+        assert!(s.ks.contains(&"online".to_string()));
+        assert!(s.ks.contains(&"database".to_string()));
+        assert_eq!(s.pos("online"), Some(s.ks.iter().position(|k| k == "online").unwrap()));
+        // every keyword has a (possibly empty) list
+        assert_eq!(s.lists.len(), s.ks.len());
+        // "on" does not occur in figure 1
+        assert!(s.lists[s.pos("on").unwrap()].is_empty());
+        assert!(!s.lists[s.pos("database").unwrap()].is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! Algorithm 3: short-list eager Top-K query refinement.
+//!
+//! Step 1 explores refined-query candidates starting from the keyword with
+//! the shortest inverted list: for every partition containing that
+//! keyword, the other lists are probed by random access to assemble the
+//! partition's available keyword set `T`, and the dynamic program
+//! proposes candidates. After a keyword's iteration, every refined query
+//! containing it is known, so its list is removed; the loop stops early
+//! once even the optimistic dissimilarity of the remaining keyword set
+//! (`C_potential`) cannot beat the current list. Step 2 computes the
+//! SLCAs of the surviving candidates with an existing SLCA method over
+//! the full lists.
+//!
+//! The "smart choice" of §VI-C is implemented: among remaining keywords,
+//! prefer those that appear on the RHS of the pertinent rules or in the
+//! original query (keywords needing no refinement), breaking ties by list
+//! length.
+
+use crate::dp::get_optimal_rq;
+use crate::partition::{finalize, DpMemo, SlcaMethod};
+use crate::util::KeyMask;
+use crate::ranking::RankingConfig;
+use crate::results::RefineOutcome;
+use crate::rqlist::RqSortedList;
+use crate::session::RefineSession;
+use invindex::Posting;
+use std::collections::{HashMap, HashSet};
+use xmldom::Dewey;
+
+/// Options of the short-list eager algorithm.
+pub struct SleOptions {
+    pub k: usize,
+    /// SLCA method for step 2.
+    pub slca: SlcaMethod,
+    pub ranking: RankingConfig,
+    /// Enable the §VI-C smart keyword-choice heuristic.
+    pub smart_choice: bool,
+}
+
+impl Default for SleOptions {
+    fn default() -> Self {
+        SleOptions {
+            k: 1,
+            slca: slca::slca_scan_eager,
+            ranking: RankingConfig::default(),
+            smart_choice: true,
+        }
+    }
+}
+
+/// Runs Algorithm 3.
+pub fn sle_refine(session: &RefineSession<'_>, options: &SleOptions) -> RefineOutcome {
+    let k = options.k.max(1);
+    let mut rq_list = RqSortedList::new(2 * k);
+    let mut dp_memo = DpMemo::new();
+
+    // KSet: indices of keywords with non-empty lists (keywords absent from
+    // the document can appear in no refined query).
+    let mut remaining: Vec<usize> = (0..session.width())
+        .filter(|&i| !session.lists[i].is_empty())
+        .collect();
+
+    // Keywords that appear on some rule's RHS (they are "already refined")
+    // or in the original query: preferred anchors under the smart choice.
+    let stable: HashSet<usize> = {
+        let mut s: HashSet<usize> = session
+            .rules
+            .rhs_keywords()
+            .iter()
+            .filter_map(|w| session.pos(w))
+            .collect();
+        for w in session.query.keywords() {
+            let in_lhs = session
+                .rules
+                .iter()
+                .any(|(_, r)| r.lhs.iter().any(|l| l == w));
+            if !in_lhs {
+                if let Some(i) = session.pos(w) {
+                    s.insert(i);
+                }
+            }
+        }
+        s
+    };
+
+    let mut processed_partitions: HashSet<Dewey> = HashSet::new();
+
+    while !remaining.is_empty() {
+        // Stop condition (line 4): even the best refined query over the
+        // remaining keywords cannot enter the list.
+        if rq_list.is_full() {
+            let remaining_set: HashSet<&str> = remaining
+                .iter()
+                .map(|&i| session.ks[i].as_str())
+                .collect();
+            let availability = |w: &str| remaining_set.contains(w);
+            let c_potential = get_optimal_rq(&session.query, &availability, &session.rules)
+                .map(|c| c.dissimilarity)
+                .unwrap_or(f64::INFINITY);
+            if c_potential > rq_list.admission_threshold() {
+                break;
+            }
+        }
+
+        // Choose k_i: smart preference, then shortest list.
+        let pick_pos = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &i)| {
+                let smart_penalty =
+                    usize::from(options.smart_choice && !stable.contains(&i));
+                (smart_penalty, session.lists[i].len(), i)
+            })
+            .map(|(p, _)| p)
+            .expect("remaining non-empty");
+        let ki = remaining.swap_remove(pick_pos);
+
+        // Walk S_i sequentially; each new partition is probed once.
+        for posting in session.lists[ki].iter() {
+            // sequential advance over the anchor list
+            session_advance(session);
+            let Some(pid) = posting.dewey.partition() else {
+                continue;
+            };
+            if !processed_partitions.insert(pid.clone()) {
+                continue;
+            }
+            // Random-access probes: which keywords occur in this partition?
+            let mut mask = KeyMask::empty(session.width());
+            mask.set(ki);
+            for (j, list) in session.lists.iter().enumerate() {
+                if j == ki || list.is_empty() {
+                    continue;
+                }
+                session_random(session);
+                let range = list.partition_range(&pid);
+                if !range.is_empty() {
+                    mask.set(j);
+                }
+            }
+            let candidates = dp_memo.candidates(session, mask, 2 * k + 8);
+            for cand in candidates.iter().cloned() {
+                rq_list.insert(cand);
+            }
+        }
+    }
+
+    // Step 2: SLCAs for the surviving candidates over the full lists.
+    let mut slcas_by_rq: HashMap<String, Vec<Dewey>> = HashMap::new();
+    let mut kept = RqSortedList::new(2 * k);
+    for cand in rq_list.into_vec() {
+        let slices: Vec<&[Posting]> = cand
+            .keywords
+            .iter()
+            .map(|kw| {
+                session
+                    .pos(kw)
+                    .map(|i| {
+                        // step-2 rescan accounting
+                        session
+                            .scan_stats
+                            .record_advances(session.lists[i].len() as u64);
+                        session.lists[i].as_slice()
+                    })
+                    .unwrap_or(&[])
+            })
+            .collect();
+        let meaningful = session.filter.filter((options.slca)(&slices));
+        if meaningful.is_empty() {
+            continue;
+        }
+        slcas_by_rq.insert(cand.canonical(), meaningful);
+        kept.insert(cand);
+    }
+
+    finalize(session, kept, slcas_by_rq, k, &options.ranking)
+}
+
+fn session_advance(session: &RefineSession<'_>) {
+    session.scan_stats.record_advance();
+}
+
+fn session_random(session: &RefineSession<'_>) {
+    session.scan_stats.record_random_access();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition_refine, PartitionOptions};
+    use crate::query::Query;
+    use invindex::Index;
+    use lexicon::RuleSet;
+    use std::sync::Arc;
+    use xmldom::fixtures::figure1;
+
+    #[allow(dead_code)]
+    fn run(q: &[&str], k: usize) -> RefineOutcome {
+        let idx = Index::build(Arc::new(figure1()));
+        let query = Query::from_keywords(q.iter().map(|s| s.to_string()));
+        let session = RefineSession::new(&idx, query, RuleSet::table2());
+        sle_refine(
+            &session,
+            &SleOptions {
+                k,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn finds_same_optimum_as_partition() {
+        for q in [
+            vec!["on", "line", "data", "base"],
+            vec!["xml", "john", "2003"],
+            vec!["john", "fishing"],
+            vec!["database", "publication"],
+        ] {
+            let idx = Index::build(Arc::new(figure1()));
+            let query = Query::from_keywords(q.iter().map(|s| s.to_string()));
+            let s1 = RefineSession::new(&idx, query.clone(), RuleSet::table2());
+            let s2 = RefineSession::new(&idx, query, RuleSet::table2());
+            let a = partition_refine(&s1, &PartitionOptions { k: 2, ..Default::default() });
+            let b = sle_refine(&s2, &SleOptions { k: 2, ..Default::default() });
+            assert_eq!(a.original_ok, b.original_ok, "query {q:?}");
+            match (a.best(), b.best()) {
+                (Some(x), Some(y)) => assert_eq!(
+                    x.candidate.dissimilarity, y.candidate.dissimilarity,
+                    "query {q:?}"
+                ),
+                (None, None) => {}
+                other => panic!("disagreement on {q:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn example6_term_deletion_refinements() {
+        // Example 6: Q4 = {xml, john, 2003}, deletion-only refinement.
+        let idx = Index::build(Arc::new(figure1()));
+        let query = Query::from_keywords(["xml", "john", "2003"]);
+        let session = RefineSession::new(&idx, query, RuleSet::new());
+        let out = sle_refine(
+            &session,
+            &SleOptions {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        assert!(!out.original_ok);
+        assert!(!out.refinements.is_empty());
+        // Both surviving refinements delete exactly one keyword (dSim 2).
+        for r in &out.refinements {
+            assert_eq!(r.candidate.dissimilarity, 2.0);
+            assert_eq!(r.candidate.keywords.len(), 2);
+            assert!(!r.slcas.is_empty());
+        }
+    }
+
+    #[test]
+    fn uses_random_accesses_unlike_full_scans() {
+        let idx = Index::build(Arc::new(figure1()));
+        let query = Query::from_keywords(["xml", "john", "2003"]);
+        let session = RefineSession::new(&idx, query, RuleSet::new());
+        let out = sle_refine(&session, &SleOptions::default());
+        assert!(out.random_accesses > 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the ranking model (§IV): structural laws that hold
+//! for any candidate over any corpus.
+
+use invindex::Index;
+use proptest::prelude::*;
+use std::sync::Arc;
+use xrefine::{Query, Ranker, RankingConfig, RqCandidate};
+
+fn index() -> Arc<Index> {
+    Arc::new(Index::build(Arc::new(xmldom::fixtures::figure1())))
+}
+
+fn words() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::btree_set(
+        prop_oneof![
+            Just("xml"), Just("database"), Just("john"), Just("2003"),
+            Just("online"), Just("fishing"), Just("title"), Just("ghost"),
+        ],
+        1..4,
+    )
+    .prop_map(|s| s.into_iter().map(|w| w.to_string()).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn similarity_decays_with_dissimilarity(kws in words(), ds in 0.0f64..6.0) {
+        let idx = index();
+        let q = Query::from_keywords(["database", "publication"]);
+        let ranker = Ranker::new(&idx, &q, RankingConfig::default());
+        let near = RqCandidate::new(kws.clone(), ds);
+        let far = RqCandidate::new(kws, ds + 1.0);
+        // decay^(ds) >= decay^(ds+1) and the base is identical
+        prop_assert!(ranker.similarity(&near) >= ranker.similarity(&far) - 1e-12);
+    }
+
+    #[test]
+    fn scores_are_finite_and_dependence_nonnegative(kws in words(), ds in 0.0f64..6.0) {
+        let idx = index();
+        let q = Query::from_keywords(["xml", "john"]);
+        let ranker = Ranker::new(&idx, &q, RankingConfig::default());
+        let cand = RqCandidate::new(kws, ds);
+        prop_assert!(ranker.similarity(&cand).is_finite());
+        let dep = ranker.dependence(&cand);
+        prop_assert!(dep.is_finite() && dep >= 0.0);
+        prop_assert!(ranker.rank(&cand).is_finite());
+    }
+
+    #[test]
+    fn rank_is_linear_in_alpha_beta(kws in words(), ds in 0.0f64..4.0) {
+        let idx = index();
+        let q = Query::from_keywords(["xml", "2003"]);
+        let cand = RqCandidate::new(kws, ds);
+        let base = Ranker::new(&idx, &q, RankingConfig::with_weights(1.0, 1.0)).rank(&cand);
+        let double = Ranker::new(&idx, &q, RankingConfig::with_weights(2.0, 2.0)).rank(&cand);
+        prop_assert!((double - 2.0 * base).abs() < 1e-9);
+        let sim = Ranker::new(&idx, &q, RankingConfig::with_weights(1.0, 0.0)).rank(&cand);
+        let dep = Ranker::new(&idx, &q, RankingConfig::with_weights(0.0, 1.0)).rank(&cand);
+        prop_assert!((base - (sim + dep)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_all_is_a_permutation_sorted_descending(
+        sets in proptest::collection::vec((words(), 0.0f64..4.0), 1..6)
+    ) {
+        let idx = index();
+        let q = Query::from_keywords(["database", "publication"]);
+        let ranker = Ranker::new(&idx, &q, RankingConfig::default());
+        let candidates: Vec<RqCandidate> = sets
+            .into_iter()
+            .map(|(kws, ds)| RqCandidate::new(kws, ds))
+            .collect();
+        let n = candidates.len();
+        let ranked = ranker.rank_all(candidates.clone());
+        prop_assert_eq!(ranked.len(), n);
+        prop_assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+        // permutation: every input appears exactly once
+        for c in &candidates {
+            prop_assert_eq!(
+                ranked.iter().filter(|(r, _)| r == c).count(),
+                candidates.iter().filter(|x| *x == c).count()
+            );
+        }
+        // scores are reproducible
+        for (c, score) in &ranked {
+            prop_assert!((ranker.rank(c) - score).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Narrowing refinement — the paper's §IX future work, implemented as an
+//! extension: when a query has *too many* matching results, suggest
+//! keywords to add (mined from the result entities, scored by keyword
+//! dependence) that shrink the result set to a usable size.
+//!
+//! ```text
+//! cargo run --release --example narrow_query
+//! ```
+
+use std::sync::Arc;
+use xrefine_repro::datagen::{generate_dblp, DblpConfig};
+use xrefine_repro::prelude::*;
+use xrefine_repro::xrefine::NarrowOptions;
+
+fn main() {
+    let doc = Arc::new(generate_dblp(&DblpConfig {
+        authors: 300,
+        ..Default::default()
+    }));
+    let engine = XRefineEngine::from_document(Arc::clone(&doc), EngineConfig::default());
+
+    for query in ["data", "xml query", "database system"] {
+        println!("== {{{query}}} ==");
+        match engine.narrow(
+            query,
+            &NarrowOptions {
+                k: 3,
+                max_results: 12,
+                ..Default::default()
+            },
+        ) {
+            None => {
+                let out = engine.answer(query);
+                let n = out.best().map(|r| r.slcas.len()).unwrap_or(0);
+                println!("  result set already manageable ({n} results)\n");
+            }
+            Some(suggestions) if suggestions.is_empty() => {
+                println!("  too many results, but no single keyword narrows it enough\n");
+            }
+            Some(suggestions) => {
+                println!(
+                    "  {} results — too many; suggested narrowings:",
+                    suggestions[0].original_results
+                );
+                for s in &suggestions {
+                    println!(
+                        "    + \"{}\" -> {{{}}}  ({} results, score {:.3})",
+                        s.added,
+                        s.refinement.candidate.keywords.join(", "),
+                        s.refinement.slcas.len(),
+                        s.refinement.rank_score
+                    );
+                }
+                println!();
+            }
+        }
+    }
+}
