@@ -32,7 +32,7 @@ fn bench_refinement(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &workload, |b, wl| {
             b.iter(|| {
                 for q in wl {
-                    black_box(e.answer_query(q.clone()));
+                    black_box(e.answer_query(q.clone()).expect("query answered"));
                 }
             })
         });
@@ -42,13 +42,13 @@ fn bench_refinement(c: &mut Criterion) {
     let e = bench::engine(dblp(0.1), Algorithm::Partition, 1);
     let mut group = c.benchmark_group("baseline_slca");
     for (label, method) in [
-        ("stack_slca", slca::slca_stack as fn(&[&[invindex::Posting]]) -> Vec<xmldom::Dewey>),
+        ("stack_slca", slca::slca_stack as xrefine::SlcaMethod),
         ("scan_slca", slca::slca_scan_eager),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &workload, |b, wl| {
             b.iter(|| {
                 for q in wl {
-                    black_box(e.baseline_slca(q, method));
+                    black_box(e.baseline_slca(q, method).expect("slca computed"));
                 }
             })
         });

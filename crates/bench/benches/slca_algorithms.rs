@@ -7,6 +7,21 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use invindex::{Index, Posting};
 use std::hint::black_box;
 
+// Monomorphic shims: the slca entry points are generic over the list
+// type, so they no longer coerce to a higher-ranked fn pointer directly.
+fn stack(l: &[&[Posting]]) -> Vec<xmldom::Dewey> {
+    slca::slca_stack(l)
+}
+fn scan_eager(l: &[&[Posting]]) -> Vec<xmldom::Dewey> {
+    slca::slca_scan_eager(l)
+}
+fn indexed_lookup_eager(l: &[&[Posting]]) -> Vec<xmldom::Dewey> {
+    slca::slca_indexed_lookup_eager(l)
+}
+fn multiway(l: &[&[Posting]]) -> Vec<xmldom::Dewey> {
+    slca::slca_multiway(l)
+}
+
 fn bench_slca(c: &mut Criterion) {
     let doc = dblp(0.25);
     let index = Index::build(doc);
@@ -25,10 +40,10 @@ fn bench_slca(c: &mut Criterion) {
             .collect();
         let mut group = c.benchmark_group(format!("slca_{label}"));
         for (name, f) in [
-            ("stack", slca::slca_stack as fn(&[&[Posting]]) -> Vec<xmldom::Dewey>),
-            ("scan_eager", slca::slca_scan_eager),
-            ("indexed_lookup_eager", slca::slca_indexed_lookup_eager),
-            ("multiway", slca::slca_multiway),
+            ("stack", stack as fn(&[&[Posting]]) -> Vec<xmldom::Dewey>),
+            ("scan_eager", scan_eager),
+            ("indexed_lookup_eager", indexed_lookup_eager),
+            ("multiway", multiway),
         ] {
             group.bench_with_input(BenchmarkId::from_parameter(name), &lists, |b, l| {
                 b.iter(|| black_box(f(l)))

@@ -33,7 +33,8 @@ fn main() {
             || {
                 for wq in &workload {
                     std::hint::black_box(
-                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned())),
+                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned()))
+                            .expect("query answered"),
                     );
                 }
             },

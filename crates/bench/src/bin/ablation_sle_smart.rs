@@ -5,7 +5,6 @@
 
 use bench::{dblp, f3, time_ms, Table};
 use datagen::{generate_workload, PerturbKind, WorkloadConfig};
-use invindex::Index;
 use xrefine::{sle_refine, Query, RefineSession, SleOptions, XRefineEngine};
 
 fn main() {
@@ -22,7 +21,7 @@ fn main() {
     .collect();
 
     let engine = XRefineEngine::from_document(doc.clone(), Default::default());
-    let index: &Index = engine.index();
+    let index = engine.index();
 
     let mut t = Table::new(&["variant", "avg time (ms)", "avg random accesses"]);
     for smart in [true, false] {
@@ -32,7 +31,7 @@ fn main() {
                 for wq in &workload {
                     let q = Query::from_keywords(wq.keywords.iter().cloned());
                     let rules = engine.rules_for(&q);
-                    let session = RefineSession::new(index, q, rules);
+                    let session = RefineSession::new(index, q, rules).expect("session built");
                     let out = sle_refine(
                         &session,
                         &SleOptions {
@@ -49,7 +48,12 @@ fn main() {
         // total_ra accumulated over warmup + reps; normalize per query run
         let avg_ra = total_ra as f64 / (3 * workload.len()) as f64;
         t.row(vec![
-            if smart { "smart choice" } else { "naive shortest" }.into(),
+            if smart {
+                "smart choice"
+            } else {
+                "naive shortest"
+            }
+            .into(),
             f3(ms),
             f3(avg_ra),
         ]);

@@ -31,11 +31,11 @@ fn main() {
     for q in queries {
         let ms = time_ms(
             || {
-                std::hint::black_box(engine.narrow(q, &options));
+                std::hint::black_box(engine.narrow(q, &options).expect("narrow"));
             },
             3,
         );
-        match engine.narrow(q, &options) {
+        match engine.narrow(q, &options).expect("narrow") {
             None => t.row(vec![q.into(), "<= max".into(), "-".into(), f3(ms)]),
             Some(suggestions) => {
                 let orig = suggestions

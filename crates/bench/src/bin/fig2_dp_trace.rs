@@ -33,9 +33,16 @@ fn main() {
         RuleSource::Acronym,
         1.0,
     ));
-    let t: HashSet<&str> = ["machine", "inproceedings", "learning", "world", "wide", "web"]
-        .into_iter()
-        .collect();
+    let t: HashSet<&str> = [
+        "machine",
+        "inproceedings",
+        "learning",
+        "world",
+        "wide",
+        "web",
+    ]
+    .into_iter()
+    .collect();
     let avail = |w: &str| t.contains(w);
 
     println!("Q = {q}");

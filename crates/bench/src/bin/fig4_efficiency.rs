@@ -44,13 +44,19 @@ fn main() {
 
         let t_stack_slca = time_ms(
             || {
-                std::hint::black_box(e.baseline_slca(&q, slca::slca_stack));
+                std::hint::black_box(
+                    e.baseline_slca(&q, slca::slca_stack)
+                        .expect("slca computed"),
+                );
             },
             reps,
         );
         let t_scan_slca = time_ms(
             || {
-                std::hint::black_box(e.baseline_slca(&q, slca::slca_scan_eager));
+                std::hint::black_box(
+                    e.baseline_slca(&q, slca::slca_scan_eager)
+                        .expect("slca computed"),
+                );
             },
             reps,
         );
@@ -58,25 +64,25 @@ fn main() {
         e.config_mut().algorithm = Algorithm::StackRefine;
         let t_stack_refine = time_ms(
             || {
-                std::hint::black_box(e.answer_query(q.clone()));
+                std::hint::black_box(e.answer_query(q.clone()).expect("query answered"));
             },
             reps,
         );
         e.config_mut().algorithm = Algorithm::ShortListEager;
         let t_sle = time_ms(
             || {
-                std::hint::black_box(e.answer_query(q.clone()));
+                std::hint::black_box(e.answer_query(q.clone()).expect("query answered"));
             },
             reps,
         );
         e.config_mut().algorithm = Algorithm::Partition;
         let t_partition = time_ms(
             || {
-                std::hint::black_box(e.answer_query(q.clone()));
+                std::hint::black_box(e.answer_query(q.clone()).expect("query answered"));
             },
             reps,
         );
-        let out = e.answer_query(q.clone());
+        let out = e.answer_query(q.clone()).expect("query answered");
         let results: usize = out.refinements.iter().map(|r| r.slcas.len()).sum();
 
         for (acc, v) in totals.iter_mut().zip([

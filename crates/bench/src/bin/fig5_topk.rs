@@ -33,7 +33,8 @@ fn run(name: &str, doc: Arc<Document>, n_queries: usize) {
             || {
                 for wq in &workload {
                     std::hint::black_box(
-                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned())),
+                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned()))
+                            .expect("query answered"),
                     );
                 }
             },
@@ -44,7 +45,8 @@ fn run(name: &str, doc: Arc<Document>, n_queries: usize) {
             || {
                 for wq in &workload {
                     std::hint::black_box(
-                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned())),
+                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned()))
+                            .expect("query answered"),
                     );
                 }
             },
@@ -52,7 +54,10 @@ fn run(name: &str, doc: Arc<Document>, n_queries: usize) {
         ) / workload.len() as f64;
         t.row(vec![format!("{k}"), f3(tp), f3(ts)]);
     }
-    println!("\n== Figure 5({name}): avg per-query Top-K time over {} queries ==\n", workload.len());
+    println!(
+        "\n== Figure 5({name}): avg per-query Top-K time over {} queries ==\n",
+        workload.len()
+    );
     t.print();
 }
 

@@ -31,7 +31,8 @@ fn main() {
             || {
                 for wq in &workload {
                     std::hint::black_box(
-                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned())),
+                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned()))
+                            .expect("query answered"),
                     );
                 }
             },
@@ -42,13 +43,19 @@ fn main() {
             || {
                 for wq in &workload {
                     std::hint::black_box(
-                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned())),
+                        e.answer_query(Query::from_keywords(wq.keywords.iter().cloned()))
+                            .expect("query answered"),
                     );
                 }
             },
             2,
         ) / workload.len() as f64;
-        t.row(vec![format!("{pct}%"), format!("{elements}"), f3(tp), f3(ts)]);
+        t.row(vec![
+            format!("{pct}%"),
+            format!("{elements}"),
+            f3(tp),
+            f3(ts),
+        ]);
     }
     println!("== Figure 6: avg per-query Top-3 refinement time vs data size ==\n");
     t.print();

@@ -17,21 +17,25 @@ fn main() {
 
     let queries = [
         ("Q0", "john fishing", "fine as-is; SLCA under author"),
-        ("Q1", "database publication", "term mismatch: 'publication' unused in data"),
+        (
+            "Q1",
+            "database publication",
+            "term mismatch: 'publication' unused in data",
+        ),
         ("Q2", "on line data base", "mistaken splits"),
         ("Q3", "databse xml", "spelling error"),
-        ("Q4", "xml john 2003", "over-constrained: only the root covers all"),
+        (
+            "Q4",
+            "xml john 2003",
+            "over-constrained: only the root covers all",
+        ),
     ];
 
-    let mut t = Table::new(&[
-        "ID",
-        "query",
-        "issue",
-        "plain SLCA",
-        "engine outcome",
-    ]);
+    let mut t = Table::new(&["ID", "query", "issue", "plain SLCA", "engine outcome"]);
     for (id, q, issue) in queries {
-        let slcas = engine.baseline_slca(&Query::parse(q), slca::slca_scan_eager);
+        let slcas = engine
+            .baseline_slca(&Query::parse(q), slca::slca_scan_eager)
+            .expect("slca computed");
         let plain = if slcas.is_empty() {
             "(empty)".to_string()
         } else {
@@ -41,7 +45,7 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(" ")
         };
-        let out = engine.answer(q);
+        let out = engine.answer(q).expect("query answered");
         let outcome = if out.original_ok {
             let r = out.best().unwrap();
             format!("no refinement; {} meaningful result(s)", r.slcas.len())

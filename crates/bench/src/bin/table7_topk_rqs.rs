@@ -19,15 +19,13 @@ fn main() {
 
     let mut t = Table::new(&["query", "RQ1", "RQ2", "RQ3", "RQ4"]);
     for wq in workload.iter().filter(|q| q.kind != PerturbKind::None) {
-        let out = e.answer_query(Query::from_keywords(wq.keywords.iter().cloned()));
+        let out = e
+            .answer_query(Query::from_keywords(wq.keywords.iter().cloned()))
+            .expect("query answered");
         let mut cells = vec![wq.keywords.join(",")];
         for i in 0..4 {
             cells.push(match out.refinements.get(i) {
-                Some(r) => format!(
-                    "{},{}",
-                    r.candidate.keywords.join("."),
-                    r.slcas.len()
-                ),
+                Some(r) => format!("{},{}", r.candidate.keywords.join("."), r.slcas.len()),
                 None => "-".into(),
             });
         }

@@ -37,7 +37,9 @@ fn main() {
             "size",
         ]);
         for wq in workload.iter().filter(|q| q.kind == kind) {
-            let out = e.answer_query(Query::from_keywords(wq.keywords.iter().cloned()));
+            let out = e
+                .answer_query(Query::from_keywords(wq.keywords.iter().cloned()))
+                .expect("query answered");
             let (rq, ds, size) = match out.best() {
                 Some(r) => (
                     r.candidate.keywords.join(","),

@@ -62,7 +62,9 @@ pub fn time_ms<F: FnMut()>(mut f: F, reps: usize) -> f64 {
 /// the paper times: refinement + SLCA generation end-to-end). Returns the
 /// total number of SLCA results across the returned refinements.
 pub fn answer(engine: &XRefineEngine, keywords: &[String]) -> usize {
-    let out = engine.answer_query(Query::from_keywords(keywords.iter().cloned()));
+    let out = engine
+        .answer_query(Query::from_keywords(keywords.iter().cloned()))
+        .expect("query answered");
     out.refinements.iter().map(|r| r.slcas.len()).sum()
 }
 

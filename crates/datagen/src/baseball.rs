@@ -50,8 +50,7 @@ pub fn generate_baseball(config: &BaseballConfig) -> Document {
                 b.leaf("name", mascot);
                 for _ in 0..config.players_per_team {
                     b.open_element("player");
-                    let first =
-                        vocab::FIRST_NAMES[rng.random_range(0..vocab::FIRST_NAMES.len())];
+                    let first = vocab::FIRST_NAMES[rng.random_range(0..vocab::FIRST_NAMES.len())];
                     let last = vocab::LAST_NAMES[rng.random_range(0..vocab::LAST_NAMES.len())];
                     b.leaf("surname", last);
                     b.leaf("given", first);

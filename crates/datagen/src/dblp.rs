@@ -70,12 +70,20 @@ pub fn generate_dblp(config: &DblpConfig) -> Document {
             b.leaf("interest", interest);
         }
         // Heterogeneous container tag, as in Figure 1 / Example 1.
-        let container = if a % 7 == 3 { "proceedings" } else { "publications" };
+        let container = if a % 7 == 3 {
+            "proceedings"
+        } else {
+            "publications"
+        };
         b.open_element(container);
         let n_pubs = rng.random_range(config.pubs_min..=config.pubs_max);
         for _ in 0..n_pubs {
             let is_article = rng.random_bool(0.3);
-            b.open_element(if is_article { "article" } else { "inproceedings" });
+            b.open_element(if is_article {
+                "article"
+            } else {
+                "inproceedings"
+            });
             let len = rng.random_range(config.title_min..=config.title_max);
             let mut title = String::new();
             for w in 0..len {
@@ -94,17 +102,23 @@ pub fn generate_dblp(config: &DblpConfig) -> Document {
                 b.leaf("booktitle", v);
             }
             if rng.random_bool(0.2) {
-                b.leaf("pages", &format!(
-                    "{}-{}",
-                    rng.random_range(1..400),
-                    rng.random_range(400..800)
-                ));
+                b.leaf(
+                    "pages",
+                    &format!(
+                        "{}-{}",
+                        rng.random_range(1..400),
+                        rng.random_range(400..800)
+                    ),
+                );
             }
             b.close_element();
         }
         b.close_element(); // container
         if rng.random_bool(0.15) {
-            b.leaf("hobby", ["fishing", "chess", "hiking", "painting"][rng.random_range(0..4)]);
+            b.leaf(
+                "hobby",
+                ["fishing", "chess", "hiking", "painting"][rng.random_range(0..4)],
+            );
         }
         b.close_element(); // author
     }

@@ -9,29 +9,168 @@
 /// Title terms, ordered roughly by intended frequency rank (the Zipf
 /// sampler maps rank 0 to the first entry).
 pub const TITLE_TERMS: &[&str] = &[
-    "data", "database", "query", "xml", "system", "efficient", "search", "keyword", "web",
-    "processing", "online", "analysis", "model", "distributed", "stream", "optimization",
-    "indexing", "mining", "learning", "machine", "algorithm", "semantic", "relational",
-    "storage", "parallel", "twig", "pattern", "join", "skyline", "computation", "matching",
-    "retrieval", "information", "ranking", "schema", "integration", "cache", "transaction",
-    "adaptive", "scalable", "approximate", "aggregation", "clustering", "classification",
-    "graph", "tree", "spatial", "temporal", "probabilistic", "uncertain", "top", "nearest",
-    "neighbor", "similarity", "wide", "world", "service", "peer", "sensor", "network",
-    "wireless", "mobile", "security", "privacy", "compression", "sampling", "estimation",
-    "view", "materialized", "warehouse", "olap", "cube", "workflow", "provenance", "lineage",
-    "benchmark", "evaluation", "tuning", "recovery", "concurrency", "locking", "logging",
-    "partitioning", "replication", "consistency", "availability", "fault", "tolerance",
-    "continuous", "window", "event", "complex", "detection", "filtering", "publish",
-    "subscribe", "ontology", "reasoning", "rdf", "sparql", "xpath", "xquery", "twigstack",
-    "holistic", "structural", "labeling", "dewey", "encoding", "numbering", "fragment",
-    "dissemination", "routing", "selectivity", "cardinality", "histogram", "wavelet",
-    "sketch", "synopsis", "summarization", "deduplication", "cleaning", "entity",
-    "resolution", "extraction", "annotation", "crawling", "pagerank", "authority", "hub",
-    "social", "recommendation", "collaborative", "content", "multimedia", "image", "video",
-    "audio", "text", "document", "corpus", "language", "translation", "visualization",
-    "interactive", "exploration", "navigation", "browsing", "interface", "usability",
-    "keyword2", "proximity", "lca", "slca", "refinement", "suggestion", "expansion",
-    "correction", "spelling", "feedback", "relevance", "precision", "recall",
+    "data",
+    "database",
+    "query",
+    "xml",
+    "system",
+    "efficient",
+    "search",
+    "keyword",
+    "web",
+    "processing",
+    "online",
+    "analysis",
+    "model",
+    "distributed",
+    "stream",
+    "optimization",
+    "indexing",
+    "mining",
+    "learning",
+    "machine",
+    "algorithm",
+    "semantic",
+    "relational",
+    "storage",
+    "parallel",
+    "twig",
+    "pattern",
+    "join",
+    "skyline",
+    "computation",
+    "matching",
+    "retrieval",
+    "information",
+    "ranking",
+    "schema",
+    "integration",
+    "cache",
+    "transaction",
+    "adaptive",
+    "scalable",
+    "approximate",
+    "aggregation",
+    "clustering",
+    "classification",
+    "graph",
+    "tree",
+    "spatial",
+    "temporal",
+    "probabilistic",
+    "uncertain",
+    "top",
+    "nearest",
+    "neighbor",
+    "similarity",
+    "wide",
+    "world",
+    "service",
+    "peer",
+    "sensor",
+    "network",
+    "wireless",
+    "mobile",
+    "security",
+    "privacy",
+    "compression",
+    "sampling",
+    "estimation",
+    "view",
+    "materialized",
+    "warehouse",
+    "olap",
+    "cube",
+    "workflow",
+    "provenance",
+    "lineage",
+    "benchmark",
+    "evaluation",
+    "tuning",
+    "recovery",
+    "concurrency",
+    "locking",
+    "logging",
+    "partitioning",
+    "replication",
+    "consistency",
+    "availability",
+    "fault",
+    "tolerance",
+    "continuous",
+    "window",
+    "event",
+    "complex",
+    "detection",
+    "filtering",
+    "publish",
+    "subscribe",
+    "ontology",
+    "reasoning",
+    "rdf",
+    "sparql",
+    "xpath",
+    "xquery",
+    "twigstack",
+    "holistic",
+    "structural",
+    "labeling",
+    "dewey",
+    "encoding",
+    "numbering",
+    "fragment",
+    "dissemination",
+    "routing",
+    "selectivity",
+    "cardinality",
+    "histogram",
+    "wavelet",
+    "sketch",
+    "synopsis",
+    "summarization",
+    "deduplication",
+    "cleaning",
+    "entity",
+    "resolution",
+    "extraction",
+    "annotation",
+    "crawling",
+    "pagerank",
+    "authority",
+    "hub",
+    "social",
+    "recommendation",
+    "collaborative",
+    "content",
+    "multimedia",
+    "image",
+    "video",
+    "audio",
+    "text",
+    "document",
+    "corpus",
+    "language",
+    "translation",
+    "visualization",
+    "interactive",
+    "exploration",
+    "navigation",
+    "browsing",
+    "interface",
+    "usability",
+    "keyword2",
+    "proximity",
+    "lca",
+    "slca",
+    "refinement",
+    "suggestion",
+    "expansion",
+    "correction",
+    "spelling",
+    "feedback",
+    "relevance",
+    "precision",
+    "recall",
 ];
 
 /// First names for authors.
@@ -47,9 +186,9 @@ pub const FIRST_NAMES: &[&str] = &[
 pub const LAST_NAMES: &[&str] = &[
     "smith", "franklin", "zhang", "wang", "li", "chen", "liu", "yang", "huang", "zhao", "wu",
     "zhou", "muller", "schmidt", "johnson", "williams", "brown", "jones", "garcia", "martinez",
-    "silva", "santos", "kumar", "singh", "patel", "tanaka", "suzuki", "sato", "kim", "park",
-    "lee", "nguyen", "tran", "ivanov", "petrov", "rossi", "ricci", "dubois", "laurent", "bao",
-    "lu", "ling", "meng",
+    "silva", "santos", "kumar", "singh", "patel", "tanaka", "suzuki", "sato", "kim", "park", "lee",
+    "nguyen", "tran", "ivanov", "petrov", "rossi", "ricci", "dubois", "laurent", "bao", "lu",
+    "ling", "meng",
 ];
 
 /// Conference names (booktitle values).
@@ -60,7 +199,14 @@ pub const VENUES: &[&str] = &[
 
 /// Journal names.
 pub const JOURNALS: &[&str] = &[
-    "tods", "vldbj", "tkde", "sigmodrecord", "is", "dke", "jacm", "ipl",
+    "tods",
+    "vldbj",
+    "tkde",
+    "sigmodrecord",
+    "is",
+    "dke",
+    "jacm",
+    "ipl",
 ];
 
 /// Author interests.
@@ -79,21 +225,56 @@ pub const INTERESTS: &[&str] = &[
 
 /// Baseball: team city names.
 pub const CITIES: &[&str] = &[
-    "atlanta", "boston", "chicago", "cleveland", "denver", "detroit", "houston", "miami",
-    "milwaukee", "minneapolis", "montreal", "oakland", "philadelphia", "phoenix", "pittsburgh",
-    "seattle", "toronto",
+    "atlanta",
+    "boston",
+    "chicago",
+    "cleveland",
+    "denver",
+    "detroit",
+    "houston",
+    "miami",
+    "milwaukee",
+    "minneapolis",
+    "montreal",
+    "oakland",
+    "philadelphia",
+    "phoenix",
+    "pittsburgh",
+    "seattle",
+    "toronto",
 ];
 
 /// Baseball: team mascot names.
 pub const MASCOTS: &[&str] = &[
-    "braves", "cubs", "giants", "tigers", "pirates", "mariners", "expos", "athletics",
-    "phillies", "brewers", "twins", "rockies", "marlins", "astros", "bluejays",
+    "braves",
+    "cubs",
+    "giants",
+    "tigers",
+    "pirates",
+    "mariners",
+    "expos",
+    "athletics",
+    "phillies",
+    "brewers",
+    "twins",
+    "rockies",
+    "marlins",
+    "astros",
+    "bluejays",
 ];
 
 /// Baseball: player positions.
 pub const POSITIONS: &[&str] = &[
-    "pitcher", "catcher", "firstbase", "secondbase", "thirdbase", "shortstop", "leftfield",
-    "centerfield", "rightfield", "designatedhitter",
+    "pitcher",
+    "catcher",
+    "firstbase",
+    "secondbase",
+    "thirdbase",
+    "shortstop",
+    "leftfield",
+    "centerfield",
+    "rightfield",
+    "designatedhitter",
 ];
 
 #[cfg(test)]
@@ -116,7 +297,8 @@ mod tests {
             assert!(!pool.is_empty());
             for w in pool {
                 assert!(
-                    w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                    w.chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
                     "pool word {w:?} is not a single lowercase token"
                 );
             }
@@ -132,8 +314,19 @@ mod tests {
     #[test]
     fn paper_example_terms_present() {
         for w in [
-            "online", "database", "skyline", "keyword", "twig", "machine", "learning", "world",
-            "wide", "web", "xml", "efficient", "matching",
+            "online",
+            "database",
+            "skyline",
+            "keyword",
+            "twig",
+            "machine",
+            "learning",
+            "world",
+            "wide",
+            "web",
+            "xml",
+            "efficient",
+            "matching",
         ] {
             assert!(TITLE_TERMS.contains(&w), "{w} missing");
         }

@@ -130,11 +130,7 @@ pub fn generate_workload(doc: &Document, config: &WorkloadConfig) -> Vec<Workloa
     out
 }
 
-fn sample_valid(
-    pools: &Pools,
-    config: &WorkloadConfig,
-    rng: &mut StdRng,
-) -> Option<Vec<String>> {
+fn sample_valid(pools: &Pools, config: &WorkloadConfig, rng: &mut StdRng) -> Option<Vec<String>> {
     let p = &pools.partitions[rng.random_range(0..pools.partitions.len())];
     let len = rng
         .random_range(config.min_len..=config.max_len)
@@ -347,10 +343,9 @@ mod tests {
         for q in &w {
             // every intended keyword set fits inside one partition
             assert!(
-                p.partitions.iter().any(|part| q
-                    .intended
+                p.partitions
                     .iter()
-                    .all(|k| part.binary_search(k).is_ok())),
+                    .any(|part| q.intended.iter().all(|k| part.binary_search(k).is_ok())),
                 "intended {:?} not co-located",
                 q.intended
             );

@@ -51,7 +51,9 @@ pub fn evaluate_with_engine(
     let mut per_query: Vec<Vec<f64>> = Vec::new();
     let mut answered = 0;
     for wq in workload {
-        let out = engine.answer_query(Query::from_keywords(wq.keywords.iter().cloned()));
+        let out = engine
+            .answer_query(Query::from_keywords(wq.keywords.iter().cloned()))
+            .expect("query answered");
         let ranked: Vec<Vec<String>> = out
             .refinements
             .iter()

@@ -11,6 +11,8 @@ pub mod cg;
 pub mod harness;
 pub mod oracle;
 
-pub use cg::{average_cg, cumulated_gain, discounted_cumulated_gain, ideal_gains, ndcg, reciprocal_rank};
+pub use cg::{
+    average_cg, cumulated_gain, discounted_cumulated_gain, ideal_gains, ndcg, reciprocal_rank,
+};
 pub use harness::{evaluate_ranking, evaluate_with_engine, refinement_pool, CgRow};
 pub use oracle::{gain_vector, grade};

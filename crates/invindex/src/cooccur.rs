@@ -10,7 +10,7 @@
 //! build; `DESIGN.md` records the substitution and the ablation bench
 //! measures the trade-off.
 
-use crate::index::Index;
+use crate::reader::{typed_ancestors_in, IndexReader};
 use crate::stats::KeywordId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -33,28 +33,42 @@ impl CoOccurrence {
     }
 
     /// `f^T_{ki,kj}`: number of `T`-typed nodes whose subtree contains
-    /// both keywords. Symmetric in `ki`/`kj`.
-    pub fn co_occur(&self, index: &Index, t: NodeTypeId, ki: KeywordId, kj: KeywordId) -> u64 {
+    /// both keywords. Symmetric in `ki`/`kj`. Storage errors in the
+    /// reader degrade to an empty ancestor set (count 0) — the value
+    /// only weights ranking.
+    pub fn co_occur(
+        &self,
+        reader: &dyn IndexReader,
+        t: NodeTypeId,
+        ki: KeywordId,
+        kj: KeywordId,
+    ) -> u64 {
         let (a, b) = if ki <= kj { (ki, kj) } else { (kj, ki) };
         if let Some(&n) = self.counts.lock().get(&(t, a, b)) {
             return n;
         }
-        let la = self.typed_ancestors(index, a, t);
+        let la = self.typed_ancestors(reader, a, t);
         let n = if a == b {
             la.len() as u64
         } else {
-            let lb = self.typed_ancestors(index, b, t);
+            let lb = self.typed_ancestors(reader, b, t);
             sorted_intersection_size(&la, &lb)
         };
         self.counts.lock().insert((t, a, b), n);
         n
     }
 
-    fn typed_ancestors(&self, index: &Index, k: KeywordId, t: NodeTypeId) -> Arc<Vec<Dewey>> {
+    fn typed_ancestors(
+        &self,
+        reader: &dyn IndexReader,
+        k: KeywordId,
+        t: NodeTypeId,
+    ) -> Arc<Vec<Dewey>> {
         if let Some(v) = self.ancestors.lock().get(&(k, t)) {
             return Arc::clone(v);
         }
-        let v = Arc::new(index.typed_ancestors(k, t));
+        let postings = reader.list_handle_by_id(k).unwrap_or_default();
+        let v = Arc::new(typed_ancestors_in(reader.document(), &postings, t));
         self.ancestors.lock().insert((k, t), Arc::clone(&v));
         v
     }

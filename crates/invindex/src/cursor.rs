@@ -7,7 +7,8 @@
 //! advances and random accesses into shared [`ScanStats`]. Integration
 //! tests assert `advances <= list length` for the one-scan algorithms.
 
-use crate::postings::{Posting, PostingList};
+use crate::postings::Posting;
+use crate::reader::ListHandle;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use xmldom::Dewey;
@@ -59,17 +60,20 @@ impl ScanStats {
     }
 }
 
-/// A forward cursor over one posting list.
+/// A forward cursor over one posting list (any [`IndexReader`] backend
+/// hands lists out as [`ListHandle`]s).
+///
+/// [`IndexReader`]: crate::reader::IndexReader
 pub struct ListCursor<'a> {
-    list: &'a PostingList,
+    handle: &'a ListHandle,
     pos: usize,
     stats: Arc<ScanStats>,
 }
 
 impl<'a> ListCursor<'a> {
-    pub fn new(list: &'a PostingList, stats: Arc<ScanStats>) -> Self {
+    pub fn new(handle: &'a ListHandle, stats: Arc<ScanStats>) -> Self {
         ListCursor {
-            list,
+            handle,
             pos: 0,
             stats,
         }
@@ -77,7 +81,7 @@ impl<'a> ListCursor<'a> {
 
     /// The posting under the cursor, or `None` at end of list.
     pub fn peek(&self) -> Option<&'a Posting> {
-        self.list.get(self.pos)
+        self.handle.postings().get(self.pos)
     }
 
     /// Advances one posting, returning the posting that was under the
@@ -85,7 +89,7 @@ impl<'a> ListCursor<'a> {
     /// callers interleave `peek`/`seek`/`skip_partition`.)
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<&'a Posting> {
-        let p = self.list.get(self.pos)?;
+        let p = self.handle.postings().get(self.pos)?;
         self.pos += 1;
         self.stats.bump_advance();
         Some(p)
@@ -93,7 +97,7 @@ impl<'a> ListCursor<'a> {
 
     /// True when all postings have been consumed.
     pub fn is_exhausted(&self) -> bool {
-        self.pos >= self.list.len()
+        self.pos >= self.handle.len()
     }
 
     /// Current cursor offset.
@@ -103,18 +107,18 @@ impl<'a> ListCursor<'a> {
 
     /// Total length of the underlying list.
     pub fn len(&self) -> usize {
-        self.list.len()
+        self.handle.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.list.is_empty()
+        self.handle.is_empty()
     }
 
     /// Moves the cursor forward to the first posting `>= target`
     /// (counts as a random access; never moves backward).
     pub fn seek(&mut self, target: &Dewey) {
         self.stats.bump_random();
-        let lb = self.list.lower_bound(target);
+        let lb = self.handle.lower_bound(target);
         if lb > self.pos {
             self.pos = lb;
         }
@@ -122,12 +126,14 @@ impl<'a> ListCursor<'a> {
 
     /// Jumps past the end of the partition rooted at `partition_root`
     /// (Algorithm 2 line 8). Returns the index range of the skipped
-    /// partition sub-list relative to the whole list.
+    /// partition sub-list relative to the whole list. Skipped postings
+    /// are accounted with one atomic add, so skipping a large partition
+    /// is O(1) in counter traffic.
     pub fn skip_partition(&mut self, partition_root: &Dewey) -> std::ops::Range<usize> {
-        let range = self.list.partition_range(partition_root);
+        let range = self.handle.partition_range(partition_root);
         let consumed = range.end.saturating_sub(self.pos.max(range.start));
-        for _ in 0..consumed {
-            self.stats.bump_advance();
+        if consumed > 0 {
+            self.stats.record_advances(consumed as u64);
         }
         if range.end > self.pos {
             self.pos = range.end;
@@ -135,9 +141,9 @@ impl<'a> ListCursor<'a> {
         range
     }
 
-    /// Underlying list access for sub-list slicing.
-    pub fn list(&self) -> &'a PostingList {
-        self.list
+    /// Underlying handle access for sub-list slicing.
+    pub fn handle(&self) -> &'a ListHandle {
+        self.handle
     }
 }
 
@@ -147,8 +153,8 @@ mod tests {
     use crate::postings::Posting;
     use xmldom::NodeTypeId;
 
-    fn list() -> PostingList {
-        PostingList::from_sorted(
+    fn list() -> ListHandle {
+        ListHandle::from_postings(
             ["0.0.0", "0.0.1", "0.1.0", "0.1.2", "0.2"]
                 .iter()
                 .map(|s| Posting::new(s.parse().unwrap(), NodeTypeId(0)))

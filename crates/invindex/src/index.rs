@@ -8,6 +8,7 @@
 
 use crate::cooccur::CoOccurrence;
 use crate::postings::{Posting, PostingList};
+use crate::reader::{typed_ancestors_in, IndexReader, ListHandle};
 use crate::stats::{KeywordId, KeywordTable, TypeStats};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -15,15 +16,22 @@ use xmldom::{tokenize, Dewey, Document, NodeTypeId};
 
 /// The complete in-memory index over one document: keyword inverted lists
 /// plus the frequency tables the ranking model consumes.
-pub struct Index {
+///
+/// Lists are individually `Arc`-shared so [`ListHandle`]s hand out the
+/// resident allocation without copying.
+pub struct InMemoryIndex {
     doc: Arc<Document>,
     vocab: KeywordTable,
-    lists: Vec<PostingList>,
+    lists: Vec<Arc<PostingList>>,
     stats: TypeStats,
     cooccur: CoOccurrence,
 }
 
-impl Index {
+/// Historical name of [`InMemoryIndex`] (pre-`IndexReader`); kept so the
+/// ubiquitous `Index::build` call sites stay valid.
+pub type Index = InMemoryIndex;
+
+impl InMemoryIndex {
     /// Builds the index over `doc`.
     pub fn build(doc: Arc<Document>) -> Self {
         let num_types = doc.node_types().len();
@@ -97,14 +105,7 @@ impl Index {
             }
         }
 
-        let cooccur = CoOccurrence::new();
-        Index {
-            doc,
-            vocab,
-            lists,
-            stats,
-            cooccur,
-        }
+        InMemoryIndex::from_parts(doc, vocab, lists, stats)
     }
 
     pub fn document(&self) -> &Arc<Document> {
@@ -128,6 +129,7 @@ impl Index {
         static EMPTY: std::sync::OnceLock<PostingList> = std::sync::OnceLock::new();
         self.lists
             .get(k.0 as usize)
+            .map(|l| l.as_ref())
             .unwrap_or_else(|| EMPTY.get_or_init(PostingList::new))
     }
 
@@ -146,25 +148,7 @@ impl Index {
     /// order. (Public for the co-occurrence provider and for tests; the
     /// count of this list equals `f^T_k`.)
     pub fn typed_ancestors(&self, k: KeywordId, t: NodeTypeId) -> Vec<Dewey> {
-        let types = self.doc.node_types();
-        let t_path = types.path(t);
-        let t_len = t_path.len();
-        let mut out: Vec<Dewey> = Vec::new();
-        for p in self.list_by_id(k).iter() {
-            if p.dewey.len() < t_len {
-                continue;
-            }
-            let p_path = types.path(p.node_type);
-            if p_path[..t_len] != *t_path {
-                continue;
-            }
-            let anc = Dewey::new(p.dewey.components()[..t_len].to_vec())
-                .expect("non-empty prefix");
-            if out.last() != Some(&anc) {
-                out.push(anc);
-            }
-        }
-        out
+        typed_ancestors_in(&self.doc, self.list_by_id(k).as_slice(), t)
     }
 
     /// Total number of postings across all lists.
@@ -178,17 +162,47 @@ impl Index {
         lists: Vec<PostingList>,
         stats: TypeStats,
     ) -> Self {
-        Index {
+        InMemoryIndex {
             doc,
             vocab,
-            lists,
+            lists: lists.into_iter().map(Arc::new).collect(),
             stats,
             cooccur: CoOccurrence::new(),
         }
     }
 
-    pub(crate) fn lists(&self) -> &[PostingList] {
+    pub(crate) fn lists(&self) -> &[Arc<PostingList>] {
         &self.lists
+    }
+}
+
+impl IndexReader for InMemoryIndex {
+    fn document(&self) -> &Arc<Document> {
+        &self.doc
+    }
+
+    fn vocabulary(&self) -> &KeywordTable {
+        &self.vocab
+    }
+
+    fn stats(&self) -> &TypeStats {
+        &self.stats
+    }
+
+    fn list_handle_by_id(&self, k: KeywordId) -> kvstore::Result<ListHandle> {
+        Ok(self
+            .lists
+            .get(k.0 as usize)
+            .map(|l| ListHandle::new(Arc::clone(l)))
+            .unwrap_or_default())
+    }
+
+    fn co_occur(&self, t: NodeTypeId, ki: KeywordId, kj: KeywordId) -> u64 {
+        InMemoryIndex::co_occur(self, t, ki, kj)
+    }
+
+    fn contains_keyword(&self, keyword: &str) -> bool {
+        InMemoryIndex::contains_keyword(self, keyword)
     }
 }
 
@@ -297,8 +311,8 @@ mod tests {
         // xml & john co-occur under author 0.1 only.
         assert_eq!(idx.co_occur(author, xml, john), 1);
         assert_eq!(idx.co_occur(author, john, xml), 1); // symmetric
-        // xml & database co-occur under author 0.0 only (author 0.1 has no
-        // "database" token).
+                                                        // xml & database co-occur under author 0.0 only (author 0.1 has no
+                                                        // "database" token).
         assert_eq!(idx.co_occur(author, xml, database), 1);
         // john & database never share an author subtree... author 0.1 has
         // "data base" as separate tokens, not "database".
@@ -330,7 +344,9 @@ mod attribute_tests {
         )
         .unwrap();
         let idx = Index::build(Arc::new(doc));
-        for kw in ["isbn", "12345", "genre", "fantasy", "dragons", "tale", "book"] {
+        for kw in [
+            "isbn", "12345", "genre", "fantasy", "dragons", "tale", "book",
+        ] {
             assert!(idx.contains_keyword(kw), "{kw} missing");
         }
         // the attribute posting points at the owning element

@@ -1,0 +1,441 @@
+//! The kvstore-backed [`IndexReader`] backend.
+//!
+//! [`KvBackedIndex`] opens a persisted index (see [`crate::persist`])
+//! and serves queries without rehydrating the posting lists: vocabulary
+//! and statistics load eagerly (they are small and every query touches
+//! them), lists materialize lazily on first touch and live in an LRU
+//! cache with a configurable byte budget. Cold start is therefore
+//! `O(vocabulary + stats)` instead of `O(index size)`, and steady-state
+//! memory is bounded by the budget plus whatever outstanding
+//! [`ListHandle`]s still pin.
+//!
+//! Cache policy: cost of an entry is its *stored* (encoded) size — the
+//! quantity the budget is protecting is decode work and resident bytes,
+//! both proportional to it. Eviction never invalidates handles already
+//! given out (entries are `Arc`-shared); a list larger than the whole
+//! budget is returned uncached and simply re-decoded on its next touch —
+//! degraded speed, never degraded answers.
+
+use crate::cooccur::CoOccurrence;
+use crate::persist;
+use crate::postings::PostingList;
+use crate::reader::{IndexReader, ListHandle};
+use crate::stats::{KeywordId, KeywordTable, TypeStats};
+use kvstore::{KvError, KvStore, Result};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use xmldom::{Document, NodeTypeId};
+
+/// Default list-cache budget: 64 MiB of encoded list bytes.
+pub const DEFAULT_CACHE_BUDGET: usize = 64 << 20;
+
+/// A snapshot of the list-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to touch the store.
+    pub misses: u64,
+    /// Lists decoded from stored pages (misses that found the key).
+    pub lists_decoded: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Encoded bytes currently held by the cache.
+    pub cached_bytes: usize,
+}
+
+struct CacheEntry {
+    list: Arc<PostingList>,
+    cost: usize,
+    tick: u64,
+}
+
+/// LRU over decoded posting lists, keyed by keyword id, bounded by the
+/// summed encoded size of the entries.
+struct ListCache {
+    budget: usize,
+    used: usize,
+    tick: u64,
+    map: HashMap<u32, CacheEntry>,
+    /// tick -> keyword id; the smallest tick is the eviction victim.
+    lru: BTreeMap<u64, u32>,
+    hits: u64,
+    misses: u64,
+    lists_decoded: u64,
+    evictions: u64,
+}
+
+impl ListCache {
+    fn new(budget: usize) -> Self {
+        ListCache {
+            budget,
+            used: 0,
+            tick: 0,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            lists_decoded: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `id`, promoting it to most-recently-used on a hit.
+    fn get(&mut self, id: u32) -> Option<Arc<PostingList>> {
+        match self.map.get_mut(&id) {
+            Some(entry) => {
+                self.hits += 1;
+                self.lru.remove(&entry.tick);
+                self.tick += 1;
+                entry.tick = self.tick;
+                self.lru.insert(entry.tick, id);
+                Some(Arc::clone(&entry.list))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly decoded list. Oversize lists (cost > budget)
+    /// are not cached at all; otherwise LRU entries are evicted until
+    /// the budget holds.
+    fn insert(&mut self, id: u32, list: Arc<PostingList>, cost: usize) {
+        self.lists_decoded += 1;
+        if cost > self.budget {
+            return;
+        }
+        if let Some(old) = self.map.remove(&id) {
+            self.lru.remove(&old.tick);
+            self.used -= old.cost;
+        }
+        while self.used + cost > self.budget {
+            let (&tick, &victim) = self.lru.iter().next().expect("used > 0 implies entries");
+            self.lru.remove(&tick);
+            let evicted = self.map.remove(&victim).expect("lru and map agree");
+            self.used -= evicted.cost;
+            self.evictions += 1;
+        }
+        self.tick += 1;
+        self.lru.insert(self.tick, id);
+        self.map.insert(
+            id,
+            CacheEntry {
+                list,
+                cost,
+                tick: self.tick,
+            },
+        );
+        self.used += cost;
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            lists_decoded: self.lists_decoded,
+            evictions: self.evictions,
+            cached_bytes: self.used,
+        }
+    }
+}
+
+/// An [`IndexReader`] over a persisted index: posting lists decode
+/// lazily from kvstore pages on first touch.
+pub struct KvBackedIndex {
+    doc: Arc<Document>,
+    vocab: KeywordTable,
+    stats: TypeStats,
+    cooccur: CoOccurrence,
+    version: u64,
+    store: Mutex<Box<dyn KvStore>>,
+    cache: Mutex<ListCache>,
+}
+
+impl KvBackedIndex {
+    /// Opens a version-2 store (which embeds its source document) with
+    /// the default cache budget.
+    pub fn open(store: Box<dyn KvStore>) -> Result<Self> {
+        let version = persist::read_version(store.as_ref())?;
+        let blob = store.get(b"D/doc")?.ok_or_else(|| {
+            KvError::Corrupt(format!(
+                "store (version {version}) has no embedded document; \
+                 use open_with_document or re-persist at version 2"
+            ))
+        })?;
+        let doc = Arc::new(persist::decode_document(&blob)?);
+        Self::open_with_document(doc, store)
+    }
+
+    /// Opens a store of either format version against an externally
+    /// supplied document (the version-1 path, where the document was
+    /// never embedded).
+    pub fn open_with_document(doc: Arc<Document>, store: Box<dyn KvStore>) -> Result<Self> {
+        let version = persist::read_version(store.as_ref())?;
+        let vocab = persist::load_vocab(store.as_ref())?;
+        let stats = persist::load_stats(store.as_ref())?;
+        if stats.n_nodes_vec().len() != doc.node_types().len() {
+            return Err(KvError::Corrupt(
+                "document does not match persisted index (type count)".into(),
+            ));
+        }
+        Ok(KvBackedIndex {
+            doc,
+            vocab,
+            stats,
+            cooccur: CoOccurrence::new(),
+            version,
+            store: Mutex::new(store),
+            cache: Mutex::new(ListCache::new(DEFAULT_CACHE_BUDGET)),
+        })
+    }
+
+    /// Sets the list-cache byte budget (encoded bytes). A budget of 0
+    /// disables caching entirely — every touch re-decodes.
+    pub fn with_cache_budget(self, bytes: usize) -> Self {
+        let mut cache = self.cache.lock();
+        *cache = ListCache::new(bytes);
+        drop(cache);
+        self
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
+    }
+
+    /// The persisted format version this reader is serving.
+    pub fn format_version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl IndexReader for KvBackedIndex {
+    fn document(&self) -> &Arc<Document> {
+        &self.doc
+    }
+
+    fn vocabulary(&self) -> &KeywordTable {
+        &self.vocab
+    }
+
+    fn stats(&self) -> &TypeStats {
+        &self.stats
+    }
+
+    fn list_handle_by_id(&self, k: KeywordId) -> Result<ListHandle> {
+        if k.0 as usize >= self.vocab.len() {
+            return Ok(ListHandle::empty());
+        }
+        // Cache probe and store read are separate lock scopes: decoding
+        // happens outside the cache lock, and the store lock is never
+        // held while the cache lock is.
+        if let Some(list) = self.cache.lock().get(k.0) {
+            return Ok(ListHandle::new(list));
+        }
+        let value = {
+            let store = self.store.lock();
+            store.get(&persist::list_key(k.0))?
+        };
+        let Some(value) = value else {
+            return Err(KvError::Corrupt(format!(
+                "posting list {} missing from store",
+                k.0
+            )));
+        };
+        let list = Arc::new(persist::decode_list_value(self.version, &value)?);
+        self.cache
+            .lock()
+            .insert(k.0, Arc::clone(&list), value.len());
+        Ok(ListHandle::new(list))
+    }
+
+    fn co_occur(&self, t: NodeTypeId, ki: KeywordId, kj: KeywordId) -> u64 {
+        self.cooccur.co_occur(self, t, ki, kj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::Index;
+    use crate::persist::persist;
+    use kvstore::MemKv;
+    use xmldom::fixtures::figure1;
+
+    fn persisted() -> (Arc<Document>, Index, MemKv) {
+        let doc = Arc::new(figure1());
+        let built = Index::build(Arc::clone(&doc));
+        let mut store = MemKv::new();
+        persist(&built, &mut store).unwrap();
+        (doc, built, store)
+    }
+
+    fn handle_of(idx: &KvBackedIndex, kw: &str) -> ListHandle {
+        idx.list_handle(kw).unwrap()
+    }
+
+    #[test]
+    fn opens_from_embedded_document_and_serves_lists() {
+        let (doc, built, store) = persisted();
+        let idx = KvBackedIndex::open(Box::new(store)).unwrap();
+        assert_eq!(idx.document().len(), doc.len());
+        assert_eq!(idx.vocabulary().len(), built.vocabulary().len());
+        for kw in ["xml", "john", "database", "hobby"] {
+            let h = handle_of(&idx, kw);
+            assert_eq!(
+                h.postings(),
+                built.list(kw).unwrap().as_slice(),
+                "list mismatch for {kw}"
+            );
+        }
+        // unknown keyword -> canonical empty handle, no store touch error
+        assert!(handle_of(&idx, "publication").is_empty());
+    }
+
+    #[test]
+    fn lists_load_lazily_and_hit_the_cache_on_retouch() {
+        let (_, _, store) = persisted();
+        let idx = KvBackedIndex::open(Box::new(store)).unwrap();
+        assert_eq!(idx.cache_stats().lists_decoded, 0, "open decodes nothing");
+        let _ = handle_of(&idx, "xml");
+        let s = idx.cache_stats();
+        assert_eq!((s.misses, s.lists_decoded, s.hits), (1, 1, 0));
+        let _ = handle_of(&idx, "xml");
+        let s = idx.cache_stats();
+        assert_eq!((s.misses, s.lists_decoded, s.hits), (1, 1, 1));
+    }
+
+    #[test]
+    fn byte_budget_is_respected_under_eviction() {
+        let (_, built, store) = persisted();
+        // Budget sized to roughly two typical lists: inserting many
+        // distinct lists must evict, and used bytes never exceed it.
+        let budget = 2 * persist::encode_list_value(2, built.list("xml").unwrap()).len() + 8;
+        let idx = KvBackedIndex::open(Box::new(store))
+            .unwrap()
+            .with_cache_budget(budget);
+        for (_, text) in built.vocabulary().iter() {
+            let _ = handle_of(&idx, text);
+            assert!(
+                idx.cache_stats().cached_bytes <= budget,
+                "cache exceeded budget"
+            );
+        }
+        let s = idx.cache_stats();
+        assert!(s.evictions > 0, "expected evictions under a small budget");
+        // evicted lists still answer correctly on reload
+        let h = handle_of(&idx, "xml");
+        assert_eq!(h.postings(), built.list("xml").unwrap().as_slice());
+    }
+
+    #[test]
+    fn retouch_promotes_the_entry() {
+        let (_, built, store) = persisted();
+        let vocab: Vec<String> = built
+            .vocabulary()
+            .iter()
+            .map(|(_, t)| t.to_string())
+            .collect();
+        // budget that fits ~3 small lists
+        let cost = |kw: &str| persist::encode_list_value(2, built.list(kw).unwrap()).len();
+        let budget = cost(&vocab[0]) + cost(&vocab[1]) + cost(&vocab[2]) + 2;
+        let idx = KvBackedIndex::open(Box::new(store))
+            .unwrap()
+            .with_cache_budget(budget);
+
+        let _ = handle_of(&idx, &vocab[0]);
+        let _ = handle_of(&idx, &vocab[1]);
+        // re-touch vocab[0]: it becomes MRU, so filling the cache evicts
+        // vocab[1] first, and vocab[0] stays resident.
+        let _ = handle_of(&idx, &vocab[0]);
+        let hits_before = idx.cache_stats().hits;
+        for w in vocab.iter().skip(2) {
+            let _ = handle_of(&idx, w);
+            if idx.cache_stats().evictions > 0 {
+                break;
+            }
+        }
+        assert!(idx.cache_stats().evictions > 0);
+        let _ = handle_of(&idx, &vocab[0]);
+        assert!(
+            idx.cache_stats().hits > hits_before,
+            "re-touched entry should have survived eviction"
+        );
+    }
+
+    #[test]
+    fn cache_smaller_than_one_list_still_answers_correctly() {
+        let (_, built, store) = persisted();
+        let idx = KvBackedIndex::open(Box::new(store))
+            .unwrap()
+            .with_cache_budget(0);
+        for round in 0..2 {
+            for (_, text) in built.vocabulary().iter() {
+                let h = idx.list_handle(text).unwrap();
+                assert_eq!(
+                    h.postings(),
+                    built.list(text).unwrap().as_slice(),
+                    "round {round}: wrong answer for {text}"
+                );
+            }
+        }
+        let s = idx.cache_stats();
+        assert_eq!(s.cached_bytes, 0, "nothing fits a zero budget");
+        assert_eq!(s.hits, 0);
+        assert_eq!(
+            s.lists_decoded,
+            2 * built.vocabulary().len() as u64,
+            "every touch re-decodes"
+        );
+    }
+
+    #[test]
+    fn corrupt_list_surfaces_as_error_on_first_touch() {
+        let (_, _, mut store) = persisted();
+        let key = persist::list_key(0);
+        let mut value = store.get(&key).unwrap().unwrap();
+        *value.last_mut().unwrap() ^= 0xFF;
+        store.put(&key, &value).unwrap();
+        let idx = KvBackedIndex::open(Box::new(store)).unwrap();
+        match idx.list_handle_by_id(KeywordId(0)) {
+            Err(KvError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version1_store_opens_with_external_document() {
+        let doc = Arc::new(figure1());
+        let built = Index::build(Arc::clone(&doc));
+        let v1_store = || {
+            let mut store = MemKv::new();
+            persist::persist_versioned(&built, &mut store, persist::LEGACY_FORMAT_VERSION).unwrap();
+            store
+        };
+        // v1 has no embedded doc:
+        assert!(KvBackedIndex::open(Box::new(v1_store())).is_err());
+        let idx = KvBackedIndex::open_with_document(doc, Box::new(v1_store())).unwrap();
+        assert_eq!(
+            handle_of(&idx, "xml").postings(),
+            built.list("xml").unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn co_occurrence_matches_in_memory_backend() {
+        let (_, built, store) = persisted();
+        let idx = KvBackedIndex::open(Box::new(store)).unwrap();
+        let v = built.vocabulary();
+        let xml = v.get("xml").unwrap();
+        let john = v.get("john").unwrap();
+        for t in built.document().node_types().iter() {
+            assert_eq!(
+                IndexReader::co_occur(&built, t, xml, john),
+                IndexReader::co_occur(&idx, t, xml, john)
+            );
+        }
+    }
+}

@@ -2,7 +2,13 @@
 //!
 //! * [`postings`]: document-ordered posting lists with delta/front-coded
 //!   serialization;
-//! * [`index`]: the one-pass index builder and in-memory [`Index`];
+//! * [`reader`]: the [`IndexReader`] trait and [`ListHandle`] — the
+//!   storage-agnostic read path every query layer consumes;
+//! * [`index`]: the one-pass index builder and resident
+//!   [`InMemoryIndex`] backend;
+//! * [`kvindex`]: the [`KvBackedIndex`] backend — lists materialized
+//!   lazily from a [`kvstore::KvStore`] through an LRU byte-budget
+//!   cache;
 //! * [`stats`]: the frequency tables (`N_T`, `G_T`, `tf(k,T)`, `f^T_k`);
 //! * [`cooccur`]: memoized co-occurrence frequencies `f^T_{ki,kj}`;
 //! * [`cursor`]: scan-instrumented list cursors (used to *prove* the
@@ -11,14 +17,18 @@
 
 pub mod cooccur;
 pub mod cursor;
-pub mod parallel;
 pub mod index;
+pub mod kvindex;
+pub mod parallel;
 pub mod persist;
 pub mod postings;
+pub mod reader;
 pub mod stats;
 
 pub use cursor::{ListCursor, ScanStats};
-pub use index::Index;
+pub use index::{InMemoryIndex, Index};
+pub use kvindex::{CacheStats, KvBackedIndex};
 pub use parallel::build_parallel;
 pub use postings::{Posting, PostingList};
+pub use reader::{IndexReader, ListHandle};
 pub use stats::{KeywordId, KeywordTable, TypeStats};

@@ -60,8 +60,7 @@ pub fn build_parallel(doc: Arc<Document>, threads: usize) -> Index {
                         }
                     }
                     if !counts.is_empty() {
-                        let mut v: Vec<(String, u64)> =
-                            counts.drain().collect();
+                        let mut v: Vec<(String, u64)> = counts.drain().collect();
                         // deterministic order for identical interning
                         v.sort();
                         out.push((raw, v));

@@ -1,14 +1,22 @@
 //! Index persistence over any [`KvStore`] (the paper stores all indices in
 //! Berkeley DB, §VII; we store them in the workspace B+-tree).
 //!
-//! Key space:
+//! Key space (format version 2):
 //!
 //! * `M/version`                — format version;
+//! * `D/doc`                    — the source document (builder replay
+//!   stream), so [`crate::KvBackedIndex`] can open with no re-parse;
 //! * `V/<keyword>`              — keyword id (u32 LE);
-//! * `L/<id:u32 BE>`            — encoded posting list;
+//! * `L/<id:u32 BE>`            — framed posting list:
+//!   `varint(len(payload)) ‖ crc32(payload):u32 LE ‖ payload`, where
+//!   `payload` is the front-coded [`PostingList`] encoding. The header
+//!   lets a lazy loader validate each list at materialization time;
 //! * `S/N`, `S/G`               — `N_T` / `G_T` vectors (varints);
 //! * `S/T/<type BE><kw BE>`     — `tf(k,T)` (varint);
 //! * `S/D/<type BE><kw BE>`     — `f^T_k` (varint).
+//!
+//! Version 1 (no list framing, no `D/doc`) remains readable; corruption
+//! of any entry yields [`KvError::Corrupt`], never a panic.
 //!
 //! Node-type and keyword ids are deterministic for a given document (both
 //! interners assign ids in parse order), so an index loaded against the
@@ -17,18 +25,39 @@
 use crate::index::Index;
 use crate::postings::{read_varint, write_varint, PostingList};
 use crate::stats::{KeywordId, KeywordTable, TypeStats};
-use kvstore::{KvError, KvStore, Result};
+use kvstore::{crc32, KvError, KvStore, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
-use xmldom::{Document, NodeTypeId};
+use xmldom::{Document, DocumentBuilder, NodeTypeId};
 
-const FORMAT_VERSION: u64 = 1;
+/// Current on-disk format: framed, checksummed posting lists plus the
+/// embedded source document.
+pub const FORMAT_VERSION: u64 = 2;
 
-/// Writes the index into `store`.
+/// The original format: raw list encodings, document supplied by the
+/// caller. Still readable.
+pub const LEGACY_FORMAT_VERSION: u64 = 1;
+
+/// Writes the index into `store` at the current format version.
 pub fn persist(index: &Index, store: &mut dyn KvStore) -> Result<()> {
+    persist_versioned(index, store, FORMAT_VERSION)
+}
+
+/// Writes the index at an explicit format version (the legacy path keeps
+/// version-1 fixtures producible for compatibility tests).
+pub fn persist_versioned(index: &Index, store: &mut dyn KvStore, version: u64) -> Result<()> {
+    if version != FORMAT_VERSION && version != LEGACY_FORMAT_VERSION {
+        return Err(KvError::Corrupt(format!(
+            "cannot write unknown index version {version}"
+        )));
+    }
     let mut buf = Vec::new();
-    write_varint(&mut buf, FORMAT_VERSION);
+    write_varint(&mut buf, version);
     store.put(b"M/version", &buf)?;
+
+    if version >= 2 {
+        store.put(b"D/doc", &encode_document(index.document()))?;
+    }
 
     for (k, text) in index.vocabulary().iter() {
         let mut key = Vec::with_capacity(2 + text.len());
@@ -38,10 +67,7 @@ pub fn persist(index: &Index, store: &mut dyn KvStore) -> Result<()> {
     }
 
     for (i, list) in index.lists().iter().enumerate() {
-        let mut key = Vec::with_capacity(6);
-        key.extend_from_slice(b"L/");
-        key.extend_from_slice(&(i as u32).to_be_bytes());
-        store.put(&key, &list.encode())?;
+        store.put(&list_key(i as u32), &encode_list_value(version, list))?;
     }
 
     let mut nbuf = Vec::new();
@@ -66,19 +92,51 @@ pub fn persist(index: &Index, store: &mut dyn KvStore) -> Result<()> {
 }
 
 /// Loads an index from `store` against the (identical) source document.
+/// Accepts both format versions.
 pub fn load(doc: Arc<Document>, store: &dyn KvStore) -> Result<Index> {
+    let version = read_version(store)?;
+    let vocab = load_vocab(store)?;
+
+    let mut lists = vec![PostingList::new(); vocab.len()];
+    for (key, value) in store.scan_prefix(b"L/")? {
+        let id = u32::from_be_bytes(
+            key[2..]
+                .try_into()
+                .map_err(|_| KvError::Corrupt("bad list key".into()))?,
+        ) as usize;
+        if id >= lists.len() {
+            return Err(KvError::Corrupt("list for unknown keyword".into()));
+        }
+        lists[id] = decode_list_value(version, &value)?;
+    }
+
+    let stats = load_stats(store)?;
+    if stats.n_nodes_vec().len() != doc.node_types().len() {
+        return Err(KvError::Corrupt(
+            "document does not match persisted index (type count)".into(),
+        ));
+    }
+    Ok(Index::from_parts(doc, vocab, lists, stats))
+}
+
+/// Reads and validates the format version.
+pub(crate) fn read_version(store: &dyn KvStore) -> Result<u64> {
     let vbuf = store
         .get(b"M/version")?
         .ok_or_else(|| KvError::Corrupt("missing index version".into()))?;
     let mut pos = 0;
     let version = read_varint(&vbuf, &mut pos)
         .ok_or_else(|| KvError::Corrupt("bad version encoding".into()))?;
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != LEGACY_FORMAT_VERSION {
         return Err(KvError::Corrupt(format!(
             "unsupported index version {version}"
         )));
     }
+    Ok(version)
+}
 
+/// Rebuilds the keyword table from the `V/` entries.
+pub(crate) fn load_vocab(store: &dyn KvStore) -> Result<KeywordTable> {
     let mut vocab = KeywordTable::new();
     let mut texts: Vec<(u32, String)> = Vec::new();
     for (key, value) in store.scan_prefix(b"V/")? {
@@ -99,21 +157,11 @@ pub fn load(doc: Arc<Document>, store: &dyn KvStore) -> Result<Index> {
         }
         vocab.intern(text);
     }
+    Ok(vocab)
+}
 
-    let mut lists = vec![PostingList::new(); vocab.len()];
-    for (key, value) in store.scan_prefix(b"L/")? {
-        let id = u32::from_be_bytes(
-            key[2..]
-                .try_into()
-                .map_err(|_| KvError::Corrupt("bad list key".into()))?,
-        ) as usize;
-        if id >= lists.len() {
-            return Err(KvError::Corrupt("list for unknown keyword".into()));
-        }
-        lists[id] = PostingList::decode(&value)
-            .ok_or_else(|| KvError::Corrupt(format!("undecodable list {id}")))?;
-    }
-
+/// Rebuilds the frequency statistics from the `S/` entries.
+pub(crate) fn load_stats(store: &dyn KvStore) -> Result<TypeStats> {
     let n_nodes = decode_varint_vec(
         &store
             .get(b"S/N")?
@@ -124,11 +172,6 @@ pub fn load(doc: Arc<Document>, store: &dyn KvStore) -> Result<Index> {
             .get(b"S/G")?
             .ok_or_else(|| KvError::Corrupt("missing S/G".into()))?,
     )?;
-    if n_nodes.len() != doc.node_types().len() {
-        return Err(KvError::Corrupt(
-            "document does not match persisted index (type count)".into(),
-        ));
-    }
 
     let mut tf = HashMap::new();
     for (key, value) in store.scan_prefix(b"S/T/")? {
@@ -140,9 +183,146 @@ pub fn load(doc: Arc<Document>, store: &dyn KvStore) -> Result<Index> {
         let (t, k) = parse_stat_key(&key)?;
         df.insert((t, k), decode_varint_scalar(&value)?);
     }
+    Ok(TypeStats::set_from_parts(n_nodes, distinct, tf, df))
+}
 
-    let stats = TypeStats::set_from_parts(n_nodes, distinct, tf, df);
-    Ok(Index::from_parts(doc, vocab, lists, stats))
+/// The `L/` key of a keyword id.
+pub(crate) fn list_key(id: u32) -> Vec<u8> {
+    let mut key = Vec::with_capacity(6);
+    key.extend_from_slice(b"L/");
+    key.extend_from_slice(&id.to_be_bytes());
+    key
+}
+
+/// Encodes one posting list as a stored value for `version`.
+pub(crate) fn encode_list_value(version: u64, list: &PostingList) -> Vec<u8> {
+    let payload = list.encode();
+    if version < 2 {
+        return payload;
+    }
+    let mut out = Vec::with_capacity(payload.len() + 9);
+    write_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes one stored list value, validating the version-2 length header
+/// and checksum.
+pub(crate) fn decode_list_value(version: u64, value: &[u8]) -> Result<PostingList> {
+    let payload = if version < 2 {
+        value
+    } else {
+        let mut pos = 0;
+        let len = read_varint(value, &mut pos)
+            .ok_or_else(|| KvError::Corrupt("bad list length header".into()))?
+            as usize;
+        let rest = &value[pos..];
+        if rest.len() != 4 + len {
+            return Err(KvError::Corrupt(format!(
+                "list frame length mismatch: header {len}, got {}",
+                rest.len().saturating_sub(4)
+            )));
+        }
+        let stored = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+        let payload = &rest[4..];
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(KvError::Corrupt(format!(
+                "list checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        payload
+    };
+    PostingList::decode(payload).ok_or_else(|| KvError::Corrupt("undecodable posting list".into()))
+}
+
+/// Serializes the document as a builder replay stream: per node in
+/// pre-order, its depth, tag, attributes and text. Replaying through
+/// [`DocumentBuilder`] reproduces byte-identical Dewey labels, symbols
+/// and node types (both interners assign ids in first-appearance order,
+/// which pre-order preserves).
+pub(crate) fn encode_document(doc: &Document) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, doc.len() as u64);
+    for (id, node) in doc.nodes() {
+        write_varint(&mut out, node.dewey.len() as u64);
+        write_bytes(&mut out, doc.tag_name(id).as_bytes());
+        write_varint(&mut out, node.attributes.len() as u64);
+        for (name, value) in &node.attributes {
+            write_bytes(&mut out, name.as_bytes());
+            write_bytes(&mut out, value.as_bytes());
+        }
+        write_bytes(&mut out, node.text.as_bytes());
+    }
+    out
+}
+
+/// Rebuilds the document from a replay stream.
+pub(crate) fn decode_document(bytes: &[u8]) -> Result<Document> {
+    let corrupt = |what: &str| KvError::Corrupt(format!("document blob: {what}"));
+    let mut pos = 0;
+    let count = read_varint(bytes, &mut pos).ok_or_else(|| corrupt("missing node count"))?;
+    if count == 0 {
+        return Err(corrupt("empty document"));
+    }
+    let mut builder = DocumentBuilder::new();
+    let mut open_depth = 0usize;
+    let mut seen_root = false;
+    for _ in 0..count {
+        let depth =
+            read_varint(bytes, &mut pos).ok_or_else(|| corrupt("missing node depth"))? as usize;
+        if depth == 0 || depth > open_depth + 1 {
+            return Err(corrupt("invalid node depth"));
+        }
+        if depth == 1 {
+            if seen_root {
+                return Err(corrupt("multiple roots"));
+            }
+            seen_root = true;
+        }
+        let tag = read_string(bytes, &mut pos).ok_or_else(|| corrupt("bad tag"))?;
+        while open_depth >= depth {
+            builder.close_element();
+            open_depth -= 1;
+        }
+        builder.open_element(&tag);
+        open_depth += 1;
+        let attrs = read_varint(bytes, &mut pos).ok_or_else(|| corrupt("missing attr count"))?;
+        for _ in 0..attrs {
+            let name = read_string(bytes, &mut pos).ok_or_else(|| corrupt("bad attr name"))?;
+            let value = read_string(bytes, &mut pos).ok_or_else(|| corrupt("bad attr value"))?;
+            builder.attribute(&name, &value);
+        }
+        let text = read_string(bytes, &mut pos).ok_or_else(|| corrupt("bad text"))?;
+        if !text.is_empty() {
+            builder.text(&text);
+        }
+    }
+    if pos != bytes.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    while open_depth > 0 {
+        builder.close_element();
+        open_depth -= 1;
+    }
+    Ok(builder.finish())
+}
+
+fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn read_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    let len = read_varint(bytes, pos)? as usize;
+    let end = pos.checked_add(len)?;
+    if end > bytes.len() {
+        return None;
+    }
+    let s = String::from_utf8(bytes[*pos..end].to_vec()).ok()?;
+    *pos = end;
+    Some(s)
 }
 
 fn stat_key(prefix: &[u8], t: NodeTypeId, k: KeywordId) -> Vec<u8> {
@@ -170,8 +350,7 @@ fn varint_vec(v: u64) -> Vec<u8> {
 
 fn decode_varint_scalar(bytes: &[u8]) -> Result<u64> {
     let mut pos = 0;
-    let v = read_varint(bytes, &mut pos)
-        .ok_or_else(|| KvError::Corrupt("bad varint".into()))?;
+    let v = read_varint(bytes, &mut pos).ok_or_else(|| KvError::Corrupt("bad varint".into()))?;
     if pos != bytes.len() {
         return Err(KvError::Corrupt("trailing bytes in varint".into()));
     }
@@ -220,6 +399,67 @@ mod tests {
                 assert_eq!(built.stats().df(t, k), loaded.stats().df(t, k));
             }
         }
+    }
+
+    #[test]
+    fn version1_stores_remain_readable() {
+        let doc = Arc::new(figure1());
+        let built = Index::build(Arc::clone(&doc));
+        let mut store = MemKv::new();
+        persist_versioned(&built, &mut store, LEGACY_FORMAT_VERSION).unwrap();
+        // no embedded document in v1
+        assert!(store.get(b"D/doc").unwrap().is_none());
+        let loaded = load(Arc::clone(&doc), &store).unwrap();
+        assert_eq!(loaded.total_postings(), built.total_postings());
+        for (k, _) in built.vocabulary().iter() {
+            assert_eq!(built.list_by_id(k), loaded.list_by_id(k));
+        }
+    }
+
+    #[test]
+    fn corrupted_list_payload_is_an_error_not_a_panic() {
+        let doc = Arc::new(figure1());
+        let built = Index::build(Arc::clone(&doc));
+        let mut store = MemKv::new();
+        persist(&built, &mut store).unwrap();
+
+        // Flip one payload byte behind the checksum.
+        let key = list_key(0);
+        let mut value = store.get(&key).unwrap().unwrap();
+        *value.last_mut().unwrap() ^= 0xFF;
+        store.put(&key, &value).unwrap();
+        match load(Arc::clone(&doc), &store) {
+            Err(KvError::Corrupt(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| "an index")),
+        }
+
+        // Truncate a frame: length header no longer matches.
+        persist(&built, &mut store).unwrap();
+        let mut value = store.get(&key).unwrap().unwrap();
+        value.pop();
+        store.put(&key, &value).unwrap();
+        match load(doc, &store) {
+            Err(KvError::Corrupt(msg)) => assert!(msg.contains("length"), "{msg}"),
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| "an index")),
+        }
+    }
+
+    #[test]
+    fn document_blob_roundtrips_exactly() {
+        let doc = Arc::new(figure1());
+        let built = Index::build(Arc::clone(&doc));
+        let mut store = MemKv::new();
+        persist(&built, &mut store).unwrap();
+        let blob = store.get(b"D/doc").unwrap().expect("v2 embeds the doc");
+        let replayed = decode_document(&blob).unwrap();
+        assert_eq!(replayed.len(), doc.len());
+        for ((_, a), (_, b)) in doc.nodes().zip(replayed.nodes()) {
+            assert_eq!(a.dewey, b.dewey);
+            assert_eq!(a.node_type, b.node_type);
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.attributes, b.attributes);
+        }
+        assert_eq!(doc.to_xml(), replayed.to_xml());
     }
 
     #[test]

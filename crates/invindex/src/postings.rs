@@ -85,14 +85,12 @@ impl PostingList {
 
     /// Index of the first posting with `dewey >= target` (lower bound).
     pub fn lower_bound(&self, target: &Dewey) -> usize {
-        self.postings
-            .partition_point(|p| p.dewey < *target)
+        self.postings.partition_point(|p| p.dewey < *target)
     }
 
     /// Index of the first posting with `dewey > target` (upper bound).
     pub fn upper_bound(&self, target: &Dewey) -> usize {
-        self.postings
-            .partition_point(|p| p.dewey <= *target)
+        self.postings.partition_point(|p| p.dewey <= *target)
     }
 
     /// The sub-list of postings lying inside the subtree rooted at

@@ -1,0 +1,227 @@
+//! The pluggable index read path.
+//!
+//! [`IndexReader`] is the storage-agnostic contract the query layers
+//! (SLCA, refinement, ranking) consume: vocabulary lookup, frequency
+//! statistics, co-occurrence counts and posting-list acquisition. Two
+//! backends implement it — [`crate::InMemoryIndex`] (everything resident)
+//! and [`crate::KvBackedIndex`] (lists materialized lazily from a kvstore
+//! through an LRU byte-budget cache).
+//!
+//! [`ListHandle`] is the currency between the backends and the
+//! algorithms: a cheap, clonable, `Arc`-shared view over a decoded
+//! posting list. Handles stay valid after cache eviction (the `Arc`
+//! keeps the decoded list alive), so scans never observe a list
+//! disappearing under them.
+
+use crate::postings::{Posting, PostingList};
+use crate::stats::{KeywordId, KeywordTable, TypeStats};
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+use xmldom::{Dewey, Document, NodeTypeId};
+
+/// A shared, immutable view over (a contiguous range of) a decoded
+/// posting list.
+///
+/// Handles deref to `[Posting]`, so every slice-shaped algorithm works on
+/// them unchanged; [`ListHandle::slice`] produces sub-views that share
+/// the same decoded allocation.
+#[derive(Debug, Clone)]
+pub struct ListHandle {
+    list: Arc<PostingList>,
+    start: usize,
+    end: usize,
+}
+
+impl ListHandle {
+    /// A handle over the whole of `list`.
+    pub fn new(list: Arc<PostingList>) -> Self {
+        let end = list.len();
+        ListHandle {
+            list,
+            start: 0,
+            end,
+        }
+    }
+
+    /// A handle over an owned vector of postings (test/bridge helper).
+    pub fn from_postings(postings: Vec<Posting>) -> Self {
+        ListHandle::new(Arc::new(PostingList::from_sorted(postings)))
+    }
+
+    /// The canonical empty handle (shared allocation).
+    pub fn empty() -> Self {
+        static EMPTY: OnceLock<Arc<PostingList>> = OnceLock::new();
+        ListHandle::new(Arc::clone(
+            EMPTY.get_or_init(|| Arc::new(PostingList::new())),
+        ))
+    }
+
+    /// The postings visible through this handle.
+    pub fn postings(&self) -> &[Posting] {
+        &self.list.as_slice()[self.start..self.end]
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of this handle (range is relative to this view). The
+    /// returned handle shares the decoded allocation.
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(range.start <= range.end && range.end <= self.len());
+        ListHandle {
+            list: Arc::clone(&self.list),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Index of the first visible posting `>= target` (view-relative).
+    pub fn lower_bound(&self, target: &Dewey) -> usize {
+        self.postings().partition_point(|p| p.dewey < *target)
+    }
+
+    /// View-relative range of postings inside `root`'s subtree
+    /// (including `root` itself).
+    pub fn partition_range(&self, root: &Dewey) -> Range<usize> {
+        let ps = self.postings();
+        let start = self.lower_bound(root);
+        let end = start + ps[start..].partition_point(|p| root.is_ancestor_or_self_of(&p.dewey));
+        start..end
+    }
+}
+
+impl Default for ListHandle {
+    fn default() -> Self {
+        ListHandle::empty()
+    }
+}
+
+impl std::ops::Deref for ListHandle {
+    type Target = [Posting];
+
+    fn deref(&self) -> &[Posting] {
+        self.postings()
+    }
+}
+
+impl AsRef<[Posting]> for ListHandle {
+    fn as_ref(&self) -> &[Posting] {
+        self.postings()
+    }
+}
+
+/// Storage-agnostic read access to an inverted index.
+///
+/// List acquisition is fallible (a disk-backed reader can hit I/O errors
+/// or corrupt pages); in-memory backends never fail. Statistics access
+/// is infallible because every backend loads the (small) statistic
+/// tables up front.
+pub trait IndexReader: Send + Sync {
+    /// The indexed document.
+    fn document(&self) -> &Arc<Document>;
+
+    /// The keyword vocabulary.
+    fn vocabulary(&self) -> &KeywordTable;
+
+    /// Per-node-type frequency statistics.
+    fn stats(&self) -> &TypeStats;
+
+    /// Acquires the posting list for a keyword id.
+    fn list_handle_by_id(&self, k: KeywordId) -> kvstore::Result<ListHandle>;
+
+    /// Joint containment count `|{t-typed nodes containing ki and kj}|`
+    /// (Formula 8's numerator). Storage errors degrade to `0` — the
+    /// count only weights ranking, never correctness.
+    fn co_occur(&self, t: NodeTypeId, ki: KeywordId, kj: KeywordId) -> u64;
+
+    /// Resolves a keyword to its id, if indexed.
+    fn keyword_id(&self, keyword: &str) -> Option<KeywordId> {
+        self.vocabulary().get(keyword)
+    }
+
+    /// Acquires the posting list for a keyword; unknown keywords yield
+    /// the empty handle.
+    fn list_handle(&self, keyword: &str) -> kvstore::Result<ListHandle> {
+        match self.keyword_id(keyword) {
+            Some(k) => self.list_handle_by_id(k),
+            None => Ok(ListHandle::empty()),
+        }
+    }
+
+    /// True when the keyword occurs in the document.
+    fn contains_keyword(&self, keyword: &str) -> bool {
+        self.keyword_id(keyword).is_some()
+    }
+}
+
+/// Distinct `t`-typed ancestors-or-self of the postings, in document
+/// order — the denominator sets of the co-occurrence statistics. Shared
+/// by both backends.
+pub fn typed_ancestors_in(doc: &Document, postings: &[Posting], t: NodeTypeId) -> Vec<Dewey> {
+    let types = doc.node_types();
+    let t_path = types.path(t);
+    let t_len = t_path.len();
+    let mut out: Vec<Dewey> = Vec::new();
+    for p in postings {
+        if p.dewey.len() < t_len {
+            continue;
+        }
+        let p_path = types.path(p.node_type);
+        if p_path[..t_len] != *t_path {
+            continue;
+        }
+        let anc = Dewey::new(p.dewey.components()[..t_len].to_vec()).expect("non-empty prefix");
+        if out.last() != Some(&anc) {
+            out.push(anc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldom::NodeTypeId;
+
+    fn ps(labels: &[&str]) -> Vec<Posting> {
+        labels
+            .iter()
+            .map(|s| Posting::new(s.parse().unwrap(), NodeTypeId(0)))
+            .collect()
+    }
+
+    #[test]
+    fn handle_views_share_the_allocation() {
+        let h = ListHandle::from_postings(ps(&["0.0.0", "0.0.1", "0.1.0", "0.1.2", "0.2"]));
+        assert_eq!(h.len(), 5);
+        let sub = h.slice(1..4);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub[0].dewey.to_string(), "0.0.1");
+        // sub-slicing composes and stays view-relative
+        let subsub = sub.slice(1..3);
+        assert_eq!(subsub[0].dewey.to_string(), "0.1.0");
+        assert_eq!(subsub.len(), 2);
+    }
+
+    #[test]
+    fn partition_range_is_view_relative() {
+        let h = ListHandle::from_postings(ps(&["0.0.0", "0.0.1", "0.1.0", "0.1.2", "0.2"]));
+        let root: Dewey = "0.1".parse().unwrap();
+        assert_eq!(h.partition_range(&root), 2..4);
+        let sub = h.slice(2..5);
+        assert_eq!(sub.partition_range(&root), 0..2);
+    }
+
+    #[test]
+    fn empty_handle_is_shared_and_empty() {
+        let a = ListHandle::empty();
+        let b = ListHandle::default();
+        assert!(a.is_empty() && b.is_empty());
+        assert_eq!(a.lower_bound(&"0.1".parse().unwrap()), 0);
+    }
+}

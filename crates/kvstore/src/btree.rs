@@ -66,8 +66,39 @@ enum ValueRef {
     Overflow { head: PageId, len: u32 },
 }
 
+/// Bounds-checked cursor over a page buffer: on-disk lengths are
+/// untrusted, so out-of-range reads become [`KvError::Corrupt`].
+struct PageReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    page: PageId,
+}
+
+impl<'a> PageReader<'a> {
+    fn new(buf: &'a [u8], page: PageId) -> Self {
+        PageReader { buf, pos: 0, page }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let out = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(out)
+            }
+            None => Err(KvError::Corrupt(format!(
+                "truncated node record at page {}",
+                self.page.0
+            ))),
+        }
+    }
+}
+
 enum InsertOutcome {
-    Done { replaced: bool },
+    Done {
+        replaced: bool,
+    },
     Split {
         sep: Vec<u8>,
         right: PageId,
@@ -447,7 +478,15 @@ impl<P: Pager> BTree<P> {
                     }
                     let next = PageId(u64::from_le_bytes(buf[1..9].try_into().unwrap()));
                     let n = u16::from_le_bytes(buf[9..11].try_into().unwrap()) as usize;
+                    if n == 0 || 11 + n > buf.len() {
+                        return Err(KvError::Corrupt(format!("bad overflow chunk length {n}")));
+                    }
                     out.extend_from_slice(&buf[11..11 + n]);
+                    if out.len() > *len as usize {
+                        return Err(KvError::Corrupt(
+                            "overflow chain exceeds recorded length".into(),
+                        ));
+                    }
                     page = next;
                 }
                 if out.len() != *len as usize {
@@ -484,57 +523,38 @@ impl<P: Pager> BTree<P> {
 
     fn read_node(&self, page: PageId) -> Result<TreeNode> {
         let buf = self.pager.read(page)?;
-        let mut pos = 0usize;
-        let ty = buf[pos];
-        pos += 1;
+        // Every length below comes from disk, so it is untrusted: a bad
+        // byte must surface as `Corrupt`, never as a slice panic.
+        let mut r = PageReader::new(&buf, page);
+        let ty = r.take(1)?[0];
         match ty {
             TYPE_BRANCH => {
-                let nkeys = u16::from_le_bytes(buf[pos..pos + 2].try_into().unwrap()) as usize;
-                pos += 2;
-                let child0 = PageId(u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()));
-                pos += 8;
-                let mut keys = Vec::with_capacity(nkeys);
-                let mut children = Vec::with_capacity(nkeys + 1);
+                let nkeys = u16::from_le_bytes(r.take(2)?.try_into().unwrap()) as usize;
+                let child0 = PageId(u64::from_le_bytes(r.take(8)?.try_into().unwrap()));
+                let mut keys = Vec::new();
+                let mut children = Vec::new();
                 children.push(child0);
                 for _ in 0..nkeys {
-                    let klen =
-                        u16::from_le_bytes(buf[pos..pos + 2].try_into().unwrap()) as usize;
-                    pos += 2;
-                    keys.push(buf[pos..pos + klen].to_vec());
-                    pos += klen;
-                    children.push(PageId(u64::from_le_bytes(
-                        buf[pos..pos + 8].try_into().unwrap(),
-                    )));
-                    pos += 8;
+                    let klen = u16::from_le_bytes(r.take(2)?.try_into().unwrap()) as usize;
+                    keys.push(r.take(klen)?.to_vec());
+                    children.push(PageId(u64::from_le_bytes(r.take(8)?.try_into().unwrap())));
                 }
                 Ok(TreeNode::Branch { keys, children })
             }
             TYPE_LEAF => {
-                let nkeys = u16::from_le_bytes(buf[pos..pos + 2].try_into().unwrap()) as usize;
-                pos += 2;
-                let next = PageId(u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()));
-                pos += 8;
-                let mut entries = Vec::with_capacity(nkeys);
+                let nkeys = u16::from_le_bytes(r.take(2)?.try_into().unwrap()) as usize;
+                let next = PageId(u64::from_le_bytes(r.take(8)?.try_into().unwrap()));
+                let mut entries = Vec::new();
                 for _ in 0..nkeys {
-                    let klen =
-                        u16::from_le_bytes(buf[pos..pos + 2].try_into().unwrap()) as usize;
-                    pos += 2;
-                    let vinfo = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
-                    pos += 4;
-                    let key = buf[pos..pos + klen].to_vec();
-                    pos += klen;
+                    let klen = u16::from_le_bytes(r.take(2)?.try_into().unwrap()) as usize;
+                    let vinfo = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+                    let key = r.take(klen)?.to_vec();
                     let vref = if vinfo & 0x8000_0000 != 0 {
-                        let head =
-                            PageId(u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()));
-                        pos += 8;
-                        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
-                        pos += 4;
+                        let head = PageId(u64::from_le_bytes(r.take(8)?.try_into().unwrap()));
+                        let len = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
                         ValueRef::Overflow { head, len }
                     } else {
-                        let vlen = vinfo as usize;
-                        let v = buf[pos..pos + vlen].to_vec();
-                        pos += vlen;
-                        ValueRef::Inline(v)
+                        ValueRef::Inline(r.take(vinfo as usize)?.to_vec())
                     };
                     entries.push((key, vref));
                 }
@@ -588,8 +608,7 @@ impl<P: Pager> BTree<P> {
                             pos += v.len();
                         }
                         ValueRef::Overflow { head, len } => {
-                            buf[pos..pos + 4]
-                                .copy_from_slice(&(0x8000_0000u32).to_le_bytes());
+                            buf[pos..pos + 4].copy_from_slice(&(0x8000_0000u32).to_le_bytes());
                             pos += 4;
                             buf[pos..pos + k.len()].copy_from_slice(k);
                             pos += k.len();
@@ -704,7 +723,9 @@ mod tests {
         // deterministic shuffle
         let mut state = 0x9E3779B9u64;
         for i in (1..keys.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             keys.swap(i, j);
         }
@@ -769,10 +790,7 @@ mod tests {
     fn oversized_key_is_rejected() {
         let mut t = mem_tree();
         let huge = vec![b'k'; MAX_KEY_LEN + 1];
-        assert!(matches!(
-            t.put(&huge, b"v"),
-            Err(KvError::KeyTooLarge(_))
-        ));
+        assert!(matches!(t.put(&huge, b"v"), Err(KvError::KeyTooLarge(_))));
     }
 
     #[test]

@@ -156,10 +156,7 @@ impl KvStore for DurableKv {
             Some(e) => Bound::Excluded(e.to_vec()),
             None => Bound::Unbounded,
         };
-        for (k, v) in self
-            .overlay
-            .range((Bound::Included(start.to_vec()), upper))
-        {
+        for (k, v) in self.overlay.range((Bound::Included(start.to_vec()), upper)) {
             merged.insert(k.clone(), v.clone());
         }
         Ok(merged

@@ -19,8 +19,8 @@ pub mod store;
 pub mod wal;
 
 pub use btree::{BTree, MAX_KEY_LEN};
+pub use durable::DurableKv;
 pub use error::{KvError, Result};
 pub use pager::{FilePager, MemPager, PageId, Pager, PAGE_SIZE};
-pub use durable::DurableKv;
 pub use store::{DiskKv, KvStore, MemKv, MemTreeKv};
 pub use wal::{crc32, Wal, WalRecord};

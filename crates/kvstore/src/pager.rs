@@ -163,11 +163,7 @@ impl FilePager {
         }
         // Flush one dirty page if everything is dirty; otherwise drop a
         // clean one.
-        let clean = self
-            .cache
-            .iter()
-            .find(|(_, p)| !p.dirty)
-            .map(|(&id, _)| id);
+        let clean = self.cache.iter().find(|(_, p)| !p.dirty).map(|(&id, _)| id);
         match clean {
             Some(id) => {
                 self.cache.remove(&id);
@@ -365,10 +361,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("torn.db");
         std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).unwrap();
-        assert!(matches!(
-            FilePager::open(&path),
-            Err(KvError::Corrupt(_))
-        ));
+        assert!(matches!(FilePager::open(&path), Err(KvError::Corrupt(_))));
         std::fs::remove_file(&path).unwrap();
     }
 

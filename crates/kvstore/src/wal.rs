@@ -24,8 +24,13 @@ use std::path::{Path, PathBuf};
 /// A logical WAL record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalRecord {
-    Put { key: Vec<u8>, value: Vec<u8> },
-    Delete { key: Vec<u8> },
+    Put {
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    Delete {
+        key: Vec<u8>,
+    },
     /// Marks that all preceding records are reflected in a checkpointed
     /// base state; replay may start after the *last* checkpoint.
     Checkpoint,

@@ -8,8 +8,20 @@ use kvstore::{KvStore, MemTreeKv, PAGE_SIZE};
 fn values_around_the_inline_overflow_boundary() {
     let mut t = MemTreeKv::new().unwrap();
     // MAX_INLINE_ENTRY is 1024 internally: sweep sizes around it
-    for size in [0usize, 1, 900, 1000, 1017, 1018, 1019, 1024, 1025, 2048, PAGE_SIZE, PAGE_SIZE + 1]
-    {
+    for size in [
+        0usize,
+        1,
+        900,
+        1000,
+        1017,
+        1018,
+        1019,
+        1024,
+        1025,
+        2048,
+        PAGE_SIZE,
+        PAGE_SIZE + 1,
+    ] {
         let key = format!("size-{size}");
         let value = vec![0xA5u8; size];
         t.put(key.as_bytes(), &value).unwrap();
@@ -20,10 +32,10 @@ fn values_around_the_inline_overflow_boundary() {
         );
     }
     // overwrite across the boundary in both directions
-    t.put(b"flip", &vec![1u8; 10]).unwrap();
+    t.put(b"flip", &[1u8; 10]).unwrap();
     t.put(b"flip", &vec![2u8; 5000]).unwrap();
     assert_eq!(t.get(b"flip").unwrap().unwrap(), vec![2u8; 5000]);
-    t.put(b"flip", &vec![3u8; 10]).unwrap();
+    t.put(b"flip", &[3u8; 10]).unwrap();
     assert_eq!(t.get(b"flip").unwrap().unwrap(), vec![3u8; 10]);
 }
 
@@ -43,7 +55,8 @@ fn churn_insert_delete_reinsert() {
     let mut t = MemTreeKv::new().unwrap();
     let n = 2000u32;
     for i in 0..n {
-        t.put(format!("k{i:06}").as_bytes(), &i.to_le_bytes()).unwrap();
+        t.put(format!("k{i:06}").as_bytes(), &i.to_le_bytes())
+            .unwrap();
     }
     // delete every other key
     for i in (0..n).step_by(2) {
@@ -79,7 +92,9 @@ fn long_shared_prefix_keys() {
     assert_eq!(t.scan_prefix(prefix.as_bytes()).unwrap().len(), 200);
     // "…01xx" matches exactly 0100..=0199
     assert_eq!(
-        t.scan_prefix(format!("{prefix}01").as_bytes()).unwrap().len(),
+        t.scan_prefix(format!("{prefix}01").as_bytes())
+            .unwrap()
+            .len(),
         100
     );
 }

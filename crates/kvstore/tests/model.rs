@@ -21,7 +21,10 @@ fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (key_strategy(), proptest::collection::vec(any::<u8>(), 0..64))
+        (
+            key_strategy(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
             .prop_map(|(k, v)| Op::Put(k, v)),
         key_strategy().prop_map(Op::Delete),
         key_strategy().prop_map(Op::Get),

@@ -32,10 +32,7 @@ impl VocabIndex {
                 continue;
             }
             let id = v.words.len() as u32;
-            v.by_stem
-                .entry(porter_stem(&w))
-                .or_default()
-                .push(id);
+            v.by_stem.entry(porter_stem(&w)).or_default().push(id);
             v.set.insert(w.clone());
             v.words.push(w);
         }
@@ -345,9 +342,7 @@ mod tests {
         assert_eq!(rule.dissimilarity, 1.0);
         // no spelling rules for words already in the vocabulary
         let rs2 = gen(&["efficient"]);
-        assert!(rs2
-            .iter()
-            .all(|(_, r)| r.source != RuleSource::Spelling));
+        assert!(rs2.iter().all(|(_, r)| r.source != RuleSource::Spelling));
     }
 
     #[test]
@@ -405,7 +400,15 @@ mod tests {
 
     #[test]
     fn every_rhs_keyword_exists_in_vocabulary() {
-        let rs = gen(&["on", "line", "data", "base", "publication", "eficient", "www"]);
+        let rs = gen(&[
+            "on",
+            "line",
+            "data",
+            "base",
+            "publication",
+            "eficient",
+            "www",
+        ]);
         let v = vocab();
         for (_, r) in rs.iter() {
             for w in &r.rhs {

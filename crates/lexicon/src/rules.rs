@@ -130,11 +130,10 @@ impl RuleSet {
             .by_lhs_last
             .get(rule.lhs.last().expect("non-empty lhs"))
             .and_then(|ids| {
-                ids.iter()
-                    .find(|&&id| {
-                        let r = &self.rules[id.0 as usize];
-                        r.lhs == rule.lhs && r.rhs == rule.rhs
-                    })
+                ids.iter().find(|&&id| {
+                    let r = &self.rules[id.0 as usize];
+                    r.lhs == rule.lhs && r.rhs == rule.rhs
+                })
             })
         {
             let r = &mut self.rules[existing.0 as usize];

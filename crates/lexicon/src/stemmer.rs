@@ -198,16 +198,13 @@ fn step3(w: &mut Vec<u8>) {
 
 fn step4(w: &mut Vec<u8>) {
     const SUFFIXES: &[&[u8]] = &[
-        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
-        b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment", b"ent",
+        b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
     ];
     // special case: (m>1) and ends sion/tion -> drop "ion"
     if ends_with(w, b"ion") {
         let stem_len = w.len() - 3;
-        if stem_len > 0
-            && matches!(w[stem_len - 1], b's' | b't')
-            && measure(w, stem_len) > 1
-        {
+        if stem_len > 0 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
             w.truncate(stem_len);
         }
         return;

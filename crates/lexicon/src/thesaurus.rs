@@ -25,7 +25,13 @@ impl Thesaurus {
         let mut t = Thesaurus::new();
         // publication kinds (Example 1 of the paper)
         t.add_group(
-            &["publication", "article", "inproceedings", "proceedings", "paper"],
+            &[
+                "publication",
+                "article",
+                "inproceedings",
+                "proceedings",
+                "paper",
+            ],
             1.0,
         );
         t.add_group(&["author", "writer"], 1.0);
@@ -170,7 +176,10 @@ mod tests {
         let exps = t.expansions("www");
         assert_eq!(exps.len(), 1);
         assert_eq!(exps[0], ["world", "wide", "web"]);
-        let phrase: Vec<String> = ["world", "wide", "web"].iter().map(|s| s.to_string()).collect();
+        let phrase: Vec<String> = ["world", "wide", "web"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(t.acronym_of(&phrase), Some("www"));
         assert!(t.expansions("zzz").is_empty());
         // multiple expansions of the same acronym

@@ -2,8 +2,8 @@
 //! stemmer stability, and rule-generation soundness.
 
 use lexicon::{
-    damerau_levenshtein, generate_rules, levenshtein, porter_stem, within_distance,
-    AcronymTable, RuleGenConfig, Thesaurus, VocabIndex,
+    damerau_levenshtein, generate_rules, levenshtein, porter_stem, within_distance, AcronymTable,
+    RuleGenConfig, Thesaurus, VocabIndex,
 };
 use proptest::prelude::*;
 

@@ -31,8 +31,9 @@ pub fn minimal_candidates(mut candidates: Vec<Dewey>) -> Vec<Dewey> {
 /// Reference SLCA: intersects the ancestor-or-self closures of every
 /// keyword's match list and keeps the minimal elements. Exponential in
 /// nothing, linear in `matches × depth` — used as the oracle in tests.
-pub fn slca_brute_force(lists: &[&[Posting]]) -> Vec<Dewey> {
+pub fn slca_brute_force<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
     use std::collections::HashSet;
+    let lists: Vec<&[Posting]> = lists.iter().map(AsRef::as_ref).collect();
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
     }
@@ -100,13 +101,7 @@ mod tests {
 
     #[test]
     fn minimal_candidates_removes_ancestors_and_dupes() {
-        let got = minimal_candidates(vec![
-            d("0"),
-            d("0.0"),
-            d("0.0.1"),
-            d("0.1"),
-            d("0.0.1"),
-        ]);
+        let got = minimal_candidates(vec![d("0"), d("0.0"), d("0.0.1"), d("0.1"), d("0.0.1")]);
         assert_eq!(got, vec![d("0.0.1"), d("0.1")]);
     }
 
@@ -135,8 +130,10 @@ mod tests {
     #[test]
     fn brute_force_empty_inputs() {
         let l = ps(&["0.0"]);
-        assert!(slca_brute_force(&[]).is_empty());
-        assert!(slca_brute_force(&[&l, &[]]).is_empty());
+        let none: [&[Posting]; 0] = [];
+        let pair: [&[Posting]; 2] = [&l, &[]];
+        assert!(slca_brute_force(&none).is_empty());
+        assert!(slca_brute_force(&pair).is_empty());
     }
 
     #[test]

@@ -14,8 +14,10 @@ use crate::common::{closest_match, minimal_candidates};
 use invindex::Posting;
 use xmldom::Dewey;
 
-/// Indexed-Lookup-Eager SLCA.
-pub fn slca_indexed_lookup_eager(lists: &[&[Posting]]) -> Vec<Dewey> {
+/// Indexed-Lookup-Eager SLCA. Accepts anything list-shaped — `&[Posting]`,
+/// `Vec<Posting>`, or an [`invindex::ListHandle`] from any backend.
+pub fn slca_indexed_lookup_eager<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
+    let lists: Vec<&[Posting]> = lists.iter().map(AsRef::as_ref).collect();
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
     }
@@ -28,7 +30,7 @@ pub fn slca_indexed_lookup_eager(lists: &[&[Posting]]) -> Vec<Dewey> {
 
     let mut candidates = Vec::with_capacity(lists[shortest].len());
     for anchor in lists[shortest] {
-        if let Some(c) = candidate_for_anchor(lists, shortest, &anchor.dewey, |list, a| {
+        if let Some(c) = candidate_for_anchor(&lists, shortest, &anchor.dewey, |list, a| {
             closest_match(list, a)
         }) {
             candidates.push(c);
@@ -39,7 +41,8 @@ pub fn slca_indexed_lookup_eager(lists: &[&[Posting]]) -> Vec<Dewey> {
 
 /// Scan-Eager SLCA: identical candidates, but closest matches come from
 /// forward cursors rather than binary probes.
-pub fn slca_scan_eager(lists: &[&[Posting]]) -> Vec<Dewey> {
+pub fn slca_scan_eager<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
+    let lists: Vec<&[Posting]> = lists.iter().map(AsRef::as_ref).collect();
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
     }
@@ -187,9 +190,11 @@ mod tests {
     #[test]
     fn empty_list_means_no_result() {
         let a = ps(&["0.0"]);
-        assert!(slca_indexed_lookup_eager(&[&a, &[]]).is_empty());
-        assert!(slca_scan_eager(&[&a, &[]]).is_empty());
-        assert!(slca_indexed_lookup_eager(&[]).is_empty());
+        let pair: [&[Posting]; 2] = [&a, &[]];
+        assert!(slca_indexed_lookup_eager(&pair).is_empty());
+        assert!(slca_scan_eager(&pair).is_empty());
+        let none: [&[Posting]; 0] = [];
+        assert!(slca_indexed_lookup_eager(&none).is_empty());
     }
 
     #[test]

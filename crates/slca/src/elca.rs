@@ -22,7 +22,8 @@ use std::collections::HashSet;
 use xmldom::Dewey;
 
 /// Computes the ELCA set.
-pub fn elca(lists: &[&[Posting]]) -> Vec<Dewey> {
+pub fn elca<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
+    let lists: Vec<&[Posting]> = lists.iter().map(AsRef::as_ref).collect();
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
     }
@@ -93,7 +94,8 @@ pub fn elca(lists: &[&[Posting]]) -> Vec<Dewey> {
 /// Definition-direct reference (used in tests): `v` is an ELCA iff each
 /// keyword has an occurrence under `v` not under any *all-covering*
 /// proper descendant of `v`.
-pub fn elca_brute_force(lists: &[&[Posting]]) -> Vec<Dewey> {
+pub fn elca_brute_force<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
+    let lists: Vec<&[Posting]> = lists.iter().map(AsRef::as_ref).collect();
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
     }
@@ -105,7 +107,7 @@ pub fn elca_brute_force(lists: &[&[Posting]]) -> Vec<Dewey> {
     };
     // candidate universe: every ancestor of every posting
     let mut universe: Vec<Dewey> = Vec::new();
-    for l in lists {
+    for l in &lists {
         for p in l.iter() {
             let comps = p.dewey.components();
             for m in 1..=comps.len() {
@@ -140,7 +142,7 @@ pub fn elca_brute_force(lists: &[&[Posting]]) -> Vec<Dewey> {
 
 /// SLCA derived from the ELCA set (the minimal ELCA nodes) — a useful
 /// cross-check: `minimal(ELCA) == SLCA`.
-pub fn slca_via_elca(lists: &[&[Posting]]) -> Vec<Dewey> {
+pub fn slca_via_elca<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
     minimal_candidates(elca(lists))
 }
 
@@ -202,18 +204,16 @@ mod tests {
             (ps(&["0.3.1"]), ps(&["0.4.1"])),
         ];
         for (a, b) in cases {
-            assert_eq!(
-                elca(&[&a, &b]),
-                elca_brute_force(&[&a, &b]),
-                "{a:?} {b:?}"
-            );
+            assert_eq!(elca(&[&a, &b]), elca_brute_force(&[&a, &b]), "{a:?} {b:?}");
         }
     }
 
     #[test]
     fn empty_inputs() {
         let a = ps(&["0.1"]);
-        assert!(elca(&[]).is_empty());
-        assert!(elca(&[&a, &[]]).is_empty());
+        let none: [&[Posting]; 0] = [];
+        let pair: [&[Posting]; 2] = [&a, &[]];
+        assert!(elca(&none).is_empty());
+        assert!(elca(&pair).is_empty());
     }
 }

@@ -5,7 +5,7 @@
 //! no meaningful SLCA at all.
 
 use crate::searchfor::{infer_search_for, SearchForConfig};
-use invindex::{Index, KeywordId};
+use invindex::{IndexReader, KeywordId};
 use xmldom::{Dewey, Document, NodeTypeId};
 
 /// A meaningfulness filter bound to one query's search-for candidates.
@@ -16,13 +16,19 @@ pub struct MeaningfulFilter<'a> {
 
 impl<'a> MeaningfulFilter<'a> {
     /// Builds the filter by inferring search-for candidates for `query`.
-    pub fn infer(index: &'a Index, query: &[KeywordId], config: &SearchForConfig) -> Self {
+    /// Works against any [`IndexReader`] backend — only the document and
+    /// the statistics tables are touched, never the posting lists.
+    pub fn infer(
+        index: &'a dyn IndexReader,
+        query: &[KeywordId],
+        config: &SearchForConfig,
+    ) -> Self {
         let candidates = infer_search_for(index, query, config)
             .into_iter()
             .map(|(t, _)| t)
             .collect();
         MeaningfulFilter {
-            doc: index.document(),
+            doc: index.document().as_ref(),
             candidates,
         }
     }
@@ -53,7 +59,10 @@ impl<'a> MeaningfulFilter<'a> {
 
     /// Keeps only the meaningful results.
     pub fn filter(&self, slcas: Vec<Dewey>) -> Vec<Dewey> {
-        slcas.into_iter().filter(|d| self.is_meaningful(d)).collect()
+        slcas
+            .into_iter()
+            .filter(|d| self.is_meaningful(d))
+            .collect()
     }
 }
 
@@ -66,6 +75,7 @@ pub fn needs_refinement(filter: &MeaningfulFilter<'_>, slcas: &[Dewey]) -> bool 
 mod tests {
     use super::*;
     use crate::eager::slca_scan_eager;
+    use invindex::Index;
     use std::sync::Arc;
     use xmldom::fixtures::figure1;
 
@@ -138,9 +148,7 @@ mod tests {
     #[test]
     fn explicit_candidates_filter() {
         let doc = figure1();
-        let author_t = doc
-            .node(doc.node(doc.root()).children[0])
-            .node_type;
+        let author_t = doc.node(doc.node(doc.root()).children[0]).node_type;
         let filter = MeaningfulFilter::with_candidates(&doc, vec![author_t]);
         assert!(filter.is_meaningful(&"0.0".parse().unwrap())); // author itself
         assert!(filter.is_meaningful(&"0.1.2".parse().unwrap())); // hobby below author

@@ -15,7 +15,8 @@ use invindex::Posting;
 use xmldom::Dewey;
 
 /// Multiway-SLCA.
-pub fn slca_multiway(lists: &[&[Posting]]) -> Vec<Dewey> {
+pub fn slca_multiway<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
+    let lists: Vec<&[Posting]> = lists.iter().map(AsRef::as_ref).collect();
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
     }
@@ -37,7 +38,7 @@ pub fn slca_multiway(lists: &[&[Posting]]) -> Vec<Dewey> {
         let Some(anchor) = anchor else { break };
 
         let mut shortest_lca: Option<Dewey> = None;
-        for list in lists {
+        for list in &lists {
             let m = closest_match(list, &anchor).expect("lists verified non-empty");
             let lca = anchor.lca(&m).expect("same document");
             shortest_lca = Some(match shortest_lca {
@@ -103,8 +104,10 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let a = ps(&["0.1"]);
-        assert!(slca_multiway(&[]).is_empty());
-        assert!(slca_multiway(&[&a, &[]]).is_empty());
+        let none: [&[Posting]; 0] = [];
+        let pair: [&[Posting]; 2] = [&a, &[]];
+        assert!(slca_multiway(&none).is_empty());
+        assert!(slca_multiway(&pair).is_empty());
     }
 
     #[test]

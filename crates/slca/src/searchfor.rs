@@ -12,7 +12,7 @@
 //! the root "a typical meaningless SLCA", and admitting it would make
 //! every root-only result meaningful.
 
-use invindex::{Index, KeywordId};
+use invindex::{IndexReader, KeywordId};
 use xmldom::NodeTypeId;
 
 /// Tunables of Formula 1 and the candidate-list cut.
@@ -37,7 +37,7 @@ impl Default for SearchForConfig {
 }
 
 /// `C_for(T, Q)` for one node type.
-pub fn confidence(index: &Index, t: NodeTypeId, query: &[KeywordId]) -> f64 {
+pub fn confidence(index: &dyn IndexReader, t: NodeTypeId, query: &[KeywordId]) -> f64 {
     let sum: u64 = query.iter().map(|&k| index.stats().df(t, k)).sum();
     let depth = index.document().node_types().depth(t) as f64;
     let r = SearchForConfig::default().reduction_factor;
@@ -53,7 +53,7 @@ pub fn confidence_with(df_sum: u64, depth: f64, reduction_factor: f64) -> f64 {
 /// keyword set. Keywords absent from the document simply contribute zero
 /// (the paper sums `f^T_k` precisely so missing keywords are tolerated).
 pub fn infer_search_for(
-    index: &Index,
+    index: &dyn IndexReader,
     query: &[KeywordId],
     config: &SearchForConfig,
 ) -> Vec<(NodeTypeId, f64)> {
@@ -86,6 +86,7 @@ pub fn infer_search_for(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use invindex::Index;
     use std::sync::Arc;
     use xmldom::fixtures::figure1;
 

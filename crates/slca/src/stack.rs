@@ -19,7 +19,8 @@ struct Entry {
 }
 
 /// Stack-based SLCA over `k` posting lists.
-pub fn slca_stack(lists: &[&[Posting]]) -> Vec<Dewey> {
+pub fn slca_stack<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
+    let lists: Vec<&[Posting]> = lists.iter().map(AsRef::as_ref).collect();
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
     }
@@ -109,12 +110,8 @@ mod tests {
         let a = ps(&["0.0.2.0.0", "0.1.1.0.0"]);
         let b = ps(&["0.0.2.1.1", "0.0.2.2.1"]);
         let c = ps(&["0.1.0"]);
-        let cases: Vec<Vec<&[Posting]>> = vec![
-            vec![&a],
-            vec![&a, &b],
-            vec![&a, &c],
-            vec![&a, &b, &c],
-        ];
+        let cases: Vec<Vec<&[Posting]>> =
+            vec![vec![&a], vec![&a, &b], vec![&a, &c], vec![&a, &b, &c]];
         for lists in cases {
             assert_eq!(slca_stack(&lists), slca_brute_force(&lists), "{lists:?}");
         }
@@ -140,8 +137,10 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let a = ps(&["0.1"]);
-        assert!(slca_stack(&[]).is_empty());
-        assert!(slca_stack(&[&a, &[]]).is_empty());
+        let none: [&[Posting]; 0] = [];
+        let pair: [&[Posting]; 2] = [&a, &[]];
+        assert!(slca_stack(&none).is_empty());
+        assert!(slca_stack(&pair).is_empty());
     }
 
     #[test]

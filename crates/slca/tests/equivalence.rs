@@ -19,12 +19,15 @@ fn dewey_strategy() -> impl Strategy<Value = Dewey> {
 }
 
 fn list_strategy() -> impl Strategy<Value = Vec<Posting>> {
-    proptest::collection::btree_set(dewey_strategy().prop_map(|d| d.components().to_vec()), 1..12)
-        .prop_map(|set| {
-            set.into_iter()
-                .map(|c| Posting::new(Dewey::new(c).unwrap(), NodeTypeId(0)))
-                .collect()
-        })
+    proptest::collection::btree_set(
+        dewey_strategy().prop_map(|d| d.components().to_vec()),
+        1..12,
+    )
+    .prop_map(|set| {
+        set.into_iter()
+            .map(|c| Posting::new(Dewey::new(c).unwrap(), NodeTypeId(0)))
+            .collect()
+    })
 }
 
 proptest! {

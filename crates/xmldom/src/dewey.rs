@@ -203,9 +203,7 @@ impl FromStr for Dewey {
         }
         let mut components = Vec::new();
         for part in s.split('.') {
-            let c: u32 = part
-                .parse()
-                .map_err(|_| ParseDeweyError(s.to_string()))?;
+            let c: u32 = part.parse().map_err(|_| ParseDeweyError(s.to_string()))?;
             components.push(c);
         }
         Dewey::new(components).ok_or_else(|| ParseDeweyError(s.to_string()))

@@ -103,9 +103,8 @@ mod tests {
             .nodes()
             .filter(|(id, _)| doc.tag_name(*id) == "inproceedings")
             .filter(|(id, _)| {
-                doc.descendants_or_self(*id).any(|d| {
-                    tokenize(&doc.node(d).text).iter().any(|t| t == "xml")
-                })
+                doc.descendants_or_self(*id)
+                    .any(|d| tokenize(&doc.node(d).text).iter().any(|t| t == "xml"))
             })
             .count();
         assert_eq!(n_inproc_with_xml, 2);

@@ -62,7 +62,10 @@ pub enum ParseErrorKind {
     InvalidMarkup,
     InvalidName,
     /// Closing tag does not match the open element.
-    MismatchedClose { expected: String, found: String },
+    MismatchedClose {
+        expected: String,
+        found: String,
+    },
     /// Text or a second root element outside the root.
     ContentOutsideRoot,
     /// No root element at all.
@@ -399,8 +402,7 @@ impl<'a, H: XmlHandler> Parser<'a, H> {
             }
             self.bump(1);
         }
-        let raw = std::str::from_utf8(&self.input[start..self.pos])
-            .expect("input was valid UTF-8");
+        let raw = std::str::from_utf8(&self.input[start..self.pos]).expect("input was valid UTF-8");
         let decoded = self.decode_entities(raw)?;
         let trimmed = decoded.trim();
         if !trimmed.is_empty() {

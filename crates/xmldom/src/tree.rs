@@ -234,10 +234,7 @@ impl DocumentBuilder {
         let node_type = self.node_types.intern(&self.path);
         let (dewey, parent) = match self.open.last() {
             None => {
-                assert!(
-                    self.nodes.is_empty(),
-                    "document already has a root element"
-                );
+                assert!(self.nodes.is_empty(), "document already has a root element");
                 (Dewey::root(), None)
             }
             Some(&p) => {
@@ -380,7 +377,9 @@ mod tests {
     fn enclosing_node_walks_up() {
         let doc = small_doc();
         // 0.0.1.0.0.99 does not exist; nearest existing ancestor is 0.0.1.0.0
-        let id = doc.enclosing_node(&"0.0.1.0.0.99".parse().unwrap()).unwrap();
+        let id = doc
+            .enclosing_node(&"0.0.1.0.0.99".parse().unwrap())
+            .unwrap();
         assert_eq!(doc.node(id).dewey.to_string(), "0.0.1.0.0");
     }
 
@@ -406,10 +405,7 @@ mod tests {
         let a0 = doc.node(doc.root()).children[0];
         let a1 = doc.node(doc.root()).children[1];
         assert_eq!(doc.node(a0).node_type, doc.node(a1).node_type);
-        assert_eq!(
-            types.display(doc.node(a0).node_type, syms),
-            "bib/author"
-        );
+        assert_eq!(types.display(doc.node(a0).node_type, syms), "bib/author");
     }
 
     #[test]

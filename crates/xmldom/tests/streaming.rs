@@ -37,7 +37,8 @@ impl XmlHandler for StatsCollector {
 
 #[test]
 fn streaming_pass_collects_statistics() {
-    let xml = r#"<bib><author id="1"><name>Ann</name><year>2003</year></author><author id="2"/></bib>"#;
+    let xml =
+        r#"<bib><author id="1"><name>Ann</name><year>2003</year></author><author id="2"/></bib>"#;
     let mut stats = StatsCollector::default();
     parse_with(xml, &mut stats).unwrap();
     assert_eq!(stats.elements, 5);

@@ -3,37 +3,69 @@
 //! ```text
 //! xrefine-cli [--data <file.xml>|dblp|baseball|figure1] \
 //!             [--algorithm partition|sle|stack] [--k N]
+//! xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db>
+//! xrefine-cli query --store <store.db> [--algorithm ...] [--k N]
 //! ```
 //!
-//! Reads keyword queries from stdin (one per line) and prints either the
-//! original query's meaningful results or the Top-K refined queries with
-//! their results.
+//! The flag-only form parses and indexes the document in memory, then
+//! reads keyword queries from stdin (one per line). `index` persists the
+//! built index into a kvstore file; `query --store` serves the same REPL
+//! straight from that file — the document is replayed from the embedded
+//! blob and posting lists are decoded lazily, per query.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 use xrefine::{Algorithm, EngineConfig, XRefineEngine};
 
+const USAGE: &str = "usage: xrefine-cli [--data <file.xml>|dblp|baseball|figure1] \
+[--algorithm partition|sle|stack] [--k N]\n       \
+xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db>\n       \
+xrefine-cli query --store <store.db> [--algorithm partition|sle|stack] [--k N]";
+
+enum Command {
+    /// Build an index for a document and persist it to a kvstore file.
+    Index { data: String, store: String },
+    /// Serve queries, either from a document spec or a persisted store.
+    Repl(Options),
+}
+
 struct Options {
     data: String,
+    store: Option<String>,
     algorithm: Algorithm,
     k: usize,
     max_render: usize,
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args() -> Result<Command, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|s| s.as_str()) == Some("index") {
+        if args.len() != 3 {
+            return Err(USAGE.into());
+        }
+        return Ok(Command::Index {
+            data: args.remove(1),
+            store: args.remove(1),
+        });
+    }
+    let flags_at = usize::from(args.first().map(|s| s.as_str()) == Some("query"));
     let mut opts = Options {
         data: "figure1".to_string(),
+        store: None,
         algorithm: Algorithm::Partition,
         k: 3,
         max_render: 2,
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
+    let mut i = flags_at;
     while i < args.len() {
         match args[i].as_str() {
             "--data" => {
                 opts.data = args.get(i + 1).ok_or("--data needs a value")?.clone();
+                i += 2;
+            }
+            "--store" => {
+                opts.store = Some(args.get(i + 1).ok_or("--store needs a path")?.clone());
                 i += 2;
             }
             "--algorithm" => {
@@ -60,12 +92,12 @@ fn parse_args() -> Result<Options, String> {
                 i += 2;
             }
             "--help" | "-h" => {
-                return Err("usage: xrefine-cli [--data <file.xml>|dblp|baseball|figure1] [--algorithm partition|sle|stack] [--k N]".into());
+                return Err(USAGE.into());
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(opts)
+    Ok(Command::Repl(opts))
 }
 
 fn load_document(spec: &str) -> Result<Arc<xmldom::Document>, String> {
@@ -79,8 +111,8 @@ fn load_document(spec: &str) -> Result<Arc<xmldom::Document>, String> {
             &datagen::BaseballConfig::default(),
         ))),
         path => {
-            let xml = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let xml =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             Ok(Arc::new(
                 xmldom::parse_document(&xml).map_err(|e| format!("parse error: {e}"))?,
             ))
@@ -88,36 +120,81 @@ fn load_document(spec: &str) -> Result<Arc<xmldom::Document>, String> {
     }
 }
 
+/// `xrefine-cli index <data> <db>`: build and persist.
+fn build_store(data: &str, store_path: &str) -> Result<(), String> {
+    let doc = load_document(data)?;
+    let index = invindex::Index::build(Arc::clone(&doc));
+    let mut store = kvstore::DiskKv::open(std::path::Path::new(store_path))
+        .map_err(|e| format!("cannot open store {store_path}: {e}"))?;
+    invindex::persist::persist(&index, &mut store)
+        .map_err(|e| format!("cannot persist index: {e}"))?;
+    eprintln!(
+        "indexed {} elements ({} keywords) from '{}' into {}",
+        doc.len(),
+        index.vocabulary().len(),
+        data,
+        store_path
+    );
+    Ok(())
+}
+
+fn build_engine(opts: &Options) -> Result<XRefineEngine, String> {
+    let config = EngineConfig {
+        algorithm: opts.algorithm,
+        k: opts.k,
+        ..Default::default()
+    };
+    match &opts.store {
+        Some(path) => {
+            let engine = XRefineEngine::from_store(std::path::Path::new(path), config)
+                .map_err(|e| format!("cannot open store {path}: {e}"))?;
+            eprintln!(
+                "opened persisted index {} ({} elements, {:?}, Top-{})",
+                path,
+                engine.document().len(),
+                opts.algorithm,
+                opts.k
+            );
+            Ok(engine)
+        }
+        None => {
+            let doc = load_document(&opts.data)?;
+            eprintln!(
+                "indexed {} elements from '{}' ({:?}, Top-{})",
+                doc.len(),
+                opts.data,
+                opts.algorithm,
+                opts.k
+            );
+            Ok(XRefineEngine::from_document(doc, config))
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
-        Ok(o) => o,
+        Ok(Command::Index { data, store }) => {
+            return match build_store(&data, &store) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Ok(Command::Repl(o)) => o,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
-    let doc = match load_document(&opts.data) {
-        Ok(d) => d,
+    let engine = match build_engine(&opts) {
+        Ok(e) => e,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "indexed {} elements from '{}' ({:?}, Top-{})",
-        doc.len(),
-        opts.data,
-        opts.algorithm,
-        opts.k
-    );
-    let engine = XRefineEngine::from_document(
-        doc,
-        EngineConfig {
-            algorithm: opts.algorithm,
-            k: opts.k,
-            ..Default::default()
-        },
-    );
 
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -132,7 +209,14 @@ fn main() -> ExitCode {
         if line == "quit" || line == "exit" {
             break;
         }
-        let outcome = engine.answer(line);
+        let outcome = match engine.answer(line) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("storage error: {e}");
+                eprint!("query> ");
+                continue;
+            }
+        };
         if outcome.original_ok {
             let r = outcome.best().expect("original result present");
             let _ = writeln!(
@@ -142,9 +226,7 @@ fn main() -> ExitCode {
             );
             render(&engine, &r.slcas, opts.max_render, &mut out);
             // over-broad queries get narrowing suggestions (§IX extension)
-            if let Some(suggestions) =
-                engine.narrow(line, &xrefine::NarrowOptions::default())
-            {
+            if let Ok(Some(suggestions)) = engine.narrow(line, &xrefine::NarrowOptions::default()) {
                 if !suggestions.is_empty() {
                     let _ = writeln!(out, "result set is large; consider narrowing:");
                     for s in &suggestions {

@@ -177,12 +177,7 @@ fn run_dp(
 
     let prefix_costs = layers
         .iter()
-        .map(|layer| {
-            layer
-                .iter()
-                .map(|st| st.cost)
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|layer| layer.iter().map(|st| st.cost).fold(f64::INFINITY, f64::min))
         .collect();
 
     let mut candidates: Vec<RqCandidate> = layers
@@ -402,7 +397,14 @@ mod tests {
             RuleSource::Acronym,
             1.0,
         ));
-        let t = vec!["machine", "inproceedings", "learning", "world", "wide", "web"];
+        let t = vec![
+            "machine",
+            "inproceedings",
+            "learning",
+            "world",
+            "wide",
+            "web",
+        ];
         (q, rs, t)
     }
 
@@ -417,7 +419,14 @@ mod tests {
         assert_eq!(best.dissimilarity, 3.0);
         assert_eq!(
             best.keywords,
-            ["inproceedings", "learning", "machine", "web", "wide", "world"]
+            [
+                "inproceedings",
+                "learning",
+                "machine",
+                "web",
+                "wide",
+                "world"
+            ]
         );
     }
 

@@ -1,6 +1,10 @@
 //! `XRefineEngine` — the search-engine facade (the paper's "XRefine"
-//! prototype): parse/index a document once, then answer keyword queries
-//! with automatic refinement.
+//! prototype): parse/index a document once — or open a persisted index —
+//! then answer keyword queries with automatic refinement.
+//!
+//! The engine is storage-agnostic: it holds an `Arc<dyn IndexReader>`,
+//! so the same query path serves a resident [`Index`] and a lazily
+//! decoded [`KvBackedIndex`](invindex::KvBackedIndex) alike.
 
 use crate::partition::{partition_refine, PartitionOptions, SlcaMethod};
 use crate::query::Query;
@@ -9,9 +13,10 @@ use crate::results::RefineOutcome;
 use crate::session::RefineSession;
 use crate::sle::{sle_refine, SleOptions};
 use crate::stack_refine::stack_refine;
-use invindex::{Index, Posting};
+use invindex::{Index, IndexReader, KvBackedIndex, ListHandle};
 use lexicon::{generate_rules, AcronymTable, RuleGenConfig, RuleSet, Thesaurus, VocabIndex};
 use slca::SearchForConfig;
+use std::path::Path;
 use std::sync::Arc;
 use xmldom::{parse_document, Dewey, Document, ParseError};
 
@@ -51,7 +56,7 @@ impl Default for EngineConfig {
 
 /// The XRefine prototype engine.
 pub struct XRefineEngine {
-    index: Index,
+    reader: Arc<dyn IndexReader>,
     vocab: VocabIndex,
     thesaurus: Thesaurus,
     acronyms: AcronymTable,
@@ -79,16 +84,31 @@ impl XRefineEngine {
         Self::from_index(invindex::build_parallel(doc, threads), config)
     }
 
-    /// Wraps an existing index.
+    /// Wraps an existing resident index.
     pub fn from_index(index: Index, config: EngineConfig) -> Self {
-        let vocab = VocabIndex::new(index.vocabulary().iter().map(|(_, w)| w.to_string()));
+        Self::from_reader(Arc::new(index), config)
+    }
+
+    /// Wraps any index backend behind the [`IndexReader`] trait.
+    pub fn from_reader(reader: Arc<dyn IndexReader>, config: EngineConfig) -> Self {
+        let vocab = VocabIndex::new(reader.vocabulary().iter().map(|(_, w)| w.to_string()));
         XRefineEngine {
-            index,
+            reader,
             vocab,
             thesaurus: Thesaurus::bibliographic(),
             acronyms: AcronymTable::computer_science(),
             config,
         }
+    }
+
+    /// Opens a persisted index (written by `invindex::persist`) straight
+    /// from its on-disk kv store: the document is replayed from the
+    /// embedded blob and posting lists are decoded lazily, per query —
+    /// no XML re-parse, no full index load.
+    pub fn from_store(path: &Path, config: EngineConfig) -> kvstore::Result<Self> {
+        let store = kvstore::DiskKv::open(path)?;
+        let index = KvBackedIndex::open(Box::new(store))?;
+        Ok(Self::from_reader(Arc::new(index), config))
     }
 
     /// Swaps the thesaurus (e.g. for a non-bibliographic corpus).
@@ -102,12 +122,12 @@ impl XRefineEngine {
         self
     }
 
-    pub fn index(&self) -> &Index {
-        &self.index
+    pub fn index(&self) -> &dyn IndexReader {
+        self.reader.as_ref()
     }
 
     pub fn document(&self) -> &Arc<Document> {
-        self.index.document()
+        self.reader.document()
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -129,21 +149,22 @@ impl XRefineEngine {
         )
     }
 
-    /// Answers a free-text query.
-    pub fn answer(&self, query_text: &str) -> RefineOutcome {
+    /// Answers a free-text query. Storage errors from a kv-backed index
+    /// surface as `Err`; the resident backend is infallible.
+    pub fn answer(&self, query_text: &str) -> kvstore::Result<RefineOutcome> {
         self.answer_query(Query::parse(query_text))
     }
 
     /// Answers a parsed query with the configured algorithm.
-    pub fn answer_query(&self, query: Query) -> RefineOutcome {
+    pub fn answer_query(&self, query: Query) -> kvstore::Result<RefineOutcome> {
         let rules = self.rules_for(&query);
         let session = RefineSession::with_search_for(
-            &self.index,
+            self.reader.as_ref(),
             query,
             rules,
             &self.config.search_for,
-        );
-        match self.config.algorithm {
+        )?;
+        Ok(match self.config.algorithm {
             Algorithm::StackRefine => stack_refine(&session),
             Algorithm::Partition => partition_refine(
                 &session,
@@ -162,7 +183,7 @@ impl XRefineEngine {
                     smart_choice: true,
                 },
             ),
-        }
+        })
     }
 
     /// Explains how a refined query derives from `query_text`: the
@@ -175,40 +196,35 @@ impl XRefineEngine {
     ) -> Option<(f64, Vec<crate::dp::AppliedOp>)> {
         let query = Query::parse(query_text);
         let rules = self.rules_for(&query);
-        let available = |w: &str| self.index.contains_keyword(w);
+        let available = |w: &str| self.reader.contains_keyword(w);
         crate::dp::explain_rq(&query, &available, &rules, target)
     }
 
     /// Narrowing refinement for over-broad queries (the paper's §IX
-    /// future work): `None` when the query does not have "too many"
+    /// future work): `Ok(None)` when the query does not have "too many"
     /// meaningful results.
     pub fn narrow(
         &self,
         query_text: &str,
         options: &crate::narrow::NarrowOptions,
-    ) -> Option<Vec<crate::narrow::Narrowing>> {
-        crate::narrow::narrow_refine(&self.index, &Query::parse(query_text), options)
+    ) -> kvstore::Result<Option<Vec<crate::narrow::Narrowing>>> {
+        crate::narrow::narrow_refine(self.reader.as_ref(), &Query::parse(query_text), options)
     }
 
     /// Plain SLCA of the query with no refinement (the `stack-slca` /
     /// `scan-slca` baselines of Figure 4).
-    pub fn baseline_slca(&self, query: &Query, method: SlcaMethod) -> Vec<Dewey> {
-        let slices: Vec<&[Posting]> = query
+    pub fn baseline_slca(&self, query: &Query, method: SlcaMethod) -> kvstore::Result<Vec<Dewey>> {
+        let slices: Vec<ListHandle> = query
             .keywords()
             .iter()
-            .map(|k| {
-                self.index
-                    .list(k)
-                    .map(|l| l.as_slice())
-                    .unwrap_or(&[])
-            })
-            .collect();
-        method(&slices)
+            .map(|k| self.reader.list_handle(k))
+            .collect::<kvstore::Result<_>>()?;
+        Ok(method(&slices))
     }
 
     /// Renders a result subtree back to XML (for display).
     pub fn render(&self, dewey: &Dewey) -> Option<String> {
-        let doc = self.index.document();
+        let doc = self.reader.document();
         let id = doc.node_by_dewey(dewey)?;
         Some(doc.subtree_to_xml(id))
     }
@@ -237,7 +253,7 @@ mod tests {
             EngineConfig::default(),
         )
         .unwrap();
-        let out = e.answer("ann chess");
+        let out = e.answer("ann chess").unwrap();
         assert!(out.original_ok);
         assert!(!out.best().unwrap().slcas.is_empty());
     }
@@ -251,9 +267,11 @@ mod tests {
             Algorithm::ShortListEager,
         ] {
             let e = engine(alg);
-            let out = e.answer("database publication");
+            let out = e.answer("database publication").unwrap();
             assert!(!out.original_ok, "{alg:?}");
-            let best = out.best().unwrap_or_else(|| panic!("{alg:?} found nothing"));
+            let best = out
+                .best()
+                .unwrap_or_else(|| panic!("{alg:?} found nothing"));
             assert!(best.candidate.dissimilarity > 0.0);
             assert!(!best.slcas.is_empty());
             // some top candidate repairs the missing term at dSim 1 while
@@ -291,7 +309,7 @@ mod tests {
     fn baseline_slca_matches_direct_computation() {
         let e = engine(Algorithm::Partition);
         let q = Query::parse("xml john 2003");
-        let got = e.baseline_slca(&q, slca::slca_scan_eager);
+        let got = e.baseline_slca(&q, slca::slca_scan_eager).unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].to_string(), "0");
     }
@@ -299,10 +317,37 @@ mod tests {
     #[test]
     fn render_produces_xml_snippet() {
         let e = engine(Algorithm::Partition);
-        let out = e.answer("john fishing");
+        let out = e.answer("john fishing").unwrap();
         let d = &out.best().unwrap().slcas[0];
         let xml = e.render(d).unwrap();
         assert!(xml.contains("fishing") || xml.contains("John"));
         assert!(e.render(&"0.9.9".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn kv_backed_engine_answers_from_a_persisted_store() {
+        // Persist the resident index, reopen it through the kv-backed
+        // reader, and check the engine produces the same outcome.
+        let resident = engine(Algorithm::Partition);
+        let built = Index::build(Arc::new(figure1()));
+        let mut store = kvstore::MemKv::default();
+        invindex::persist::persist(&built, &mut store).unwrap();
+        let kv = KvBackedIndex::open(Box::new(store)).unwrap();
+        let e = XRefineEngine::from_reader(
+            Arc::new(kv),
+            EngineConfig {
+                algorithm: Algorithm::Partition,
+                k: 2,
+                ..Default::default()
+            },
+        );
+        let a = resident.answer("database publication").unwrap();
+        let b = e.answer("database publication").unwrap();
+        assert_eq!(a.original_ok, b.original_ok);
+        assert_eq!(a.refinements.len(), b.refinements.len());
+        for (x, y) in a.refinements.iter().zip(b.refinements.iter()) {
+            assert_eq!(x.candidate.keywords, y.candidate.keywords);
+            assert_eq!(x.slcas, y.slcas);
+        }
     }
 }

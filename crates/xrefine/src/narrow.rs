@@ -12,7 +12,7 @@
 
 use crate::query::{Query, RqCandidate};
 use crate::results::Refinement;
-use invindex::{Index, Posting};
+use invindex::{IndexReader, ListHandle};
 use slca::{slca_scan_eager, MeaningfulFilter, SearchForConfig};
 use std::collections::HashMap;
 use xmldom::tokenize;
@@ -51,29 +51,34 @@ pub struct Narrowing {
     pub original_results: usize,
 }
 
-/// Attempts to narrow `query`. Returns `None` when the query does not
-/// have "too many" meaningful results (nothing to do), `Some(vec![])`
-/// when it does but no single added keyword brings it under the
-/// threshold.
-pub fn narrow_refine(index: &Index, query: &Query, options: &NarrowOptions) -> Option<Vec<Narrowing>> {
+/// Attempts to narrow `query`. Returns `Ok(None)` when the query does
+/// not have "too many" meaningful results (nothing to do),
+/// `Ok(Some(vec![]))` when it does but no single added keyword brings it
+/// under the threshold. Storage errors from a kv-backed reader surface
+/// as `Err`.
+pub fn narrow_refine(
+    index: &dyn IndexReader,
+    query: &Query,
+    options: &NarrowOptions,
+) -> kvstore::Result<Option<Vec<Narrowing>>> {
     let ids: Vec<invindex::KeywordId> = query
         .keywords()
         .iter()
         .filter_map(|k| index.vocabulary().get(k))
         .collect();
     if ids.len() != query.keywords().len() || ids.is_empty() {
-        return None; // broken queries are the main system's job
+        return Ok(None); // broken queries are the main system's job
     }
     let filter = MeaningfulFilter::infer(index, &ids, &options.search_for);
 
-    let lists: Vec<&[Posting]> = query
+    let lists: Vec<ListHandle> = query
         .keywords()
         .iter()
-        .map(|k| index.list(k).map(|l| l.as_slice()).unwrap_or(&[]))
-        .collect();
+        .map(|k| index.list_handle(k))
+        .collect::<kvstore::Result<_>>()?;
     let slcas = filter.filter(slca_scan_eager(&lists));
     if slcas.len() <= options.max_results {
-        return None;
+        return Ok(None);
     }
 
     // Mine candidate keywords from a sample of the result subtrees. Each
@@ -84,13 +89,12 @@ pub fn narrow_refine(index: &Index, query: &Query, options: &NarrowOptions) -> O
     let mut containing: HashMap<String, usize> = HashMap::new();
     let sampled = slcas.len().min(options.sample_subtrees);
     for dewey in slcas.iter().take(sampled) {
-        let Some(mut node) = doc.node_by_dewey(dewey) else { continue };
+        let Some(mut node) = doc.node_by_dewey(dewey) else {
+            continue;
+        };
         let mut cur = node;
         loop {
-            if filter
-                .candidates()
-                .contains(&doc.node(cur).node_type)
-            {
+            if filter.candidates().contains(&doc.node(cur).node_type) {
                 node = cur;
             }
             match doc.node(cur).parent {
@@ -150,9 +154,12 @@ pub fn narrow_refine(index: &Index, query: &Query, options: &NarrowOptions) -> O
         if out.len() >= options.k {
             break;
         }
-        let Some(extra) = index.list(&keyword) else { continue };
+        let extra = index.list_handle(&keyword)?;
+        if extra.is_empty() {
+            continue;
+        }
         let mut narrowed_lists = lists.clone();
-        narrowed_lists.push(extra.as_slice());
+        narrowed_lists.push(extra);
         let narrowed = filter.filter(slca_scan_eager(&narrowed_lists));
         if narrowed.is_empty() || narrowed.len() > options.max_results {
             continue;
@@ -169,12 +176,13 @@ pub fn narrow_refine(index: &Index, query: &Query, options: &NarrowOptions) -> O
             original_results: slcas.len(),
         });
     }
-    Some(out)
+    Ok(Some(out))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use invindex::Index;
     use std::sync::Arc;
 
     fn wide_index() -> Index {
@@ -210,6 +218,7 @@ mod tests {
                 ..Default::default()
             },
         )
+        .unwrap()
         .expect("query is over-broad");
         assert!(!suggestions.is_empty());
         for s in &suggestions {
@@ -229,14 +238,18 @@ mod tests {
     fn focused_query_needs_no_narrowing() {
         let idx = wide_index();
         let q = Query::from_keywords(["network", "outage"]);
-        assert!(narrow_refine(&idx, &q, &NarrowOptions::default()).is_none());
+        assert!(narrow_refine(&idx, &q, &NarrowOptions::default())
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn broken_queries_are_left_to_the_main_system() {
         let idx = wide_index();
         let q = Query::from_keywords(["statuss", "report"]);
-        assert!(narrow_refine(&idx, &q, &NarrowOptions::default()).is_none());
+        assert!(narrow_refine(&idx, &q, &NarrowOptions::default())
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -252,6 +265,7 @@ mod tests {
                 ..Default::default()
             }
         )
+        .unwrap()
         .is_none());
     }
 }

@@ -19,7 +19,7 @@ use crate::results::{RefineOutcome, Refinement};
 use crate::rqlist::RqSortedList;
 use crate::session::RefineSession;
 use crate::util::KeyMask;
-use invindex::{ListCursor, Posting};
+use invindex::{ListCursor, ListHandle};
 use std::collections::HashMap;
 use xmldom::Dewey;
 
@@ -48,12 +48,7 @@ impl DpMemo {
         if let Some(c) = self.memo.get(&mask) {
             return std::rc::Rc::clone(c);
         }
-        let availability = |w: &str| {
-            session
-                .pos(w)
-                .map(|i| mask.get(i))
-                .unwrap_or(false)
-        };
+        let availability = |w: &str| session.pos(w).map(|i| mask.get(i)).unwrap_or(false);
         let dp = get_top_optimal_rqs(&session.query, &availability, &session.rules, m);
         let rc = std::rc::Rc::new(dp.candidates);
         self.memo.insert(mask, std::rc::Rc::clone(&rc));
@@ -61,8 +56,13 @@ impl DpMemo {
     }
 }
 
-/// A pluggable SLCA computation over per-keyword posting slices.
-pub type SlcaMethod = fn(&[&[Posting]]) -> Vec<Dewey>;
+/// A pluggable SLCA computation over per-keyword posting slices. The
+/// slices are [`ListHandle`] views, so they work identically for resident
+/// and kv-backed lists; any generic `fn<S: AsRef<[Posting]>>(&[S])`
+/// algorithm from the `slca` crate coerces to this type.
+///
+/// [`Posting`]: invindex::Posting
+pub type SlcaMethod = fn(&[ListHandle]) -> Vec<Dewey>;
 
 /// Options of the partition algorithm.
 pub struct PartitionOptions {
@@ -120,11 +120,12 @@ pub fn partition_refine(session: &RefineSession<'_>, options: &PartitionOptions)
         };
 
         // Slice each list to the partition and advance the cursors past it
-        // (lines 6-8).
-        let mut slices: Vec<&[Posting]> = Vec::with_capacity(cursors.len());
+        // (lines 6-8). The slices are cheap views sharing the handles'
+        // allocations.
+        let mut slices: Vec<ListHandle> = Vec::with_capacity(cursors.len());
         for c in cursors.iter_mut() {
             let range = c.skip_partition(&pid);
-            slices.push(&c.list().as_slice()[range]);
+            slices.push(c.handle().slice(range));
         }
 
         // T: keywords with a non-empty sub-list (line 9).
@@ -147,14 +148,14 @@ pub fn partition_refine(session: &RefineSession<'_>, options: &PartitionOptions)
                 // computation (the paper's key optimization).
                 continue;
             }
-            let rq_slices: Vec<&[Posting]> = cand
+            let rq_slices: Vec<ListHandle> = cand
                 .keywords
                 .iter()
                 .map(|kw| {
                     session
                         .pos(kw)
-                        .map(|i| slices[i])
-                        .unwrap_or(&[])
+                        .map(|i| slices[i].clone())
+                        .unwrap_or_default()
                 })
                 .collect();
             let found = (options.slca)(&rq_slices);
@@ -238,7 +239,7 @@ mod tests {
     fn run(q: &[&str], k: usize) -> RefineOutcome {
         let idx = Index::build(Arc::new(figure1()));
         let query = Query::from_keywords(q.iter().map(|s| s.to_string()));
-        let session = RefineSession::new(&idx, query, RuleSet::table2());
+        let session = RefineSession::new(&idx, query, RuleSet::table2()).unwrap();
         let options = PartitionOptions {
             k,
             ..Default::default()
@@ -276,7 +277,7 @@ mod tests {
     fn one_scan_guarantee_theorem2() {
         let idx = Index::build(Arc::new(figure1()));
         let query = Query::from_keywords(["on", "line", "data", "base"]);
-        let session = RefineSession::new(&idx, query, RuleSet::table2());
+        let session = RefineSession::new(&idx, query, RuleSet::table2()).unwrap();
         let budget = session.total_list_len() as u64;
         let out = partition_refine(&session, &PartitionOptions::default());
         assert!(out.advances <= budget, "{} > {budget}", out.advances);
@@ -300,8 +301,8 @@ mod tests {
         ] {
             let idx = Index::build(Arc::new(figure1()));
             let query = Query::from_keywords(q.iter().map(|s| s.to_string()));
-            let s1 = RefineSession::new(&idx, query.clone(), RuleSet::table2());
-            let s2 = RefineSession::new(&idx, query, RuleSet::table2());
+            let s1 = RefineSession::new(&idx, query.clone(), RuleSet::table2()).unwrap();
+            let s2 = RefineSession::new(&idx, query, RuleSet::table2()).unwrap();
             let a = stack_refine(&s1);
             let b = partition_refine(&s2, &PartitionOptions::default());
             match (a.best(), b.best()) {

@@ -108,10 +108,7 @@ mod tests {
 
     #[test]
     fn candidate_canonicalizes() {
-        let a = RqCandidate::new(
-            vec!["b".to_string(), "a".to_string(), "b".to_string()],
-            1.0,
-        );
+        let a = RqCandidate::new(vec!["b".to_string(), "a".to_string(), "b".to_string()], 1.0);
         assert_eq!(a.keywords, ["a", "b"]);
         let b = RqCandidate::new(vec!["a".to_string(), "b".to_string()], 2.0);
         assert_eq!(a.canonical(), b.canonical());

@@ -7,7 +7,7 @@
 //! RS1–RS4 of Table IX; α/β are the tunables of Table X.
 
 use crate::query::{Query, RqCandidate};
-use invindex::{Index, KeywordId};
+use invindex::{IndexReader, KeywordId};
 use slca::{infer_search_for, SearchForConfig};
 use std::collections::BTreeSet;
 use xmldom::NodeTypeId;
@@ -75,9 +75,11 @@ impl RankingConfig {
     }
 }
 
-/// A ranker bound to one index and one original query.
+/// A ranker bound to one index and one original query. Only statistics
+/// and co-occurrence queries go through the reader — no posting lists are
+/// materialized by ranking itself.
 pub struct Ranker<'a> {
-    index: &'a Index,
+    index: &'a dyn IndexReader,
     config: RankingConfig,
     query_set: BTreeSet<String>,
     /// Search-for candidates with their `C_for` confidence (Formula 1).
@@ -85,7 +87,7 @@ pub struct Ranker<'a> {
 }
 
 impl<'a> Ranker<'a> {
-    pub fn new(index: &'a Index, query: &Query, config: RankingConfig) -> Self {
+    pub fn new(index: &'a dyn IndexReader, query: &Query, config: RankingConfig) -> Self {
         let ids: Vec<KeywordId> = query
             .keywords()
             .iter()
@@ -272,6 +274,7 @@ impl<'a> Ranker<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use invindex::Index;
     use std::sync::Arc;
     use xmldom::fixtures::figure1;
 

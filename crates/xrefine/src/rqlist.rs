@@ -78,9 +78,7 @@ impl RqSortedList {
         let key = rq.canonical();
         let pos = self
             .items
-            .partition_point(|c| {
-                (c.dissimilarity, &c.keywords) < (rq.dissimilarity, &rq.keywords)
-            });
+            .partition_point(|c| (c.dissimilarity, &c.keywords) < (rq.dissimilarity, &rq.keywords));
         self.items.insert(pos, rq);
         self.members.insert(key);
         if self.items.len() > self.capacity {

@@ -4,15 +4,19 @@
 //! instrumentation.
 
 use crate::query::Query;
-use invindex::{Index, PostingList, ScanStats};
+use invindex::{IndexReader, ListHandle, ScanStats};
 use lexicon::RuleSet;
 use slca::{MeaningfulFilter, SearchForConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Everything a refinement algorithm needs for one query.
+///
+/// Construction acquires one [`ListHandle`] per `KS` keyword through the
+/// [`IndexReader`], so a lazy backend (e.g. `KvBackedIndex`) decodes
+/// exactly the lists this query can touch — nothing else.
 pub struct RefineSession<'a> {
-    pub index: &'a Index,
+    pub index: &'a dyn IndexReader,
     pub query: Query,
     pub rules: RuleSet,
     /// `KS`: query keywords first (deduplicated), then rule-generated
@@ -22,22 +26,22 @@ pub struct RefineSession<'a> {
     pub ks_pos: HashMap<String, usize>,
     /// One inverted list per `KS` keyword (empty list when the keyword
     /// does not occur in the document).
-    pub lists: Vec<&'a PostingList>,
+    pub lists: Vec<ListHandle>,
     pub filter: MeaningfulFilter<'a>,
     pub scan_stats: Arc<ScanStats>,
 }
 
 impl<'a> RefineSession<'a> {
-    pub fn new(index: &'a Index, query: Query, rules: RuleSet) -> Self {
+    pub fn new(index: &'a dyn IndexReader, query: Query, rules: RuleSet) -> kvstore::Result<Self> {
         Self::with_search_for(index, query, rules, &SearchForConfig::default())
     }
 
     pub fn with_search_for(
-        index: &'a Index,
+        index: &'a dyn IndexReader,
         query: Query,
         rules: RuleSet,
         search_for: &SearchForConfig,
-    ) -> Self {
+    ) -> kvstore::Result<Self> {
         let mut ks: Vec<String> = Vec::new();
         let mut ks_pos: HashMap<String, usize> = HashMap::new();
         let push = |w: &str, ks: &mut Vec<String>, pos: &mut HashMap<String, usize>| {
@@ -53,12 +57,10 @@ impl<'a> RefineSession<'a> {
             push(&k, &mut ks, &mut ks_pos);
         }
 
-        static EMPTY: std::sync::OnceLock<PostingList> = std::sync::OnceLock::new();
-        let empty = EMPTY.get_or_init(PostingList::new);
-        let lists: Vec<&PostingList> = ks
+        let lists: Vec<ListHandle> = ks
             .iter()
-            .map(|k| index.list(k).unwrap_or(empty))
-            .collect();
+            .map(|k| index.list_handle(k))
+            .collect::<kvstore::Result<_>>()?;
 
         let mut query_ids: Vec<invindex::KeywordId> = query
             .keywords()
@@ -78,7 +80,7 @@ impl<'a> RefineSession<'a> {
         }
         let filter = MeaningfulFilter::infer(index, &query_ids, search_for);
 
-        RefineSession {
+        Ok(RefineSession {
             index,
             query,
             rules,
@@ -87,7 +89,7 @@ impl<'a> RefineSession<'a> {
             lists,
             filter,
             scan_stats: ScanStats::new(),
-        }
+        })
     }
 
     /// `|KS|`.
@@ -109,6 +111,7 @@ impl<'a> RefineSession<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use invindex::Index;
     use std::sync::Arc as StdArc;
     use xmldom::fixtures::figure1;
 
@@ -117,13 +120,16 @@ mod tests {
         let idx = Index::build(StdArc::new(figure1()));
         let q = Query::from_keywords(["on", "line", "data", "base", "on"]);
         let rules = RuleSet::table2();
-        let s = RefineSession::new(&idx, q, rules);
+        let s = RefineSession::new(&idx, q, rules).unwrap();
         // query keywords deduplicated, then RHS keywords (sorted by
         // rhs_keywords) minus duplicates
         assert_eq!(s.ks[..4], ["on", "line", "data", "base"]);
         assert!(s.ks.contains(&"online".to_string()));
         assert!(s.ks.contains(&"database".to_string()));
-        assert_eq!(s.pos("online"), Some(s.ks.iter().position(|k| k == "online").unwrap()));
+        assert_eq!(
+            s.pos("online"),
+            Some(s.ks.iter().position(|k| k == "online").unwrap())
+        );
         // every keyword has a (possibly empty) list
         assert_eq!(s.lists.len(), s.ks.len());
         // "on" does not occur in figure 1

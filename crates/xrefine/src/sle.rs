@@ -18,12 +18,12 @@
 
 use crate::dp::get_optimal_rq;
 use crate::partition::{finalize, DpMemo, SlcaMethod};
-use crate::util::KeyMask;
 use crate::ranking::RankingConfig;
 use crate::results::RefineOutcome;
 use crate::rqlist::RqSortedList;
 use crate::session::RefineSession;
-use invindex::Posting;
+use crate::util::KeyMask;
+use invindex::ListHandle;
 use std::collections::{HashMap, HashSet};
 use xmldom::Dewey;
 
@@ -89,10 +89,8 @@ pub fn sle_refine(session: &RefineSession<'_>, options: &SleOptions) -> RefineOu
         // Stop condition (line 4): even the best refined query over the
         // remaining keywords cannot enter the list.
         if rq_list.is_full() {
-            let remaining_set: HashSet<&str> = remaining
-                .iter()
-                .map(|&i| session.ks[i].as_str())
-                .collect();
+            let remaining_set: HashSet<&str> =
+                remaining.iter().map(|&i| session.ks[i].as_str()).collect();
             let availability = |w: &str| remaining_set.contains(w);
             let c_potential = get_optimal_rq(&session.query, &availability, &session.rules)
                 .map(|c| c.dissimilarity)
@@ -107,8 +105,7 @@ pub fn sle_refine(session: &RefineSession<'_>, options: &SleOptions) -> RefineOu
             .iter()
             .enumerate()
             .min_by_key(|(_, &i)| {
-                let smart_penalty =
-                    usize::from(options.smart_choice && !stable.contains(&i));
+                let smart_penalty = usize::from(options.smart_choice && !stable.contains(&i));
                 (smart_penalty, session.lists[i].len(), i)
             })
             .map(|(p, _)| p)
@@ -149,7 +146,7 @@ pub fn sle_refine(session: &RefineSession<'_>, options: &SleOptions) -> RefineOu
     let mut slcas_by_rq: HashMap<String, Vec<Dewey>> = HashMap::new();
     let mut kept = RqSortedList::new(2 * k);
     for cand in rq_list.into_vec() {
-        let slices: Vec<&[Posting]> = cand
+        let slices: Vec<ListHandle> = cand
             .keywords
             .iter()
             .map(|kw| {
@@ -160,9 +157,9 @@ pub fn sle_refine(session: &RefineSession<'_>, options: &SleOptions) -> RefineOu
                         session
                             .scan_stats
                             .record_advances(session.lists[i].len() as u64);
-                        session.lists[i].as_slice()
+                        session.lists[i].clone()
                     })
-                    .unwrap_or(&[])
+                    .unwrap_or_default()
             })
             .collect();
         let meaningful = session.filter.filter((options.slca)(&slices));
@@ -198,7 +195,7 @@ mod tests {
     fn run(q: &[&str], k: usize) -> RefineOutcome {
         let idx = Index::build(Arc::new(figure1()));
         let query = Query::from_keywords(q.iter().map(|s| s.to_string()));
-        let session = RefineSession::new(&idx, query, RuleSet::table2());
+        let session = RefineSession::new(&idx, query, RuleSet::table2()).unwrap();
         sle_refine(
             &session,
             &SleOptions {
@@ -218,10 +215,22 @@ mod tests {
         ] {
             let idx = Index::build(Arc::new(figure1()));
             let query = Query::from_keywords(q.iter().map(|s| s.to_string()));
-            let s1 = RefineSession::new(&idx, query.clone(), RuleSet::table2());
-            let s2 = RefineSession::new(&idx, query, RuleSet::table2());
-            let a = partition_refine(&s1, &PartitionOptions { k: 2, ..Default::default() });
-            let b = sle_refine(&s2, &SleOptions { k: 2, ..Default::default() });
+            let s1 = RefineSession::new(&idx, query.clone(), RuleSet::table2()).unwrap();
+            let s2 = RefineSession::new(&idx, query, RuleSet::table2()).unwrap();
+            let a = partition_refine(
+                &s1,
+                &PartitionOptions {
+                    k: 2,
+                    ..Default::default()
+                },
+            );
+            let b = sle_refine(
+                &s2,
+                &SleOptions {
+                    k: 2,
+                    ..Default::default()
+                },
+            );
             assert_eq!(a.original_ok, b.original_ok, "query {q:?}");
             match (a.best(), b.best()) {
                 (Some(x), Some(y)) => assert_eq!(
@@ -239,7 +248,7 @@ mod tests {
         // Example 6: Q4 = {xml, john, 2003}, deletion-only refinement.
         let idx = Index::build(Arc::new(figure1()));
         let query = Query::from_keywords(["xml", "john", "2003"]);
-        let session = RefineSession::new(&idx, query, RuleSet::new());
+        let session = RefineSession::new(&idx, query, RuleSet::new()).unwrap();
         let out = sle_refine(
             &session,
             &SleOptions {
@@ -261,7 +270,7 @@ mod tests {
     fn uses_random_accesses_unlike_full_scans() {
         let idx = Index::build(Arc::new(figure1()));
         let query = Query::from_keywords(["xml", "john", "2003"]);
-        let session = RefineSession::new(&idx, query, RuleSet::new());
+        let session = RefineSession::new(&idx, query, RuleSet::new()).unwrap();
         let out = sle_refine(&session, &SleOptions::default());
         assert!(out.random_accesses > 0);
     }

@@ -45,10 +45,10 @@ pub fn stack_refine(session: &RefineSession<'_>) -> RefineOutcome {
 
     // Reusable closure state for pops.
     let process_pop = |stack: &mut Vec<Entry>,
-                           target: usize,
-                           best: &mut Option<RqCandidate>,
-                           best_mask: &mut KeyMask,
-                           results: &mut Vec<Dewey>| {
+                       target: usize,
+                       best: &mut Option<RqCandidate>,
+                       best_mask: &mut KeyMask,
+                       results: &mut Vec<Dewey>| {
         while stack.len() > target {
             let entry = stack.pop().expect("len > target");
             let mut comps: Vec<u32> = stack.iter().map(|e| e.component).collect();
@@ -62,9 +62,7 @@ pub fn stack_refine(session: &RefineSession<'_>) -> RefineOutcome {
                         .map(|i| entry.witness.get(i))
                         .unwrap_or(false)
                 };
-                if let Some(cand) =
-                    get_optimal_rq(&session.query, &availability, &session.rules)
-                {
+                if let Some(cand) = get_optimal_rq(&session.query, &availability, &session.rules) {
                     let improved = best
                         .as_ref()
                         .map(|b| cand.dissimilarity < b.dissimilarity)
@@ -79,10 +77,7 @@ pub fn stack_refine(session: &RefineSession<'_>) -> RefineOutcome {
                         results.push(dewey.clone());
                     } else if best.is_some()
                         && best_mask.is_subset_of(&entry.witness)
-                        && !entry
-                            .child_masks
-                            .iter()
-                            .any(|c| best_mask.is_subset_of(c))
+                        && !entry.child_masks.iter().any(|c| best_mask.is_subset_of(c))
                     {
                         // This node also contains RQ_min fully and no single
                         // child did: another SLCA of RQ_min.
@@ -186,7 +181,7 @@ mod tests {
     #[test]
     fn original_query_with_meaningful_result_needs_no_refinement() {
         let (idx, q, rules) = session(&["john", "fishing"]);
-        let s = RefineSession::new(&idx, q, rules);
+        let s = RefineSession::new(idx.as_ref(), q, rules).unwrap();
         let out = stack_refine(&s);
         assert!(out.original_ok);
         let best = out.best().unwrap();
@@ -206,7 +201,7 @@ mod tests {
         // under author 0.0 (dSim = 1); the two-merge {online, database}
         // (dSim = 2) is the runner-up.
         let (idx, q, rules) = session(&["on", "line", "data", "base"]);
-        let s = RefineSession::new(&idx, q, rules);
+        let s = RefineSession::new(idx.as_ref(), q, rules).unwrap();
         let out = stack_refine(&s);
         assert!(!out.original_ok);
         let best = out.best().unwrap();
@@ -219,7 +214,7 @@ mod tests {
     #[test]
     fn one_scan_guarantee_theorem1() {
         let (idx, q, rules) = session(&["on", "line", "data", "base"]);
-        let s = RefineSession::new(&idx, q, rules);
+        let s = RefineSession::new(idx.as_ref(), q, rules).unwrap();
         let budget = s.total_list_len() as u64;
         let out = stack_refine(&s);
         assert!(out.advances <= budget, "{} > {budget}", out.advances);
@@ -229,7 +224,7 @@ mod tests {
     #[test]
     fn no_candidate_when_nothing_matches() {
         let (idx, q, _) = session(&["qqq", "zzz"]);
-        let s = RefineSession::new(&idx, q, RuleSet::new());
+        let s = RefineSession::new(idx.as_ref(), q, RuleSet::new()).unwrap();
         let out = stack_refine(&s);
         assert!(out.refinements.is_empty());
         assert!(!out.original_ok);
@@ -240,7 +235,7 @@ mod tests {
         // {xml, john, 2003}: only the root covers all three; the optimal
         // meaningful refinement must therefore drop a keyword.
         let (idx, q, rules) = session(&["xml", "john", "2003"]);
-        let s = RefineSession::new(&idx, q, rules);
+        let s = RefineSession::new(idx.as_ref(), q, rules).unwrap();
         let out = stack_refine(&s);
         assert!(!out.original_ok);
         let best = out.best().unwrap();

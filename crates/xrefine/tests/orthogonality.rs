@@ -5,9 +5,7 @@
 use invindex::Index;
 use lexicon::RuleSet;
 use std::sync::Arc;
-use xrefine::{
-    partition_refine, sle_refine, PartitionOptions, Query, RefineSession, SleOptions,
-};
+use xrefine::{partition_refine, sle_refine, PartitionOptions, Query, RefineSession, SleOptions};
 
 fn queries() -> Vec<Vec<&'static str>> {
     vec![
@@ -51,7 +49,8 @@ fn partition_is_orthogonal_to_the_slca_method() {
                 &idx,
                 Query::from_keywords(q.iter().map(|s| s.to_string())),
                 RuleSet::table2(),
-            );
+            )
+            .unwrap();
             let out = partition_refine(
                 &session,
                 &PartitionOptions {
@@ -81,7 +80,8 @@ fn sle_is_orthogonal_to_the_slca_method() {
                 &idx,
                 Query::from_keywords(q.iter().map(|s| s.to_string())),
                 RuleSet::table2(),
-            );
+            )
+            .unwrap();
             let out = sle_refine(
                 &session,
                 &SleOptions {

@@ -13,8 +13,14 @@ fn index() -> Arc<Index> {
 fn words() -> impl Strategy<Value = Vec<String>> {
     proptest::collection::btree_set(
         prop_oneof![
-            Just("xml"), Just("database"), Just("john"), Just("2003"),
-            Just("online"), Just("fishing"), Just("title"), Just("ghost"),
+            Just("xml"),
+            Just("database"),
+            Just("john"),
+            Just("2003"),
+            Just("online"),
+            Just("fishing"),
+            Just("title"),
+            Just("ghost"),
         ],
         1..4,
     )
@@ -28,7 +34,7 @@ proptest! {
     fn similarity_decays_with_dissimilarity(kws in words(), ds in 0.0f64..6.0) {
         let idx = index();
         let q = Query::from_keywords(["database", "publication"]);
-        let ranker = Ranker::new(&idx, &q, RankingConfig::default());
+        let ranker = Ranker::new(idx.as_ref(), &q, RankingConfig::default());
         let near = RqCandidate::new(kws.clone(), ds);
         let far = RqCandidate::new(kws, ds + 1.0);
         // decay^(ds) >= decay^(ds+1) and the base is identical
@@ -39,7 +45,7 @@ proptest! {
     fn scores_are_finite_and_dependence_nonnegative(kws in words(), ds in 0.0f64..6.0) {
         let idx = index();
         let q = Query::from_keywords(["xml", "john"]);
-        let ranker = Ranker::new(&idx, &q, RankingConfig::default());
+        let ranker = Ranker::new(idx.as_ref(), &q, RankingConfig::default());
         let cand = RqCandidate::new(kws, ds);
         prop_assert!(ranker.similarity(&cand).is_finite());
         let dep = ranker.dependence(&cand);
@@ -52,11 +58,11 @@ proptest! {
         let idx = index();
         let q = Query::from_keywords(["xml", "2003"]);
         let cand = RqCandidate::new(kws, ds);
-        let base = Ranker::new(&idx, &q, RankingConfig::with_weights(1.0, 1.0)).rank(&cand);
-        let double = Ranker::new(&idx, &q, RankingConfig::with_weights(2.0, 2.0)).rank(&cand);
+        let base = Ranker::new(idx.as_ref(), &q, RankingConfig::with_weights(1.0, 1.0)).rank(&cand);
+        let double = Ranker::new(idx.as_ref(), &q, RankingConfig::with_weights(2.0, 2.0)).rank(&cand);
         prop_assert!((double - 2.0 * base).abs() < 1e-9);
-        let sim = Ranker::new(&idx, &q, RankingConfig::with_weights(1.0, 0.0)).rank(&cand);
-        let dep = Ranker::new(&idx, &q, RankingConfig::with_weights(0.0, 1.0)).rank(&cand);
+        let sim = Ranker::new(idx.as_ref(), &q, RankingConfig::with_weights(1.0, 0.0)).rank(&cand);
+        let dep = Ranker::new(idx.as_ref(), &q, RankingConfig::with_weights(0.0, 1.0)).rank(&cand);
         prop_assert!((base - (sim + dep)).abs() < 1e-9);
     }
 
@@ -66,7 +72,7 @@ proptest! {
     ) {
         let idx = index();
         let q = Query::from_keywords(["database", "publication"]);
-        let ranker = Ranker::new(&idx, &q, RankingConfig::default());
+        let ranker = Ranker::new(idx.as_ref(), &q, RankingConfig::default());
         let candidates: Vec<RqCandidate> = sets
             .into_iter()
             .map(|(kws, ds)| RqCandidate::new(kws, ds))

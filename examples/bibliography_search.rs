@@ -9,7 +9,6 @@
 
 use std::sync::Arc;
 use xrefine_repro::datagen::{generate_dblp, DblpConfig};
-use xrefine_repro::invindex::Index;
 use xrefine_repro::prelude::*;
 use xrefine_repro::slca::{infer_search_for, SearchForConfig};
 
@@ -30,7 +29,7 @@ fn main() {
     );
 
     // Search-for inference (Formula 1): what entity does a query target?
-    let index: &Index = engine.index();
+    let index = engine.index();
     let q = Query::parse("xml keyword search");
     let ids: Vec<_> = q
         .keywords()
@@ -49,7 +48,7 @@ fn main() {
     // A realistic broken query: a typo plus a vocabulary mismatch.
     let broken = "xml keyward serach";
     println!("\nanswering broken query {{{broken}}}:");
-    let out = engine.answer(broken);
+    let out = engine.answer(broken).unwrap();
     assert!(!out.original_ok);
     for (i, r) in out.refinements.iter().enumerate() {
         println!(
@@ -63,9 +62,11 @@ fn main() {
     println!(
         "  scan budget: {} advances over {} total postings, {} random accesses",
         out.advances,
-        engine
-            .index()
-            .total_postings(),
+        index
+            .vocabulary()
+            .iter()
+            .map(|(k, _)| index.list_handle_by_id(k).map(|h| h.len()).unwrap_or(0))
+            .sum::<usize>(),
         out.random_accesses
     );
 
@@ -78,7 +79,7 @@ fn main() {
         Algorithm::ShortListEager,
     ] {
         engine.config_mut().algorithm = alg;
-        let out = engine.answer(broken);
+        let out = engine.answer(broken).unwrap();
         let ds = out
             .best()
             .map(|r| r.candidate.dissimilarity)

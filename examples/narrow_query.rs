@@ -21,16 +21,19 @@ fn main() {
 
     for query in ["data", "xml query", "database system"] {
         println!("== {{{query}}} ==");
-        match engine.narrow(
-            query,
-            &NarrowOptions {
-                k: 3,
-                max_results: 12,
-                ..Default::default()
-            },
-        ) {
+        match engine
+            .narrow(
+                query,
+                &NarrowOptions {
+                    k: 3,
+                    max_results: 12,
+                    ..Default::default()
+                },
+            )
+            .expect("narrow")
+        {
             None => {
-                let out = engine.answer(query);
+                let out = engine.answer(query).unwrap();
                 let n = out.best().map(|r| r.slcas.len()).unwrap_or(0);
                 println!("  result set already manageable ({n} results)\n");
             }

@@ -24,7 +24,7 @@ fn main() {
     // "article" and "inproceedings", never "publication", so the query as
     // stated has no result — the engine must refine it automatically.
     println!("== Example 1: {{database, publication}} ==");
-    let out = engine.answer("database publication");
+    let out = engine.answer("database publication").unwrap();
     assert!(!out.original_ok, "the query must need refinement");
     for (i, r) in out.refinements.iter().enumerate() {
         println!(
@@ -40,11 +40,9 @@ fn main() {
     // Q4 of Table I: {XML, John, 2003} — every keyword exists, but only
     // the document root covers them all, which is meaningless to a user.
     println!("\n== Q4: {{xml, john, 2003}} ==");
-    let out = engine.answer("xml john 2003");
+    let out = engine.answer("xml john 2003").unwrap();
     assert!(!out.original_ok);
-    println!(
-        "  needs refinement: only the root covers all three keywords"
-    );
+    println!("  needs refinement: only the root covers all three keywords");
     let best = out.best().expect("a refinement exists");
     println!(
         "  best RQ = {{{}}} with {} meaningful result(s):",
@@ -58,7 +56,7 @@ fn main() {
 
     // A query that is fine as-is returns its own results untouched.
     println!("\n== {{john, fishing}} ==");
-    let out = engine.answer("john fishing");
+    let out = engine.answer("john fishing").unwrap();
     assert!(out.original_ok);
     println!(
         "  no refinement needed; {} meaningful result(s)",

@@ -67,7 +67,7 @@ fn main() {
     ];
 
     for text in queries {
-        let out = engine.answer(text);
+        let out = engine.answer(text).unwrap();
         print!("{text:28} -> ");
         if out.original_ok {
             println!("{} direct match(es)", out.best().unwrap().slcas.len());

@@ -44,7 +44,7 @@ fn main() {
         for (_, r) in rules.iter().take(4) {
             println!("    {r}");
         }
-        let out = engine.answer(text);
+        let out = engine.answer(text).unwrap();
         if out.original_ok {
             println!("  (query already has meaningful results)");
         } else {

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The repo's pre-merge gate: formatting, lints (warnings are errors) and
+# the full test suite. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

@@ -25,7 +25,7 @@
 //!     "<bib><author><name>Ann</name><hobby>chess</hobby></author></bib>",
 //!     EngineConfig::default(),
 //! ).unwrap();
-//! let out = engine.answer("ann chess");
+//! let out = engine.answer("ann chess").unwrap();
 //! assert!(out.original_ok);
 //! ```
 
@@ -40,7 +40,7 @@ pub use xrefine;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use invindex::Index;
+    pub use invindex::{Index, IndexReader};
     pub use lexicon::{RuleSet, Thesaurus};
     pub use xmldom::{parse_document, Dewey, Document};
     pub use xrefine::{

@@ -1,0 +1,148 @@
+//! Backend equivalence: the resident [`Index`] and the lazily decoded
+//! `KvBackedIndex` must be indistinguishable through the engine — same
+//! refinements, same ranking, same SLCA results — for every algorithm,
+//! over a generated workload. Also pins the laziness contract: the first
+//! query against a fresh store decodes no more lists than its key set
+//! `KS` (query keywords plus rule-generated keywords) requires.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use xrefine_repro::datagen::{generate_dblp, generate_workload, DblpConfig, WorkloadConfig};
+use xrefine_repro::invindex::{persist, KvBackedIndex};
+use xrefine_repro::kvstore::MemKv;
+use xrefine_repro::prelude::*;
+
+fn corpus() -> (Arc<Document>, Vec<Vec<String>>) {
+    let doc = Arc::new(generate_dblp(&DblpConfig {
+        authors: 40,
+        ..Default::default()
+    }));
+    let queries: Vec<Vec<String>> = generate_workload(
+        &doc,
+        &WorkloadConfig {
+            per_kind: 2,
+            ..Default::default()
+        },
+    )
+    .into_iter()
+    .map(|q| q.keywords)
+    .collect();
+    (doc, queries)
+}
+
+fn kv_reader(doc: &Arc<Document>) -> Arc<KvBackedIndex> {
+    let built = Index::build(Arc::clone(doc));
+    let mut store = MemKv::new();
+    persist::persist(&built, &mut store).unwrap();
+    Arc::new(KvBackedIndex::open(Box::new(store)).unwrap())
+}
+
+#[test]
+fn all_algorithms_agree_across_backends() {
+    let (doc, queries) = corpus();
+    assert!(!queries.is_empty());
+    let kv = kv_reader(&doc);
+
+    for alg in [
+        Algorithm::StackRefine,
+        Algorithm::Partition,
+        Algorithm::ShortListEager,
+    ] {
+        let config = EngineConfig {
+            algorithm: alg,
+            k: 3,
+            ..Default::default()
+        };
+        let resident = XRefineEngine::from_index(Index::build(Arc::clone(&doc)), config.clone());
+        let lazy = XRefineEngine::from_reader(Arc::clone(&kv) as Arc<dyn IndexReader>, config);
+        for keywords in &queries {
+            let q = || Query::from_keywords(keywords.iter().cloned());
+            let a = resident.answer_query(q()).unwrap();
+            let b = lazy.answer_query(q()).unwrap();
+            assert_eq!(a.original_ok, b.original_ok, "{alg:?} {keywords:?}");
+            assert_eq!(
+                a.refinements.len(),
+                b.refinements.len(),
+                "{alg:?} {keywords:?}"
+            );
+            for (x, y) in a.refinements.iter().zip(b.refinements.iter()) {
+                assert_eq!(
+                    x.candidate.keywords, y.candidate.keywords,
+                    "{alg:?} {keywords:?}"
+                );
+                assert_eq!(
+                    x.candidate.dissimilarity, y.candidate.dissimilarity,
+                    "{alg:?} {keywords:?}"
+                );
+                assert_eq!(x.rank_score, y.rank_score, "{alg:?} {keywords:?}");
+                assert_eq!(x.slcas, y.slcas, "{alg:?} {keywords:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn baseline_slca_agrees_across_backends() {
+    let (doc, queries) = corpus();
+    let kv = kv_reader(&doc);
+    let resident =
+        XRefineEngine::from_index(Index::build(Arc::clone(&doc)), EngineConfig::default());
+    let lazy = XRefineEngine::from_reader(
+        Arc::clone(&kv) as Arc<dyn IndexReader>,
+        EngineConfig::default(),
+    );
+    for keywords in &queries {
+        let q = Query::from_keywords(keywords.iter().cloned());
+        for method in [
+            xrefine_repro::slca::slca_stack as xrefine_repro::xrefine::SlcaMethod,
+            xrefine_repro::slca::slca_scan_eager,
+            xrefine_repro::slca::slca_multiway,
+        ] {
+            assert_eq!(
+                resident.baseline_slca(&q, method).unwrap(),
+                lazy.baseline_slca(&q, method).unwrap(),
+                "{keywords:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn first_query_decodes_only_the_key_set() {
+    // Acceptance criterion for the lazy backend: answering one query from
+    // a cold store decodes at most one list per KS keyword that exists in
+    // the vocabulary — never the whole index.
+    let (doc, queries) = corpus();
+    let total_vocab = Index::build(Arc::clone(&doc)).vocabulary().len();
+    for keywords in queries.iter().take(4) {
+        let kv = kv_reader(&doc);
+        let engine = XRefineEngine::from_reader(
+            Arc::clone(&kv) as Arc<dyn IndexReader>,
+            EngineConfig::default(),
+        );
+        assert_eq!(kv.cache_stats().lists_decoded, 0, "open must not decode");
+
+        let query = Query::from_keywords(keywords.iter().cloned());
+        let rules = engine.rules_for(&query);
+        let ks: HashSet<String> = query
+            .keywords()
+            .iter()
+            .cloned()
+            .chain(rules.rhs_keywords())
+            .collect();
+        let ks_in_vocab = ks.iter().filter(|w| kv.contains_keyword(w)).count();
+
+        engine.answer_query(query).unwrap();
+        let stats = kv.cache_stats();
+        assert!(
+            stats.lists_decoded as usize <= ks_in_vocab,
+            "{keywords:?}: decoded {} lists for a key set of {}",
+            stats.lists_decoded,
+            ks_in_vocab
+        );
+        assert!(
+            (stats.lists_decoded as usize) < total_vocab,
+            "{keywords:?}: the lazy backend rehydrated the whole index"
+        );
+    }
+}

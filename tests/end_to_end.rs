@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 use xrefine_repro::datagen::{
-    generate_baseball, generate_dblp, generate_workload, BaseballConfig, DblpConfig,
-    PerturbKind, WorkloadConfig,
+    generate_baseball, generate_dblp, generate_workload, BaseballConfig, DblpConfig, PerturbKind,
+    WorkloadConfig,
 };
 use xrefine_repro::evalkit::grade;
 use xrefine_repro::invindex::{persist, Index};
@@ -22,7 +22,7 @@ fn full_pipeline_through_xml_text() {
     let xml = doc.to_xml();
     let engine = XRefineEngine::from_xml(&xml, EngineConfig::default()).unwrap();
     assert_eq!(engine.document().len(), doc.len());
-    let out = engine.answer("xml data");
+    let out = engine.answer("xml data").unwrap();
     assert!(!out.refinements.is_empty() || out.original_ok);
 }
 
@@ -54,7 +54,9 @@ fn refinement_recovers_ground_truth_on_most_queries() {
         .iter()
         .filter(|q| q.kind != PerturbKind::None && q.kind != PerturbKind::ExtraTerm)
     {
-        let out = engine.answer_query(Query::from_keywords(wq.keywords.iter().cloned()));
+        let out = engine
+            .answer_query(Query::from_keywords(wq.keywords.iter().cloned()))
+            .expect("query answered");
         graded += 1;
         // ground truth recovered if some Top-4 RQ grades >= 2 (fairly or
         // highly relevant per the oracle)
@@ -86,10 +88,10 @@ fn baseball_corpus_end_to_end() {
         },
     );
     // straightforward query
-    let out = engine.answer("pitcher wins");
+    let out = engine.answer("pitcher wins").unwrap();
     assert!(out.original_ok, "pitchers have wins");
     // typo repaired
-    let out = engine.answer("picther games");
+    let out = engine.answer("picther games").unwrap();
     assert!(!out.original_ok);
     let best = out.best().expect("refined");
     assert!(best.candidate.keywords.contains(&"pitcher".to_string()));
@@ -131,7 +133,7 @@ fn deep_pathological_documents_do_not_break_anything() {
         xml.push_str(&format!("</n{i}>"));
     }
     let engine = XRefineEngine::from_xml(&xml, EngineConfig::default()).unwrap();
-    let out = engine.answer("needle haystack");
+    let out = engine.answer("needle haystack").unwrap();
     // the two keywords sit on the single deepest node; whether that is
     // "meaningful" depends on search-for inference, but nothing panics
     // and any produced result must be the deep node, not the root

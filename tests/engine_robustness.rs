@@ -24,7 +24,7 @@ proptest! {
     fn answer_never_panics_and_keeps_invariants(query in "\\PC{0,40}") {
         for alg in [Algorithm::StackRefine, Algorithm::Partition, Algorithm::ShortListEager] {
             let e = engine(alg);
-            let out = e.answer(&query);
+            let out = e.answer(&query).expect("resident backend is infallible");
             // invariants
             if out.original_ok {
                 prop_assert!(!out.refinements.is_empty());
@@ -61,7 +61,9 @@ proptest! {
         )
     ) {
         let e = engine(Algorithm::Partition);
-        let out = e.answer_query(Query::from_keywords(words.iter().map(|s| s.to_string())));
+        let out = e
+            .answer_query(Query::from_keywords(words.iter().map(|s| s.to_string())))
+            .expect("resident backend is infallible");
         prop_assert!(out.refinements.len() <= 2 || out.original_ok);
     }
 }

@@ -25,7 +25,7 @@ fn example1_database_publication_is_refined() {
         Algorithm::Partition,
         Algorithm::ShortListEager,
     ] {
-        let out = engine(alg).answer("database publication");
+        let out = engine(alg).answer("database publication").unwrap();
         assert!(!out.original_ok, "{alg:?}");
         let best = out.best().unwrap();
         assert!(best.candidate.dissimilarity > 0.0);
@@ -40,11 +40,16 @@ fn table1_q4_root_cover_triggers_refinement() {
     // Q4 {xml, john, 2003}: all keywords exist; only the root covers all.
     let e = engine(Algorithm::Partition);
     // the plain SLCA baseline really does return the root
-    let slcas = e.baseline_slca(&Query::parse("xml john 2003"), xrefine_repro::slca::slca_stack);
+    let slcas = e
+        .baseline_slca(
+            &Query::parse("xml john 2003"),
+            xrefine_repro::slca::slca_stack,
+        )
+        .unwrap();
     assert_eq!(slcas.len(), 1);
     assert_eq!(slcas[0].to_string(), "0");
     // the refinement engine rejects it and proposes subqueries
-    let out = e.answer("xml john 2003");
+    let out = e.answer("xml john 2003").unwrap();
     assert!(!out.original_ok);
     assert!(!out.refinements.is_empty());
     for r in &out.refinements {
@@ -57,20 +62,17 @@ fn table1_q4_root_cover_triggers_refinement() {
 fn table1_q0_hobby_result_is_meaningful() {
     // RQ0 flavour: {john, fishing} matches hobby:0.1.2 under author.
     let e = engine(Algorithm::Partition);
-    let out = e.answer("john fishing");
+    let out = e.answer("john fishing").unwrap();
     assert!(out.original_ok);
     let best = out.best().unwrap();
     assert_eq!(best.candidate.dissimilarity, 0.0);
-    assert!(best
-        .slcas
-        .iter()
-        .all(|d| d.to_string().starts_with("0.1")));
+    assert!(best.slcas.iter().all(|d| d.to_string().starts_with("0.1")));
 }
 
 #[test]
 fn queries_with_no_repair_fail_gracefully() {
     let e = engine(Algorithm::Partition);
-    let out = e.answer("zzzz qqqq wwww1234");
+    let out = e.answer("zzzz qqqq wwww1234").unwrap();
     assert!(!out.original_ok);
     assert!(out.refinements.is_empty());
 }
@@ -78,7 +80,7 @@ fn queries_with_no_repair_fail_gracefully() {
 #[test]
 fn empty_query_is_handled() {
     let e = engine(Algorithm::Partition);
-    let out = e.answer("   ");
+    let out = e.answer("   ").unwrap();
     assert!(!out.original_ok);
     assert!(out.refinements.is_empty());
 }
@@ -86,11 +88,11 @@ fn empty_query_is_handled() {
 #[test]
 fn single_keyword_queries_work() {
     let e = engine(Algorithm::Partition);
-    let out = e.answer("fishing");
+    let out = e.answer("fishing").unwrap();
     assert!(out.original_ok);
     assert!(!out.best().unwrap().slcas.is_empty());
     // a misspelled single keyword gets corrected
-    let out = e.answer("fihsing");
+    let out = e.answer("fihsing").unwrap();
     assert!(!out.original_ok);
     let best = out.best().unwrap();
     assert_eq!(best.candidate.keywords, vec!["fishing".to_string()]);

@@ -13,7 +13,11 @@ use xrefine_repro::xrefine::{
     partition_refine, sle_refine, stack_refine, PartitionOptions, RefineSession, SleOptions,
 };
 
-fn setup() -> (Arc<xrefine_repro::xmldom::Document>, Index, Vec<Vec<String>>) {
+fn setup() -> (
+    Arc<xrefine_repro::xmldom::Document>,
+    Index,
+    Vec<Vec<String>>,
+) {
     let doc = Arc::new(generate_dblp(&DblpConfig {
         authors: 60,
         ..Default::default()
@@ -32,14 +36,10 @@ fn setup() -> (Arc<xrefine_repro::xmldom::Document>, Index, Vec<Vec<String>>) {
     (doc, index, queries)
 }
 
-fn session<'a>(
-    engine: &XRefineEngine,
-    index: &'a Index,
-    keywords: &[String],
-) -> RefineSession<'a> {
+fn session<'a>(engine: &XRefineEngine, index: &'a Index, keywords: &[String]) -> RefineSession<'a> {
     let q = Query::from_keywords(keywords.iter().cloned());
     let rules = engine.rules_for(&q);
-    RefineSession::new(index, q, rules)
+    RefineSession::new(index, q, rules).expect("resident backend is infallible")
 }
 
 #[test]
@@ -105,7 +105,11 @@ fn sle_probes_instead_of_merging() {
         // bounded by (#candidates) x budget.
         let budget = s.total_list_len() as u64;
         let cap = budget * (2 * 3 + 2) + budget;
-        assert!(out.advances <= cap, "{keywords:?}: {} > {cap}", out.advances);
+        assert!(
+            out.advances <= cap,
+            "{keywords:?}: {} > {cap}",
+            out.advances
+        );
     }
     assert!(probed > 0, "SLE never used a random access");
 }
@@ -143,7 +147,10 @@ fn all_three_algorithms_agree_on_optimal_dissimilarity() {
         // candidate lists (§VI-B), so they can only be equal or worse —
         // never better.
         let (da, db, dc) = (ds(&a), ds(&b), ds(&c));
-        assert!(da <= db, "partition beat stack on {keywords:?}: {da} vs {db}");
+        assert!(
+            da <= db,
+            "partition beat stack on {keywords:?}: {da} vs {db}"
+        );
         assert!(da <= dc, "sle beat stack on {keywords:?}: {da} vs {dc}");
         if da == db && db == dc {
             agreements += 1;
@@ -175,7 +182,9 @@ fn needs_refinement_matches_perturbation_ground_truth() {
     );
     let engine = XRefineEngine::from_document(doc, EngineConfig::default());
     for wq in &workload {
-        let out = engine.answer_query(Query::from_keywords(wq.keywords.iter().cloned()));
+        let out = engine
+            .answer_query(Query::from_keywords(wq.keywords.iter().cloned()))
+            .expect("query answered");
         if matches!(wq.kind, PerturbKind::Typo | PerturbKind::Synonym) {
             assert!(
                 !out.original_ok,

@@ -86,7 +86,7 @@ fn partition_topk_matches_exhaustive_reference() {
         let k = 2;
 
         let reference = reference_topk(&index, &query, &rules, k);
-        let session = RefineSession::new(&index, query, rules);
+        let session = RefineSession::new(&index, query, rules).unwrap();
         let out = partition_refine(
             &session,
             &PartitionOptions {
@@ -112,8 +112,12 @@ fn partition_topk_matches_exhaustive_reference() {
 
         // All of partition's candidates must be real reference candidates
         // (correct cost, meaningful results exist).
-        let ref_all = reference_topk(&index, &Query::from_keywords(q.iter().map(|s| s.to_string())),
-            &engine.rules_for(&Query::from_keywords(q.iter().map(|s| s.to_string()))), 1000);
+        let ref_all = reference_topk(
+            &index,
+            &Query::from_keywords(q.iter().map(|s| s.to_string())),
+            &engine.rules_for(&Query::from_keywords(q.iter().map(|s| s.to_string()))),
+            1000,
+        );
         let ref_set: HashSet<(Vec<String>, u64)> = ref_all
             .iter()
             .map(|(kws, ds)| (kws.clone(), ds.to_bits()))
