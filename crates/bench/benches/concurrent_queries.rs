@@ -1,0 +1,96 @@
+//! Concurrent serving throughput: one kv-backed `XRefineEngine` shared
+//! behind an `Arc`, the same query workload answered by 1/2/4/8 threads.
+//! Reports per-configuration throughput and the speedup over the
+//! single-thread run — the scaling evidence for the sharded cache +
+//! RwLock'ed store read path.
+//!
+//! Plain `main` (harness = false): the measurement is a wall-clock
+//! throughput table, not a statistical microbenchmark.
+
+use bench::{dblp, f3, Table};
+use datagen::{generate_workload, WorkloadConfig};
+use invindex::{persist, Index, KvBackedIndex};
+use kvstore::MemKv;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use xrefine::{EngineConfig, Query, XRefineEngine};
+
+fn kv_engine(doc: &Arc<xmldom::Document>) -> Arc<XRefineEngine> {
+    let built = Index::build(Arc::clone(doc));
+    let mut store = MemKv::new();
+    persist::persist(&built, &mut store).unwrap();
+    let reader = KvBackedIndex::open(Box::new(store)).unwrap();
+    Arc::new(XRefineEngine::from_reader(
+        Arc::new(reader),
+        EngineConfig::default(),
+    ))
+}
+
+/// Answers the whole workload once per repetition, striped over
+/// `threads` workers; returns queries-per-second.
+fn run(engine: &Arc<XRefineEngine>, workload: &[Vec<String>], threads: usize, reps: usize) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let engine = Arc::clone(engine);
+            s.spawn(move || {
+                for _ in 0..reps {
+                    for kw in workload.iter().skip(tid).step_by(threads) {
+                        let q = Query::from_keywords(kw.iter().cloned());
+                        black_box(engine.answer_query(q).expect("query answered"));
+                    }
+                }
+            });
+        }
+    });
+    let answered = workload.len() * reps;
+    answered as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let doc = dblp(0.05);
+    let workload: Vec<Vec<String>> = generate_workload(
+        &doc,
+        &WorkloadConfig {
+            per_kind: 3,
+            ..Default::default()
+        },
+    )
+    .into_iter()
+    .map(|q| q.keywords)
+    .collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "corpus: {} nodes; workload: {} queries; host parallelism: {cores}",
+        doc.len(),
+        workload.len()
+    );
+    if cores < 4 {
+        println!("note: fewer than 4 cores — speedup is bounded by the host, not the engine");
+    }
+
+    let engine = kv_engine(&doc);
+    // warm the cache once so every configuration sees the same
+    // steady-state store (the interesting contention is cache + engine,
+    // not first-touch decoding)
+    run(&engine, &workload, 1, 1);
+
+    let reps = 6;
+    let mut table = Table::new(&["threads", "q/s", "speedup"]);
+    let mut base = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let qps = run(&engine, &workload, threads, reps);
+        if threads == 1 {
+            base = qps;
+        }
+        table.row(vec![
+            threads.to_string(),
+            format!("{qps:.1}"),
+            f3(qps / base),
+        ]);
+    }
+    table.print();
+}

@@ -3,144 +3,38 @@
 //! [`KvBackedIndex`] opens a persisted index (see [`crate::persist`])
 //! and serves queries without rehydrating the posting lists: vocabulary
 //! and statistics load eagerly (they are small and every query touches
-//! them), lists materialize lazily on first touch and live in an LRU
-//! cache with a configurable byte budget. Cold start is therefore
+//! them), lists materialize lazily on first touch and live in a sharded
+//! LRU cache with a configurable byte budget. Cold start is therefore
 //! `O(vocabulary + stats)` instead of `O(index size)`, and steady-state
 //! memory is bounded by the budget plus whatever outstanding
 //! [`ListHandle`]s still pin.
 //!
-//! Cache policy: cost of an entry is its *stored* (encoded) size — the
-//! quantity the budget is protecting is decode work and resident bytes,
-//! both proportional to it. Eviction never invalidates handles already
-//! given out (entries are `Arc`-shared); a list larger than the whole
+//! Concurrency: the reader is `Send + Sync` and designed to be shared
+//! across serving threads behind one `Arc`. A cache hit locks exactly one
+//! cache shard (see [`crate::cache`]) and never touches the store; a miss
+//! takes the store's *read* lock, so concurrent misses on a `KvStore`
+//! whose `get` is `&self` (all of them) proceed in parallel and decoding
+//! always happens outside every lock. The write lock exists only for
+//! store mutation, which this reader never performs.
+//!
+//! Cache policy lives in [`crate::cache`]: cost of an entry is its
+//! *stored* (encoded) size; eviction never invalidates handles already
+//! given out (entries are `Arc`-shared); a list larger than its shard's
 //! budget is returned uncached and simply re-decoded on its next touch —
 //! degraded speed, never degraded answers.
 
+use crate::cache::ShardedListCache;
+pub use crate::cache::{CacheStats, DEFAULT_CACHE_SHARDS};
 use crate::cooccur::CoOccurrence;
 use crate::persist;
-use crate::postings::PostingList;
 use crate::reader::{IndexReader, ListHandle};
 use crate::stats::{KeywordId, KeywordTable, TypeStats};
 use kvstore::{KvError, KvStore, Result};
-use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use xmldom::{Document, NodeTypeId};
 
 /// Default list-cache budget: 64 MiB of encoded list bytes.
 pub const DEFAULT_CACHE_BUDGET: usize = 64 << 20;
-
-/// A snapshot of the list-cache counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Lookups answered from the cache.
-    pub hits: u64,
-    /// Lookups that had to touch the store.
-    pub misses: u64,
-    /// Lists decoded from stored pages (misses that found the key).
-    pub lists_decoded: u64,
-    /// Entries evicted to respect the byte budget.
-    pub evictions: u64,
-    /// Encoded bytes currently held by the cache.
-    pub cached_bytes: usize,
-}
-
-struct CacheEntry {
-    list: Arc<PostingList>,
-    cost: usize,
-    tick: u64,
-}
-
-/// LRU over decoded posting lists, keyed by keyword id, bounded by the
-/// summed encoded size of the entries.
-struct ListCache {
-    budget: usize,
-    used: usize,
-    tick: u64,
-    map: HashMap<u32, CacheEntry>,
-    /// tick -> keyword id; the smallest tick is the eviction victim.
-    lru: BTreeMap<u64, u32>,
-    hits: u64,
-    misses: u64,
-    lists_decoded: u64,
-    evictions: u64,
-}
-
-impl ListCache {
-    fn new(budget: usize) -> Self {
-        ListCache {
-            budget,
-            used: 0,
-            tick: 0,
-            map: HashMap::new(),
-            lru: BTreeMap::new(),
-            hits: 0,
-            misses: 0,
-            lists_decoded: 0,
-            evictions: 0,
-        }
-    }
-
-    /// Looks up `id`, promoting it to most-recently-used on a hit.
-    fn get(&mut self, id: u32) -> Option<Arc<PostingList>> {
-        match self.map.get_mut(&id) {
-            Some(entry) => {
-                self.hits += 1;
-                self.lru.remove(&entry.tick);
-                self.tick += 1;
-                entry.tick = self.tick;
-                self.lru.insert(entry.tick, id);
-                Some(Arc::clone(&entry.list))
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
-    }
-
-    /// Inserts a freshly decoded list. Oversize lists (cost > budget)
-    /// are not cached at all; otherwise LRU entries are evicted until
-    /// the budget holds.
-    fn insert(&mut self, id: u32, list: Arc<PostingList>, cost: usize) {
-        self.lists_decoded += 1;
-        if cost > self.budget {
-            return;
-        }
-        if let Some(old) = self.map.remove(&id) {
-            self.lru.remove(&old.tick);
-            self.used -= old.cost;
-        }
-        while self.used + cost > self.budget {
-            let (&tick, &victim) = self.lru.iter().next().expect("used > 0 implies entries");
-            self.lru.remove(&tick);
-            let evicted = self.map.remove(&victim).expect("lru and map agree");
-            self.used -= evicted.cost;
-            self.evictions += 1;
-        }
-        self.tick += 1;
-        self.lru.insert(self.tick, id);
-        self.map.insert(
-            id,
-            CacheEntry {
-                list,
-                cost,
-                tick: self.tick,
-            },
-        );
-        self.used += cost;
-    }
-
-    fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            lists_decoded: self.lists_decoded,
-            evictions: self.evictions,
-            cached_bytes: self.used,
-        }
-    }
-}
 
 /// An [`IndexReader`] over a persisted index: posting lists decode
 /// lazily from kvstore pages on first touch.
@@ -150,8 +44,8 @@ pub struct KvBackedIndex {
     stats: TypeStats,
     cooccur: CoOccurrence,
     version: u64,
-    store: Mutex<Box<dyn KvStore>>,
-    cache: Mutex<ListCache>,
+    store: RwLock<Box<dyn KvStore>>,
+    cache: ShardedListCache,
 }
 
 impl KvBackedIndex {
@@ -187,23 +81,30 @@ impl KvBackedIndex {
             stats,
             cooccur: CoOccurrence::new(),
             version,
-            store: Mutex::new(store),
-            cache: Mutex::new(ListCache::new(DEFAULT_CACHE_BUDGET)),
+            store: RwLock::new(store),
+            cache: ShardedListCache::new(DEFAULT_CACHE_BUDGET, DEFAULT_CACHE_SHARDS),
         })
     }
 
-    /// Sets the list-cache byte budget (encoded bytes). A budget of 0
-    /// disables caching entirely — every touch re-decodes.
-    pub fn with_cache_budget(self, bytes: usize) -> Self {
-        let mut cache = self.cache.lock();
-        *cache = ListCache::new(bytes);
-        drop(cache);
+    /// Sets the list-cache byte budget (encoded bytes), keeping the shard
+    /// count. A budget of 0 disables caching entirely — every touch
+    /// re-decodes.
+    pub fn with_cache_budget(mut self, bytes: usize) -> Self {
+        self.cache = ShardedListCache::new(bytes, self.cache.shard_count());
         self
     }
 
-    /// Current cache counters.
+    /// Sets the cache shard count, keeping the byte budget. One shard
+    /// reproduces the monolithic LRU (global eviction order); more shards
+    /// trade eviction precision for lower lock contention.
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache = ShardedListCache::new(self.cache.budget(), shards);
+        self
+    }
+
+    /// Current cache counters, aggregated over all shards.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().stats()
+        self.cache.stats()
     }
 
     /// The persisted format version this reader is serving.
@@ -229,14 +130,14 @@ impl IndexReader for KvBackedIndex {
         if k.0 as usize >= self.vocab.len() {
             return Ok(ListHandle::empty());
         }
-        // Cache probe and store read are separate lock scopes: decoding
-        // happens outside the cache lock, and the store lock is never
-        // held while the cache lock is.
-        if let Some(list) = self.cache.lock().get(k.0) {
+        // Hit path: one shard lock, no store access.
+        if let Some(list) = self.cache.get(k.0) {
             return Ok(ListHandle::new(list));
         }
+        // Miss path: the store's read lock is shared, so concurrent
+        // misses read in parallel; decoding happens outside every lock.
         let value = {
-            let store = self.store.lock();
+            let store = self.store.read().expect("store lock poisoned");
             store.get(&persist::list_key(k.0))?
         };
         let Some(value) = value else {
@@ -246,14 +147,16 @@ impl IndexReader for KvBackedIndex {
             )));
         };
         let list = Arc::new(persist::decode_list_value(self.version, &value)?);
-        self.cache
-            .lock()
-            .insert(k.0, Arc::clone(&list), value.len());
+        self.cache.insert(k.0, Arc::clone(&list), value.len());
         Ok(ListHandle::new(list))
     }
 
     fn co_occur(&self, t: NodeTypeId, ki: KeywordId, kj: KeywordId) -> u64 {
         self.cooccur.co_occur(self, t, ki, kj)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
     }
 }
 
@@ -275,6 +178,12 @@ mod tests {
 
     fn handle_of(idx: &KvBackedIndex, kw: &str) -> ListHandle {
         idx.list_handle(kw).unwrap()
+    }
+
+    #[test]
+    fn reader_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KvBackedIndex>();
     }
 
     #[test]
@@ -313,9 +222,11 @@ mod tests {
         let (_, built, store) = persisted();
         // Budget sized to roughly two typical lists: inserting many
         // distinct lists must evict, and used bytes never exceed it.
+        // One shard so the budget boundary is exercised globally.
         let budget = 2 * persist::encode_list_value(2, built.list("xml").unwrap()).len() + 8;
         let idx = KvBackedIndex::open(Box::new(store))
             .unwrap()
+            .with_cache_shards(1)
             .with_cache_budget(budget);
         for (_, text) in built.vocabulary().iter() {
             let _ = handle_of(&idx, text);
@@ -332,6 +243,29 @@ mod tests {
     }
 
     #[test]
+    fn sharded_budget_is_respected_under_eviction() {
+        // Same boundary property with the default shard count: the
+        // *global* budget still bounds the summed bytes, because the
+        // per-shard budgets sum to it.
+        let (_, built, store) = persisted();
+        let budget = 3 * persist::encode_list_value(2, built.list("xml").unwrap()).len();
+        let idx = KvBackedIndex::open(Box::new(store))
+            .unwrap()
+            .with_cache_budget(budget);
+        for round in 0..2 {
+            for (_, text) in built.vocabulary().iter() {
+                let h = handle_of(&idx, text);
+                assert_eq!(
+                    h.postings(),
+                    built.list(text).unwrap().as_slice(),
+                    "round {round}: wrong answer for {text}"
+                );
+                assert!(idx.cache_stats().cached_bytes <= budget);
+            }
+        }
+    }
+
+    #[test]
     fn retouch_promotes_the_entry() {
         let (_, built, store) = persisted();
         let vocab: Vec<String> = built
@@ -339,11 +273,12 @@ mod tests {
             .iter()
             .map(|(_, t)| t.to_string())
             .collect();
-        // budget that fits ~3 small lists
+        // budget that fits ~3 small lists; one shard for a global LRU
         let cost = |kw: &str| persist::encode_list_value(2, built.list(kw).unwrap()).len();
         let budget = cost(&vocab[0]) + cost(&vocab[1]) + cost(&vocab[2]) + 2;
         let idx = KvBackedIndex::open(Box::new(store))
             .unwrap()
+            .with_cache_shards(1)
             .with_cache_budget(budget);
 
         let _ = handle_of(&idx, &vocab[0]);
@@ -437,5 +372,37 @@ mod tests {
                 IndexReader::co_occur(&idx, t, xml, john)
             );
         }
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_index() {
+        let (_, built, store) = persisted();
+        let idx = Arc::new(KvBackedIndex::open(Box::new(store)).unwrap());
+        let vocab: Vec<String> = built
+            .vocabulary()
+            .iter()
+            .map(|(_, t)| t.to_string())
+            .collect();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let idx = Arc::clone(&idx);
+                let vocab = &vocab;
+                let built = &built;
+                s.spawn(move || {
+                    for round in 0..4 {
+                        for kw in vocab {
+                            let h = idx.list_handle(kw).unwrap();
+                            assert_eq!(
+                                h.postings(),
+                                built.list(kw).unwrap().as_slice(),
+                                "thread {t} round {round}: wrong answer for {kw}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let s = idx.cache_stats();
+        assert_eq!(s.hits + s.misses, 8 * 4 * vocab.len() as u64);
     }
 }

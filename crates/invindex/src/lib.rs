@@ -7,14 +7,15 @@
 //! * [`index`]: the one-pass index builder and resident
 //!   [`InMemoryIndex`] backend;
 //! * [`kvindex`]: the [`KvBackedIndex`] backend — lists materialized
-//!   lazily from a [`kvstore::KvStore`] through an LRU byte-budget
-//!   cache;
+//!   lazily from a [`kvstore::KvStore`] through a sharded LRU
+//!   byte-budget cache ([`cache`]);
 //! * [`stats`]: the frequency tables (`N_T`, `G_T`, `tf(k,T)`, `f^T_k`);
 //! * [`cooccur`]: memoized co-occurrence frequencies `f^T_{ki,kj}`;
 //! * [`cursor`]: scan-instrumented list cursors (used to *prove* the
 //!   one-scan property of the refinement algorithms in tests);
 //! * [`persist`]: storage of the whole index in any [`kvstore::KvStore`].
 
+pub mod cache;
 pub mod cooccur;
 pub mod cursor;
 pub mod index;
@@ -25,9 +26,10 @@ pub mod postings;
 pub mod reader;
 pub mod stats;
 
+pub use cache::{CacheStats, ShardedListCache, DEFAULT_CACHE_SHARDS};
 pub use cursor::{ListCursor, ScanStats};
 pub use index::{InMemoryIndex, Index};
-pub use kvindex::{CacheStats, KvBackedIndex};
+pub use kvindex::KvBackedIndex;
 pub use parallel::build_parallel;
 pub use postings::{Posting, PostingList};
 pub use reader::{IndexReader, ListHandle};

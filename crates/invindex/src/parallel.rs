@@ -10,8 +10,15 @@
 //!   across keywords — each worker owns a disjoint keyword range and
 //!   produces a local `df` map, merged at the end.
 //!
-//! The result is bit-identical to the sequential build (asserted by the
-//! test suite), so callers can switch freely.
+//! The result is bit-identical to the sequential build — *including
+//! keyword ids and persisted store bytes*, not merely string-keyed
+//! lookups. Workers record each node's tokens in first-encounter order
+//! (tag, then text, then attributes — the sequential builder's traversal
+//! order), and pass 1b interns them in sequential node order, so id
+//! assignment is independent of the thread count and chunking. The
+//! equivalence tests assert id-level equality, and
+//! `tests/parallel_persist.rs` asserts persisted byte-identity; callers
+//! can switch builders freely.
 
 use crate::index::Index;
 use crate::postings::{Posting, PostingList};
@@ -20,7 +27,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use xmldom::{tokenize, Document, NodeTypeId};
 
-/// One worker's output for pass 1a: `(node id, sorted token counts)`.
+/// One worker's output for pass 1a: `(node id, token counts in
+/// first-encounter order)`. Encounter order matters: pass 1b interns in
+/// exactly this order to reproduce the sequential builder's keyword ids.
 type TokenizedChunk = Vec<(u32, Vec<(String, u64)>)>;
 
 /// Builds the index using up to `threads` worker threads. `threads == 0`
@@ -44,26 +53,35 @@ pub fn build_parallel(doc: Arc<Document>, threads: usize) -> Index {
             let doc = &doc;
             handles.push(s.spawn(move |_| {
                 let mut out = Vec::with_capacity(ids.len());
-                let mut counts: HashMap<String, u64> = HashMap::new();
+                // Per-node token counts in first-encounter order: the
+                // Vec keeps the order the sequential builder would intern
+                // in, the map only deduplicates repeats.
+                let mut order: Vec<(String, u64)> = Vec::new();
+                let mut seen: HashMap<String, usize> = HashMap::new();
                 for &raw in ids {
                     let id = xmldom::NodeId(raw);
-                    counts.clear();
+                    order.clear();
+                    seen.clear();
+                    let mut bump = |tok: String| match seen.get(&tok) {
+                        Some(&i) => order[i].1 += 1,
+                        None => {
+                            seen.insert(tok.clone(), order.len());
+                            order.push((tok, 1));
+                        }
+                    };
                     for tok in tokenize(doc.tag_name(id)) {
-                        *counts.entry(tok).or_insert(0) += 1;
+                        bump(tok);
                     }
                     for tok in tokenize(&doc.node(id).text) {
-                        *counts.entry(tok).or_insert(0) += 1;
+                        bump(tok);
                     }
                     for (name, value) in &doc.node(id).attributes {
                         for tok in tokenize(name).into_iter().chain(tokenize(value)) {
-                            *counts.entry(tok).or_insert(0) += 1;
+                            bump(tok);
                         }
                     }
-                    if !counts.is_empty() {
-                        let mut v: Vec<(String, u64)> = counts.drain().collect();
-                        // deterministic order for identical interning
-                        v.sort();
-                        out.push((raw, v));
+                    if !order.is_empty() {
+                        out.push((raw, order.clone()));
                     }
                 }
                 out
@@ -76,10 +94,10 @@ pub fn build_parallel(doc: Arc<Document>, threads: usize) -> Index {
     .expect("crossbeam scope");
 
     // ---- pass 1b (sequential): intern, postings, N_T, tf -------------
-    // NOTE: interning order differs from the sequential builder (which
-    // interns tag tokens before text tokens per node, unsorted); keyword
-    // *ids* may therefore differ, but the keyword -> list/stats mapping is
-    // identical, which is what the equivalence test asserts.
+    // Chunks arrive in node order and each node's tokens are in
+    // first-encounter order, so `vocab.intern` sees first occurrences in
+    // exactly the sequential builder's order: keyword ids (and therefore
+    // persisted bytes) are identical regardless of thread count.
     let mut vocab = KeywordTable::new();
     let mut lists: Vec<PostingList> = Vec::new();
     let mut stats = TypeStats::new(num_types);
@@ -165,20 +183,24 @@ mod tests {
         let seq = Index::build(Arc::clone(&doc));
         let par = build_parallel(doc, threads);
         assert_eq!(seq.vocabulary().len(), par.vocabulary().len());
-        // keyword ids may differ; compare through the string keys
+        // ids must match exactly, not merely the string-keyed lookups:
+        // determinism of the interning order is part of the contract
+        // (persisted stores must be byte-identical).
         for (k_seq, text) in seq.vocabulary().iter() {
-            let k_par = par
-                .vocabulary()
-                .get(text)
-                .unwrap_or_else(|| panic!("{text} missing in parallel vocab"));
+            assert_eq!(
+                par.vocabulary().get(text),
+                Some(k_seq),
+                "{text} interned under a different id with {threads} threads"
+            );
+            assert_eq!(par.vocabulary().resolve(k_seq), text);
             assert_eq!(
                 seq.list_by_id(k_seq),
-                par.list_by_id(k_par),
+                par.list_by_id(k_seq),
                 "lists differ for {text}"
             );
             for t in seq.document().node_types().iter() {
-                assert_eq!(seq.stats().tf(t, k_seq), par.stats().tf(t, k_par), "{text}");
-                assert_eq!(seq.stats().df(t, k_seq), par.stats().df(t, k_par), "{text}");
+                assert_eq!(seq.stats().tf(t, k_seq), par.stats().tf(t, k_seq), "{text}");
+                assert_eq!(seq.stats().df(t, k_seq), par.stats().df(t, k_seq), "{text}");
             }
         }
         for t in seq.document().node_types().iter() {

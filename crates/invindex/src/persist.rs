@@ -82,10 +82,18 @@ pub fn persist_versioned(index: &Index, store: &mut dyn KvStore, version: u64) -
     }
     store.put(b"S/G", &gbuf)?;
 
-    for (t, k, v) in index.stats().iter_tf() {
+    // The stat tables are hash maps; write their entries in sorted
+    // (t, k) order so the put sequence — and therefore the page layout
+    // of ordered stores — is a pure function of the index contents.
+    // `tests/parallel_persist.rs` relies on persisted byte-identity.
+    let mut tf: Vec<_> = index.stats().iter_tf().collect();
+    tf.sort_unstable_by_key(|&(t, k, _)| (t.0, k.0));
+    for (t, k, v) in tf {
         store.put(&stat_key(b"S/T/", t, k), &varint_vec(v))?;
     }
-    for (t, k, v) in index.stats().iter_df() {
+    let mut df: Vec<_> = index.stats().iter_df().collect();
+    df.sort_unstable_by_key(|&(t, k, _)| (t.0, k.0));
+    for (t, k, v) in df {
         store.put(&stat_key(b"S/D/", t, k), &varint_vec(v))?;
     }
     store.sync()

@@ -157,7 +157,24 @@ pub trait IndexReader: Send + Sync {
     fn contains_keyword(&self, keyword: &str) -> bool {
         self.keyword_id(keyword).is_some()
     }
+
+    /// List-cache counters, for backends that cache lazily materialized
+    /// lists (`None` for fully resident backends). Serving drivers use
+    /// this to report cache effectiveness without downcasting.
+    fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        None
+    }
 }
+
+// The whole query path is built on shared readers: one engine, many
+// serving threads. Keep the trait object itself `Send + Sync` — if this
+// stops compiling, a backend grew thread-unsafe state.
+const _: () = {
+    fn _assert_send_sync<T: Send + Sync + ?Sized>() {}
+    fn _check() {
+        _assert_send_sync::<dyn IndexReader>();
+    }
+};
 
 /// Distinct `t`-typed ancestors-or-self of the postings, in document
 /// order — the denominator sets of the co-occurrence statistics. Shared

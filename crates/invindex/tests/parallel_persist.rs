@@ -1,0 +1,95 @@
+//! The strongest form of the parallel-build determinism contract:
+//! persisting a parallel-built index must produce *byte-identical* store
+//! files to persisting the sequential build — same keys, same values,
+//! same on-disk pages. Anything weaker (e.g. "same lists under
+//! string-keyed lookup") would let keyword ids drift with the thread
+//! count, silently breaking store interchangeability and incremental
+//! backup/diff tooling.
+
+use datagen::{generate_dblp, DblpConfig};
+use invindex::{build_parallel, persist, Index};
+use kvstore::{DiskKv, KvStore, MemKv};
+use std::path::PathBuf;
+use std::sync::Arc;
+use xmldom::Document;
+
+fn corpus() -> Arc<Document> {
+    Arc::new(generate_dblp(&DblpConfig {
+        authors: 60,
+        ..Default::default()
+    }))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parallel_persist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Every key/value pair of a store, in key order.
+fn dump(store: &dyn KvStore) -> Vec<(Vec<u8>, Vec<u8>)> {
+    store.scan_range(b"", None).unwrap()
+}
+
+#[test]
+fn parallel_and_sequential_builds_persist_identical_kv_contents() {
+    let doc = corpus();
+    let seq = Index::build(Arc::clone(&doc));
+    for threads in [2, 3, 8] {
+        let par = build_parallel(Arc::clone(&doc), threads);
+        let mut seq_store = MemKv::new();
+        let mut par_store = MemKv::new();
+        persist::persist(&seq, &mut seq_store).unwrap();
+        persist::persist(&par, &mut par_store).unwrap();
+        let a = dump(&seq_store);
+        let b = dump(&par_store);
+        assert_eq!(a.len(), b.len(), "{threads} threads: entry count differs");
+        for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ka, kb, "{threads} threads: key sequence diverges");
+            assert_eq!(
+                va,
+                vb,
+                "{threads} threads: value differs at key {:?}",
+                String::from_utf8_lossy(ka)
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_and_sequential_builds_persist_byte_identical_files() {
+    let doc = corpus();
+    let seq = Index::build(Arc::clone(&doc));
+    let par = build_parallel(Arc::clone(&doc), 4);
+
+    let seq_path = tmp("seq.db");
+    let par_path = tmp("par.db");
+    {
+        let mut store = DiskKv::open(&seq_path).unwrap();
+        persist::persist(&seq, &mut store).unwrap();
+    }
+    {
+        let mut store = DiskKv::open(&par_path).unwrap();
+        persist::persist(&par, &mut store).unwrap();
+    }
+    let seq_bytes = std::fs::read(&seq_path).unwrap();
+    let par_bytes = std::fs::read(&par_path).unwrap();
+    assert_eq!(
+        seq_bytes.len(),
+        par_bytes.len(),
+        "store files differ in size"
+    );
+    assert!(
+        seq_bytes == par_bytes,
+        "store files are not byte-identical (first divergence at offset {})",
+        seq_bytes
+            .iter()
+            .zip(par_bytes.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or(0)
+    );
+    std::fs::remove_file(&seq_path).unwrap();
+    std::fs::remove_file(&par_path).unwrap();
+}

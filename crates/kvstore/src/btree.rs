@@ -354,12 +354,17 @@ impl<P: Pager> BTree<P> {
                             self.write_node(page, &node)?;
                             return Ok(InsertOutcome::Done { replaced });
                         }
-                        // Split the branch: middle key moves up.
+                        // Split the branch: the key at the byte midpoint
+                        // moves up (count midpoints can leave a half
+                        // overflowing when key sizes are skewed).
                         let (keys, children) = match node {
                             TreeNode::Branch { keys, children } => (keys, children),
                             _ => unreachable!(),
                         };
-                        let mid = keys.len() / 2;
+                        let sizes: Vec<usize> = keys.iter().map(|k| 2 + k.len() + 8).collect();
+                        // mid ∈ [1, len-2]: both halves keep ≥ 1 key
+                        // (the separator itself moves up, not sideways)
+                        let mid = byte_midpoint(&sizes).min(keys.len().saturating_sub(2).max(1));
                         let sep_up = keys[mid].clone();
                         let right_keys = keys[mid + 1..].to_vec();
                         let right_children = children[mid + 1..].to_vec();
@@ -408,12 +413,16 @@ impl<P: Pager> BTree<P> {
                     self.write_node(page, &node)?;
                     return Ok(InsertOutcome::Done { replaced });
                 }
-                // Split the leaf at the entry midpoint.
+                // Split the leaf at the *byte* midpoint: entries differ in
+                // size by up to ~MAX_INLINE_ENTRY, so the count midpoint
+                // can leave one half still overflowing the page.
                 let (entries, next) = match node {
                     TreeNode::Leaf { entries, next } => (entries, next),
                     _ => unreachable!(),
                 };
-                let mid = entries.len() / 2;
+                let sizes: Vec<usize> =
+                    entries.iter().map(|(k, v)| leaf_entry_size(k, v)).collect();
+                let mid = byte_midpoint(&sizes);
                 let right_entries = entries[mid..].to_vec();
                 let left_entries = entries[..mid].to_vec();
                 let sep = right_entries[0].0.clone();
@@ -568,7 +577,9 @@ impl<P: Pager> BTree<P> {
     }
 
     fn write_node(&mut self, page: PageId, node: &TreeNode) -> Result<()> {
-        debug_assert!(node_size(node) <= PAGE_SIZE, "node overflows page");
+        // hard assert: an overflowing node would silently truncate on
+        // disk, which is far worse than aborting the writer
+        assert!(node_size(node) <= PAGE_SIZE, "node overflows page");
         let mut buf = vec![0u8; PAGE_SIZE];
         let mut pos = 0usize;
         match node {
@@ -634,6 +645,33 @@ fn child_index(keys: &[Vec<u8>], key: &[u8]) -> usize {
     }
 }
 
+/// Serialized size of one leaf entry.
+fn leaf_entry_size(key: &[u8], v: &ValueRef) -> usize {
+    2 + 4
+        + key.len()
+        + match v {
+            ValueRef::Inline(v) => v.len(),
+            ValueRef::Overflow { .. } => 12,
+        }
+}
+
+/// Index splitting `sizes` into two halves of near-equal summed bytes
+/// (the left half is the first to reach half the total). Always in
+/// `[1, len - 1]` for `len >= 2`, so neither half is empty; because no
+/// single entry approaches `PAGE_SIZE / 2`, both halves of an
+/// overflowing node are guaranteed to fit a page again.
+fn byte_midpoint(sizes: &[usize]) -> usize {
+    let total: usize = sizes.iter().sum();
+    let mut acc = 0usize;
+    for (i, s) in sizes.iter().enumerate() {
+        acc += s;
+        if 2 * acc >= total {
+            return (i + 1).clamp(1, sizes.len().saturating_sub(1).max(1));
+        }
+    }
+    (sizes.len() / 2).max(1)
+}
+
 /// Serialized size of a node in bytes.
 fn node_size(node: &TreeNode) -> usize {
     match node {
@@ -645,14 +683,7 @@ fn node_size(node: &TreeNode) -> usize {
                 + 8
                 + entries
                     .iter()
-                    .map(|(k, v)| {
-                        2 + 4
-                            + k.len()
-                            + match v {
-                                ValueRef::Inline(v) => v.len(),
-                                ValueRef::Overflow { .. } => 12,
-                            }
-                    })
+                    .map(|(k, v)| leaf_entry_size(k, v))
                     .sum::<usize>()
         }
     }
@@ -757,6 +788,39 @@ mod tests {
         assert!(t.delete(b"big").unwrap());
         assert_eq!(t.get(b"big").unwrap(), None);
         assert_eq!(t.get(b"small").unwrap().unwrap(), b"s");
+    }
+
+    #[test]
+    fn skewed_entry_sizes_split_without_overflowing_a_page() {
+        // Regression: a count-midpoint leaf split can leave one half over
+        // PAGE_SIZE when near-MAX_INLINE_ENTRY entries cluster at one end
+        // of a leaf whose other end holds many tiny entries (the midpoint
+        // lands among the tiny ones and the big half keeps too many
+        // bytes). This is exactly the shape `invindex::persist` produces:
+        // big `L/*` list values sort before a crowd of tiny `V/*` keys.
+        // The split is byte-balanced now; this workload panicked before.
+        let mut t = mem_tree();
+        for i in 0..100u32 {
+            t.put(format!("z/{i:03}").as_bytes(), b"t").unwrap();
+        }
+        let near_max = vec![0xABu8; MAX_INLINE_ENTRY - 16];
+        for i in 0..8u32 {
+            t.put(format!("a/{i:03}").as_bytes(), &near_max).unwrap();
+        }
+        for i in 0..100u32 {
+            assert_eq!(
+                t.get(format!("z/{i:03}").as_bytes()).unwrap().unwrap(),
+                b"t",
+                "tiny {i}"
+            );
+        }
+        for i in 0..8u32 {
+            assert_eq!(
+                t.get(format!("a/{i:03}").as_bytes()).unwrap().unwrap(),
+                near_max,
+                "big {i}"
+            );
+        }
     }
 
     #[test]

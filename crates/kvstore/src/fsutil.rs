@@ -1,0 +1,30 @@
+//! Filesystem durability helpers shared by the WAL and the pager.
+
+use crate::error::Result;
+use std::path::Path;
+
+/// Fsyncs the directory containing `path`.
+///
+/// Creating, truncating or renaming a file only becomes durable once the
+/// *directory* entry is flushed; fsyncing the file alone is not enough. A
+/// crash between file creation and the directory fsync can lose the file
+/// entirely, which for a WAL means silently losing every record in it.
+/// Callers invoke this after creating a log/store file and after
+/// checkpoint truncation.
+pub(crate) fn sync_parent_dir(path: &Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        // Directories cannot be opened/fsynced portably elsewhere; the
+        // file-level syncs remain in place.
+        let _ = path;
+    }
+    Ok(())
+}

@@ -14,6 +14,7 @@
 pub mod btree;
 pub mod durable;
 pub mod error;
+mod fsutil;
 pub mod pager;
 pub mod store;
 pub mod wal;

@@ -7,6 +7,7 @@
 //! detail of [`FilePager`].
 
 use crate::error::{KvError, Result};
+use crate::fsutil::sync_parent_dir;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -30,7 +31,11 @@ impl PageId {
 }
 
 /// A page-granular storage backend.
-pub trait Pager: Send {
+///
+/// Like [`crate::KvStore`], pagers are `Send + Sync`: `read` takes
+/// `&self` so concurrent readers can share a pager without an exclusive
+/// lock (writes still require `&mut self`).
+pub trait Pager: Send + Sync {
     /// Allocates a fresh zeroed page and returns its id.
     fn allocate(&mut self) -> Result<PageId>;
     /// Reads a full page. `id` must have been allocated.
@@ -129,12 +134,17 @@ struct CachedPage {
 impl FilePager {
     /// Opens (creating if absent) a pager over `path`.
     pub fn open(path: &Path) -> Result<Self> {
+        let existed = path.exists();
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(path)?;
+        if !existed {
+            // Make the file's directory entry durable (see `fsutil`).
+            sync_parent_dir(path)?;
+        }
         let len = file.seek(SeekFrom::End(0))?;
         if len % PAGE_SIZE as u64 != 0 {
             return Err(KvError::Corrupt(format!(

@@ -12,7 +12,12 @@ use std::ops::Bound;
 use std::path::Path;
 
 /// Ordered key-value storage.
-pub trait KvStore: Send {
+///
+/// `Send + Sync` is part of the contract: read methods take `&self`, so a
+/// store behind an `RwLock` (or any shared wrapper) can serve concurrent
+/// readers — the concurrent query path of `invindex::KvBackedIndex`
+/// depends on this.
+pub trait KvStore: Send + Sync {
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
     fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()>;
     fn delete(&mut self, key: &[u8]) -> Result<bool>;

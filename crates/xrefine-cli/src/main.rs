@@ -4,7 +4,8 @@
 //! xrefine-cli [--data <file.xml>|dblp|baseball|figure1] \
 //!             [--algorithm partition|sle|stack] [--k N]
 //! xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db>
-//! xrefine-cli query --store <store.db> [--algorithm ...] [--k N]
+//! xrefine-cli query --store <store.db> [--algorithm ...] [--k N] \
+//!             [--threads N --batch <queries.txt>]
 //! ```
 //!
 //! The flag-only form parses and indexes the document in memory, then
@@ -12,16 +13,25 @@
 //! built index into a kvstore file; `query --store` serves the same REPL
 //! straight from that file — the document is replayed from the embedded
 //! blob and posting lists are decoded lazily, per query.
+//!
+//! `--batch <file>` switches from the REPL to a concurrent driver: the
+//! file's queries (one per line, `#` comments allowed) are striped
+//! across `--threads` workers sharing one engine, and the run reports
+//! per-thread throughput, latency percentiles, per-phase timers and
+//! cache/cursor counters. Per-query storage errors are reported and do
+//! not stop the batch.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
-use xrefine::{Algorithm, EngineConfig, XRefineEngine};
+use std::time::{Duration, Instant};
+use xrefine::{Algorithm, EngineConfig, PhaseTimings, XRefineEngine};
 
 const USAGE: &str = "usage: xrefine-cli [--data <file.xml>|dblp|baseball|figure1] \
 [--algorithm partition|sle|stack] [--k N]\n       \
 xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db>\n       \
-xrefine-cli query --store <store.db> [--algorithm partition|sle|stack] [--k N]";
+xrefine-cli query --store <store.db> [--algorithm partition|sle|stack] [--k N] \
+[--threads N --batch <queries.txt>]";
 
 enum Command {
     /// Build an index for a document and persist it to a kvstore file.
@@ -36,6 +46,8 @@ struct Options {
     algorithm: Algorithm,
     k: usize,
     max_render: usize,
+    threads: usize,
+    batch: Option<String>,
 }
 
 fn parse_args() -> Result<Command, String> {
@@ -56,6 +68,8 @@ fn parse_args() -> Result<Command, String> {
         algorithm: Algorithm::Partition,
         k: 3,
         max_render: 2,
+        threads: 1,
+        batch: None,
     };
     let mut i = flags_at;
     while i < args.len() {
@@ -91,11 +105,26 @@ fn parse_args() -> Result<Command, String> {
                     .ok_or("--max-render needs an integer")?;
                 i += 2;
             }
+            "--threads" => {
+                opts.threads = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--threads needs a positive integer")?;
+                i += 2;
+            }
+            "--batch" => {
+                opts.batch = Some(args.get(i + 1).ok_or("--batch needs a file")?.clone());
+                i += 2;
+            }
             "--help" | "-h" => {
                 return Err(USAGE.into());
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if opts.threads > 1 && opts.batch.is_none() {
+        return Err("--threads only applies to --batch runs".into());
     }
     Ok(Command::Repl(opts))
 }
@@ -196,6 +225,23 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(batch_path) = &opts.batch {
+        let queries = match load_batch(batch_path) {
+            Ok(q) => q,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = run_batch(&engine, &queries, opts.threads);
+        print!("{report}");
+        return ExitCode::SUCCESS;
+    }
+
+    repl(&engine, &opts)
+}
+
+fn repl(engine: &XRefineEngine, opts: &Options) -> ExitCode {
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     eprint!("query> ");
@@ -209,6 +255,8 @@ fn main() -> ExitCode {
         if line == "quit" || line == "exit" {
             break;
         }
+        // per-query errors (e.g. a corrupt list page) are reported and
+        // the loop keeps serving: one bad page must not kill the session
         let outcome = match engine.answer(line) {
             Ok(o) => o,
             Err(e) => {
@@ -218,13 +266,14 @@ fn main() -> ExitCode {
             }
         };
         if outcome.original_ok {
-            let r = outcome.best().expect("original result present");
-            let _ = writeln!(
-                out,
-                "query has {} meaningful result(s); no refinement needed",
-                r.slcas.len()
-            );
-            render(&engine, &r.slcas, opts.max_render, &mut out);
+            if let Some(r) = outcome.best() {
+                let _ = writeln!(
+                    out,
+                    "query has {} meaningful result(s); no refinement needed",
+                    r.slcas.len()
+                );
+                render(engine, &r.slcas, opts.max_render, &mut out);
+            }
             // over-broad queries get narrowing suggestions (§IX extension)
             if let Ok(Some(suggestions)) = engine.narrow(line, &xrefine::NarrowOptions::default()) {
                 if !suggestions.is_empty() {
@@ -271,7 +320,7 @@ fn main() -> ExitCode {
                 }
             }
             render(
-                &engine,
+                engine,
                 &outcome.refinements[0].slcas,
                 opts.max_render,
                 &mut out,
@@ -289,6 +338,199 @@ fn render(engine: &XRefineEngine, slcas: &[xmldom::Dewey], max: usize, out: &mut
             for line in xml.lines().take(12) {
                 let _ = writeln!(out, "  {line}");
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concurrent batch driver
+// ---------------------------------------------------------------------
+
+/// Reads a batch file: one query per line; blank lines and `#` comments
+/// are skipped.
+fn load_batch(path: &str) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// One worker's tally of a batch run.
+#[derive(Default)]
+struct ThreadTally {
+    answered: usize,
+    errors: usize,
+    latencies: Vec<Duration>,
+    phases: PhaseTimings,
+    advances: u64,
+    random_accesses: u64,
+    busy: Duration,
+}
+
+/// Runs `queries` striped across `threads` workers sharing `engine`,
+/// and renders the throughput/latency/phase report.
+fn run_batch(engine: &XRefineEngine, queries: &[String], threads: usize) -> String {
+    let threads = threads.max(1);
+    let wall_start = Instant::now();
+    let mut tallies: Vec<ThreadTally> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for tid in 0..threads {
+            handles.push(s.spawn(move || {
+                let mut tally = ThreadTally::default();
+                let t0 = Instant::now();
+                for q in queries.iter().skip(tid).step_by(threads) {
+                    let q_start = Instant::now();
+                    match engine.answer_timed(q) {
+                        Ok((outcome, timings)) => {
+                            tally.answered += 1;
+                            tally.latencies.push(q_start.elapsed());
+                            tally.phases.accumulate(&timings);
+                            tally.advances += outcome.advances;
+                            tally.random_accesses += outcome.random_accesses;
+                        }
+                        Err(e) => {
+                            tally.errors += 1;
+                            eprintln!("query \"{q}\" failed: {e}");
+                        }
+                    }
+                }
+                tally.busy = t0.elapsed();
+                tally
+            }));
+        }
+        for h in handles {
+            tallies.push(h.join().expect("batch worker panicked"));
+        }
+    });
+    let wall = wall_start.elapsed();
+    render_batch_report(&tallies, wall, engine.index().cache_stats())
+}
+
+fn render_batch_report(
+    tallies: &[ThreadTally],
+    wall: Duration,
+    cache: Option<invindex::CacheStats>,
+) -> String {
+    use std::fmt::Write as _;
+    let answered: usize = tallies.iter().map(|t| t.answered).sum();
+    let errors: usize = tallies.iter().map(|t| t.errors).sum();
+    let mut latencies: Vec<Duration> = tallies.iter().flat_map(|t| t.latencies.clone()).collect();
+    latencies.sort_unstable();
+    let mut phases = PhaseTimings::default();
+    for t in tallies {
+        phases.accumulate(&t.phases);
+    }
+    let advances: u64 = tallies.iter().map(|t| t.advances).sum();
+    let random: u64 = tallies.iter().map(|t| t.random_accesses).sum();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "batch: {answered} answered, {errors} failed, {} thread(s), wall {:?}, {:.1} q/s",
+        tallies.len(),
+        wall,
+        answered as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    for (tid, t) in tallies.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  thread {tid}: {} in {:?} ({:.1} q/s)",
+            t.answered,
+            t.busy,
+            t.answered as f64 / t.busy.as_secs_f64().max(1e-9),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "latency: p50 {:?}  p90 {:?}  p99 {:?}  max {:?}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.90),
+        percentile(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(Duration::ZERO),
+    );
+    let _ = writeln!(
+        out,
+        "phases (cpu, summed): rules {:?}  session {:?}  algorithm {:?}",
+        phases.rules, phases.session, phases.algorithm,
+    );
+    let _ = writeln!(
+        out,
+        "cursors: {advances} advances, {random} random accesses"
+    );
+    if let Some(c) = cache {
+        let _ = writeln!(
+            out,
+            "cache: {} hits, {} misses, {} decoded, {} evictions, {} bytes resident",
+            c.hits, c.misses, c.lists_decoded, c.evictions, c.cached_bytes,
+        );
+    }
+    out
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency list.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvstore::KvStore;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.50), Duration::from_millis(51));
+        assert_eq!(percentile(&ms, 0.99), Duration::from_millis(99));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+
+    /// A corrupt posting list must fail the query that touches it — and
+    /// only that query. The engine (and so the REPL/batch loops) keeps
+    /// serving keywords whose lists are intact.
+    #[test]
+    fn corrupt_list_fails_one_query_not_the_engine() {
+        let doc = Arc::new(xmldom::fixtures::figure1());
+        let index = invindex::Index::build(Arc::clone(&doc));
+        let mut store = kvstore::MemKv::new();
+        invindex::persist::persist(&index, &mut store).unwrap();
+        // clobber the "2003" posting list in place (key: L/<id be32>)
+        let kid = index.vocabulary().get("2003").unwrap();
+        let mut key = b"L/".to_vec();
+        key.extend_from_slice(&kid.0.to_be_bytes());
+        store.put(&key, b"\xff\xff not a posting list").unwrap();
+
+        let kv = invindex::KvBackedIndex::open(Box::new(store)).unwrap();
+        let engine = XRefineEngine::from_reader(Arc::new(kv), EngineConfig::default());
+        assert!(engine.answer("2003").is_err(), "corruption must surface");
+        // untouched lists still serve after the failure
+        let ok = engine.answer("john fishing").unwrap();
+        assert!(ok.original_ok);
+    }
+
+    #[test]
+    fn batch_reports_and_survives_query_errors() {
+        let engine = XRefineEngine::from_document(
+            Arc::new(xmldom::fixtures::figure1()),
+            EngineConfig::default(),
+        );
+        let queries: Vec<String> = ["xml 2003", "john fishing", "database publication"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for threads in [1, 4] {
+            let report = run_batch(&engine, &queries, threads);
+            assert!(report.contains("3 answered, 0 failed"), "{report}");
+            assert!(report.contains(&format!("{threads} thread(s)")), "{report}");
+            assert!(report.contains("latency: p50"), "{report}");
         }
     }
 }

@@ -18,6 +18,7 @@ use lexicon::{generate_rules, AcronymTable, RuleGenConfig, RuleSet, Thesaurus, V
 use slca::SearchForConfig;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use xmldom::{parse_document, Dewey, Document, ParseError};
 
 /// Which refinement algorithm answers queries.
@@ -51,6 +52,34 @@ impl Default for EngineConfig {
             rulegen: RuleGenConfig::default(),
             search_for: SearchForConfig::default(),
         }
+    }
+}
+
+/// Wall-clock decomposition of one `answer` call, for serving drivers
+/// and benchmarks. The three phases partition the whole call:
+///
+/// * `rules` — refinement-rule generation (`getNewKeywords`);
+/// * `session` — session setup: keyword resolution and posting-list
+///   acquisition (the only phase that touches storage);
+/// * `algorithm` — the refinement algorithm itself (SLCA scans,
+///   ranking, Top-K maintenance).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    pub rules: Duration,
+    pub session: Duration,
+    pub algorithm: Duration,
+}
+
+impl PhaseTimings {
+    pub fn total(&self) -> Duration {
+        self.rules + self.session + self.algorithm
+    }
+
+    /// Accumulates another call's timings (for per-thread totals).
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.rules += other.rules;
+        self.session += other.session;
+        self.algorithm += other.algorithm;
     }
 }
 
@@ -157,14 +186,36 @@ impl XRefineEngine {
 
     /// Answers a parsed query with the configured algorithm.
     pub fn answer_query(&self, query: Query) -> kvstore::Result<RefineOutcome> {
+        self.answer_query_timed(query).map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`XRefineEngine::answer`], additionally reporting where the
+    /// wall-clock time went (see [`PhaseTimings`]).
+    pub fn answer_timed(&self, query_text: &str) -> kvstore::Result<(RefineOutcome, PhaseTimings)> {
+        self.answer_query_timed(Query::parse(query_text))
+    }
+
+    /// Answers a parsed query, reporting per-phase timings.
+    pub fn answer_query_timed(
+        &self,
+        query: Query,
+    ) -> kvstore::Result<(RefineOutcome, PhaseTimings)> {
+        let mut timings = PhaseTimings::default();
+        let t0 = Instant::now();
         let rules = self.rules_for(&query);
+        timings.rules = t0.elapsed();
+
+        let t1 = Instant::now();
         let session = RefineSession::with_search_for(
             self.reader.as_ref(),
             query,
             rules,
             &self.config.search_for,
         )?;
-        Ok(match self.config.algorithm {
+        timings.session = t1.elapsed();
+
+        let t2 = Instant::now();
+        let outcome = match self.config.algorithm {
             Algorithm::StackRefine => stack_refine(&session),
             Algorithm::Partition => partition_refine(
                 &session,
@@ -183,7 +234,9 @@ impl XRefineEngine {
                     smart_choice: true,
                 },
             ),
-        })
+        };
+        timings.algorithm = t2.elapsed();
+        Ok((outcome, timings))
     }
 
     /// Explains how a refined query derives from `query_text`: the
@@ -229,6 +282,17 @@ impl XRefineEngine {
         Some(doc.subtree_to_xml(id))
     }
 }
+
+// The serving model is one engine behind an `Arc`, queried from many
+// threads concurrently. If this assertion stops compiling, some engine
+// component (reader backend, lexicon table, config) grew
+// thread-unsafe state.
+const _: () = {
+    fn _assert_send_sync<T: Send + Sync>() {}
+    fn _check() {
+        _assert_send_sync::<XRefineEngine>();
+    }
+};
 
 #[cfg(test)]
 mod tests {

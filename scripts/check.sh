@@ -7,3 +7,8 @@ cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+
+# Optimized builds reorder aggressively; rerun the multi-thread smoke
+# tests in release so a data race has a real chance to surface.
+cargo test --release -q --test concurrent_engine
+cargo test --release -q -p invindex --test cache_prop

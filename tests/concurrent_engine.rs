@@ -1,0 +1,113 @@
+//! Concurrent serving: eight threads sharing one `Arc<XRefineEngine>`
+//! over a kv-backed index must produce outcomes identical to answering
+//! the same workload single-threaded. Answering is a read-only
+//! operation; interleaving (cache hits/misses/evictions, shared
+//! co-occurrence memo) must never change an answer.
+
+use std::sync::Arc;
+use xrefine_repro::datagen::{generate_dblp, generate_workload, DblpConfig, WorkloadConfig};
+use xrefine_repro::invindex::{persist, KvBackedIndex};
+use xrefine_repro::kvstore::MemKv;
+use xrefine_repro::prelude::*;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 3;
+
+fn workload() -> (Arc<Document>, Vec<Vec<String>>) {
+    let doc = Arc::new(generate_dblp(&DblpConfig {
+        authors: 40,
+        ..Default::default()
+    }));
+    let queries: Vec<Vec<String>> = generate_workload(
+        &doc,
+        &WorkloadConfig {
+            per_kind: 2,
+            ..Default::default()
+        },
+    )
+    .into_iter()
+    .map(|q| q.keywords)
+    .collect();
+    (doc, queries)
+}
+
+fn kv_engine(doc: &Arc<Document>, cache_budget: usize) -> Arc<XRefineEngine> {
+    let built = Index::build(Arc::clone(doc));
+    let mut store = MemKv::new();
+    persist::persist(&built, &mut store).unwrap();
+    let reader = KvBackedIndex::open(Box::new(store))
+        .unwrap()
+        .with_cache_budget(cache_budget);
+    Arc::new(XRefineEngine::from_reader(
+        Arc::new(reader),
+        EngineConfig::default(),
+    ))
+}
+
+/// Everything observable about an outcome, in a comparable shape.
+type Fingerprint = (bool, Vec<(Vec<String>, u64, u64, Vec<String>)>);
+
+fn fingerprint(o: &RefineOutcome) -> Fingerprint {
+    let refs = o
+        .refinements
+        .iter()
+        .map(|r: &Refinement| {
+            (
+                r.candidate.keywords.clone(),
+                r.candidate.dissimilarity.to_bits(),
+                r.rank_score.to_bits(),
+                r.slcas.iter().map(|d| d.to_string()).collect(),
+            )
+        })
+        .collect();
+    (o.original_ok, refs)
+}
+
+#[test]
+fn eight_threads_agree_with_single_threaded_baseline() {
+    let (doc, queries) = workload();
+    assert!(!queries.is_empty());
+
+    // Baseline: one thread, its own engine.
+    let baseline_engine = kv_engine(&doc, 64 << 20);
+    let baseline: Vec<_> = queries
+        .iter()
+        .map(|kw| {
+            let o = baseline_engine
+                .answer_query(Query::from_keywords(kw.iter().cloned()))
+                .unwrap();
+            fingerprint(&o)
+        })
+        .collect();
+
+    // A deliberately tight cache budget keeps eviction churning while
+    // the threads run — the harshest interleaving we can provoke.
+    for budget in [64 << 20, 4 << 10] {
+        let engine = kv_engine(&doc, budget);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let engine = Arc::clone(&engine);
+                let queries = &queries;
+                let baseline = &baseline;
+                s.spawn(move || {
+                    for round in 0..ROUNDS {
+                        // each thread walks the workload at its own offset
+                        for i in 0..queries.len() {
+                            let i = (i + t * 3) % queries.len();
+                            let kw = &queries[i];
+                            let o = engine
+                                .answer_query(Query::from_keywords(kw.iter().cloned()))
+                                .unwrap();
+                            assert_eq!(
+                                fingerprint(&o),
+                                baseline[i],
+                                "thread {t} round {round} budget {budget}: \
+                                 outcome diverged for {kw:?}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
