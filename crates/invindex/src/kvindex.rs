@@ -30,6 +30,7 @@ use crate::persist;
 use crate::reader::{IndexReader, ListHandle};
 use crate::stats::{KeywordId, KeywordTable, TypeStats};
 use kvstore::{KvError, KvStore, Result};
+use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 use xmldom::{Document, NodeTypeId};
 
@@ -46,6 +47,10 @@ pub struct KvBackedIndex {
     version: u64,
     store: RwLock<Box<dyn KvStore>>,
     cache: ShardedListCache,
+    /// Keywords whose statistics entries failed validation at open:
+    /// their lists still answer, their ranking inputs are incomplete.
+    /// See [`crate::persist::load_stats_lenient`].
+    damaged: HashMap<u32, String>,
 }
 
 impl KvBackedIndex {
@@ -54,12 +59,14 @@ impl KvBackedIndex {
     pub fn open(store: Box<dyn KvStore>) -> Result<Self> {
         let version = persist::read_version(store.as_ref())?;
         let blob = store.get(b"D/doc")?.ok_or_else(|| {
-            KvError::Corrupt(format!(
+            KvError::corrupt(format!(
                 "store (version {version}) has no embedded document; \
-                 use open_with_document or re-persist at version 2"
+                 use open_with_document or re-persist at version 2+"
             ))
         })?;
-        let doc = Arc::new(persist::decode_document(&blob)?);
+        let doc = Arc::new(persist::decode_document(persist::decode_value(
+            version, &blob, "D/doc",
+        )?)?);
         Self::open_with_document(doc, store)
     }
 
@@ -68,11 +75,21 @@ impl KvBackedIndex {
     /// never embedded).
     pub fn open_with_document(doc: Arc<Document>, store: Box<dyn KvStore>) -> Result<Self> {
         let version = persist::read_version(store.as_ref())?;
-        let vocab = persist::load_vocab(store.as_ref())?;
-        let stats = persist::load_stats(store.as_ref())?;
+        let vocab = persist::load_vocab(store.as_ref(), version)?;
+        // Statistics load leniently: a damaged tf/df entry degrades one
+        // keyword's ranking, it does not take the whole index down.
+        let (stats, stat_damage) = persist::load_stats_lenient(store.as_ref(), version)?;
+        let mut damaged: HashMap<u32, String> = HashMap::new();
+        for d in stat_damage {
+            let slot = damaged.entry(d.keyword.0).or_default();
+            if !slot.is_empty() {
+                slot.push_str("; ");
+            }
+            slot.push_str(&format!("{}: {}", d.entry, d.detail));
+        }
         if stats.n_nodes_vec().len() != doc.node_types().len() {
-            return Err(KvError::Corrupt(
-                "document does not match persisted index (type count)".into(),
+            return Err(KvError::corrupt(
+                "document does not match persisted index (type count)",
             ));
         }
         Ok(KvBackedIndex {
@@ -83,6 +100,7 @@ impl KvBackedIndex {
             version,
             store: RwLock::new(store),
             cache: ShardedListCache::new(DEFAULT_CACHE_BUDGET, DEFAULT_CACHE_SHARDS),
+            damaged,
         })
     }
 
@@ -110,6 +128,18 @@ impl KvBackedIndex {
     /// The persisted format version this reader is serving.
     pub fn format_version(&self) -> u64 {
         self.version
+    }
+
+    /// Keywords whose statistics were damaged on disk (sorted by id),
+    /// with what is wrong with each. Empty for a healthy store.
+    pub fn damaged_keywords(&self) -> Vec<(KeywordId, &str)> {
+        let mut out: Vec<(KeywordId, &str)> = self
+            .damaged
+            .iter()
+            .map(|(&k, detail)| (KeywordId(k), detail.as_str()))
+            .collect();
+        out.sort_by_key(|(k, _)| k.0);
+        out
     }
 }
 
@@ -141,7 +171,7 @@ impl IndexReader for KvBackedIndex {
             store.get(&persist::list_key(k.0))?
         };
         let Some(value) = value else {
-            return Err(KvError::Corrupt(format!(
+            return Err(KvError::corrupt(format!(
                 "posting list {} missing from store",
                 k.0
             )));
@@ -157,6 +187,10 @@ impl IndexReader for KvBackedIndex {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn keyword_damage(&self, k: KeywordId) -> Option<&str> {
+        self.damaged.get(&k.0).map(String::as_str)
     }
 }
 
@@ -336,9 +370,36 @@ mod tests {
         store.put(&key, &value).unwrap();
         let idx = KvBackedIndex::open(Box::new(store)).unwrap();
         match idx.list_handle_by_id(KeywordId(0)) {
-            Err(KvError::Corrupt(_)) => {}
+            Err(e) if e.is_corrupt() => {}
             other => panic!("expected Corrupt, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn damaged_stats_degrade_one_keyword_not_the_open() {
+        let (_, built, mut store) = persisted();
+        let victim = built.vocabulary().get("xml").unwrap();
+        let (key, value) = store
+            .scan_prefix(b"S/T/")
+            .unwrap()
+            .into_iter()
+            .find(|(k, _)| k[8..12] == victim.0.to_be_bytes())
+            .expect("xml has tf entries");
+        let mut bad = value.clone();
+        *bad.last_mut().unwrap() ^= 0xFF;
+        store.put(&key, &bad).unwrap();
+
+        let idx = KvBackedIndex::open(Box::new(store)).unwrap();
+        assert!(idx.keyword_damage(victim).is_some());
+        assert_eq!(idx.damaged_keywords().len(), 1);
+        // The damaged keyword's list still answers.
+        assert_eq!(
+            handle_of(&idx, "xml").postings(),
+            built.list("xml").unwrap().as_slice()
+        );
+        // Healthy keywords report no damage.
+        let john = built.vocabulary().get("john").unwrap();
+        assert!(idx.keyword_damage(john).is_none());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub use cursor::{ListCursor, ScanStats};
 pub use index::{InMemoryIndex, Index};
 pub use kvindex::KvBackedIndex;
 pub use parallel::build_parallel;
+pub use persist::{verify_store, IntegrityReport, SectionReport, StatDamage};
 pub use postings::{Posting, PostingList};
 pub use reader::{IndexReader, ListHandle};
 pub use stats::{KeywordId, KeywordTable, TypeStats};

@@ -1,22 +1,25 @@
 //! Index persistence over any [`KvStore`] (the paper stores all indices in
 //! Berkeley DB, §VII; we store them in the workspace B+-tree).
 //!
-//! Key space (format version 2):
+//! Key space (format version 3):
 //!
-//! * `M/version`                — format version;
+//! * `M/version`                — format version (raw varint: it is the
+//!   byte that says how everything else is framed, so it cannot itself
+//!   be framed);
 //! * `D/doc`                    — the source document (builder replay
 //!   stream), so [`crate::KvBackedIndex`] can open with no re-parse;
 //! * `V/<keyword>`              — keyword id (u32 LE);
-//! * `L/<id:u32 BE>`            — framed posting list:
-//!   `varint(len(payload)) ‖ crc32(payload):u32 LE ‖ payload`, where
-//!   `payload` is the front-coded [`PostingList`] encoding. The header
-//!   lets a lazy loader validate each list at materialization time;
+//! * `L/<id:u32 BE>`            — front-coded [`PostingList`] encoding;
 //! * `S/N`, `S/G`               — `N_T` / `G_T` vectors (varints);
 //! * `S/T/<type BE><kw BE>`     — `tf(k,T)` (varint);
 //! * `S/D/<type BE><kw BE>`     — `f^T_k` (varint).
 //!
-//! Version 1 (no list framing, no `D/doc`) remains readable; corruption
-//! of any entry yields [`KvError::Corrupt`], never a panic.
+//! In version 3 **every** value except `M/version` is framed as
+//! `varint(len(payload)) ‖ crc32(payload):u32 LE ‖ payload`, so a flipped
+//! byte in any stored value is detected at decode time, not interpreted.
+//! Version 2 framed only the `L/` lists; version 1 framed nothing and has
+//! no `D/doc`. Both remain readable. Corruption of any entry yields
+//! [`KvError::Corrupt`], never a panic.
 //!
 //! Node-type and keyword ids are deterministic for a given document (both
 //! interners assign ids in parse order), so an index loaded against the
@@ -30,24 +33,39 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use xmldom::{Document, DocumentBuilder, NodeTypeId};
 
-/// Current on-disk format: framed, checksummed posting lists plus the
-/// embedded source document.
-pub const FORMAT_VERSION: u64 = 2;
+/// Current on-disk format: every value class framed and checksummed,
+/// plus the embedded source document.
+pub const FORMAT_VERSION: u64 = 3;
+
+/// The intermediate format: framed posting lists and the embedded
+/// document, but raw vocabulary/statistics values. Still readable.
+pub const V2_FORMAT_VERSION: u64 = 2;
 
 /// The original format: raw list encodings, document supplied by the
 /// caller. Still readable.
 pub const LEGACY_FORMAT_VERSION: u64 = 1;
+
+/// Damage to one statistics entry, recorded by the lenient loader
+/// instead of failing the whole open: the named keyword's ranking inputs
+/// are incomplete, everything else is intact.
+#[derive(Debug, Clone)]
+pub struct StatDamage {
+    pub keyword: KeywordId,
+    /// The damaged entry (`S/T/...` or `S/D/...`), human-readable.
+    pub entry: String,
+    pub detail: String,
+}
 
 /// Writes the index into `store` at the current format version.
 pub fn persist(index: &Index, store: &mut dyn KvStore) -> Result<()> {
     persist_versioned(index, store, FORMAT_VERSION)
 }
 
-/// Writes the index at an explicit format version (the legacy path keeps
-/// version-1 fixtures producible for compatibility tests).
+/// Writes the index at an explicit format version (the older paths keep
+/// version-1/2 fixtures producible for compatibility tests).
 pub fn persist_versioned(index: &Index, store: &mut dyn KvStore, version: u64) -> Result<()> {
-    if version != FORMAT_VERSION && version != LEGACY_FORMAT_VERSION {
-        return Err(KvError::Corrupt(format!(
+    if !(LEGACY_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(KvError::corrupt(format!(
             "cannot write unknown index version {version}"
         )));
     }
@@ -56,14 +74,17 @@ pub fn persist_versioned(index: &Index, store: &mut dyn KvStore, version: u64) -
     store.put(b"M/version", &buf)?;
 
     if version >= 2 {
-        store.put(b"D/doc", &encode_document(index.document()))?;
+        store.put(
+            b"D/doc",
+            &encode_value(version, encode_document(index.document())),
+        )?;
     }
 
     for (k, text) in index.vocabulary().iter() {
         let mut key = Vec::with_capacity(2 + text.len());
         key.extend_from_slice(b"V/");
         key.extend_from_slice(text.as_bytes());
-        store.put(&key, &k.0.to_le_bytes())?;
+        store.put(&key, &encode_value(version, k.0.to_le_bytes().to_vec()))?;
     }
 
     for (i, list) in index.lists().iter().enumerate() {
@@ -74,13 +95,13 @@ pub fn persist_versioned(index: &Index, store: &mut dyn KvStore, version: u64) -
     for &n in index.stats().n_nodes_vec() {
         write_varint(&mut nbuf, n);
     }
-    store.put(b"S/N", &nbuf)?;
+    store.put(b"S/N", &encode_value(version, nbuf))?;
 
     let mut gbuf = Vec::new();
     for &g in index.stats().distinct_keywords_vec() {
         write_varint(&mut gbuf, g);
     }
-    store.put(b"S/G", &gbuf)?;
+    store.put(b"S/G", &encode_value(version, gbuf))?;
 
     // The stat tables are hash maps; write their entries in sorted
     // (t, k) order so the put sequence — and therefore the page layout
@@ -89,39 +110,46 @@ pub fn persist_versioned(index: &Index, store: &mut dyn KvStore, version: u64) -
     let mut tf: Vec<_> = index.stats().iter_tf().collect();
     tf.sort_unstable_by_key(|&(t, k, _)| (t.0, k.0));
     for (t, k, v) in tf {
-        store.put(&stat_key(b"S/T/", t, k), &varint_vec(v))?;
+        store.put(
+            &stat_key(b"S/T/", t, k),
+            &encode_value(version, varint_vec(v)),
+        )?;
     }
     let mut df: Vec<_> = index.stats().iter_df().collect();
     df.sort_unstable_by_key(|&(t, k, _)| (t.0, k.0));
     for (t, k, v) in df {
-        store.put(&stat_key(b"S/D/", t, k), &varint_vec(v))?;
+        store.put(
+            &stat_key(b"S/D/", t, k),
+            &encode_value(version, varint_vec(v)),
+        )?;
     }
     store.sync()
 }
 
 /// Loads an index from `store` against the (identical) source document.
-/// Accepts both format versions.
+/// Accepts every known format version; any damage is an error (the
+/// resident path has no way to degrade per keyword).
 pub fn load(doc: Arc<Document>, store: &dyn KvStore) -> Result<Index> {
     let version = read_version(store)?;
-    let vocab = load_vocab(store)?;
+    let vocab = load_vocab(store, version)?;
 
     let mut lists = vec![PostingList::new(); vocab.len()];
     for (key, value) in store.scan_prefix(b"L/")? {
         let id = u32::from_be_bytes(
             key[2..]
                 .try_into()
-                .map_err(|_| KvError::Corrupt("bad list key".into()))?,
+                .map_err(|_| KvError::corrupt("bad list key"))?,
         ) as usize;
         if id >= lists.len() {
-            return Err(KvError::Corrupt("list for unknown keyword".into()));
+            return Err(KvError::corrupt("list for unknown keyword"));
         }
         lists[id] = decode_list_value(version, &value)?;
     }
 
-    let stats = load_stats(store)?;
+    let stats = load_stats(store, version)?;
     if stats.n_nodes_vec().len() != doc.node_types().len() {
-        return Err(KvError::Corrupt(
-            "document does not match persisted index (type count)".into(),
+        return Err(KvError::corrupt(
+            "document does not match persisted index (type count)",
         ));
     }
     Ok(Index::from_parts(doc, vocab, lists, stats))
@@ -131,67 +159,96 @@ pub fn load(doc: Arc<Document>, store: &dyn KvStore) -> Result<Index> {
 pub(crate) fn read_version(store: &dyn KvStore) -> Result<u64> {
     let vbuf = store
         .get(b"M/version")?
-        .ok_or_else(|| KvError::Corrupt("missing index version".into()))?;
+        .ok_or_else(|| KvError::corrupt("missing index version"))?;
     let mut pos = 0;
-    let version = read_varint(&vbuf, &mut pos)
-        .ok_or_else(|| KvError::Corrupt("bad version encoding".into()))?;
-    if version != FORMAT_VERSION && version != LEGACY_FORMAT_VERSION {
-        return Err(KvError::Corrupt(format!(
+    let version =
+        read_varint(&vbuf, &mut pos).ok_or_else(|| KvError::corrupt("bad version encoding"))?;
+    if !(LEGACY_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(KvError::corrupt(format!(
             "unsupported index version {version}"
         )));
     }
     Ok(version)
 }
 
-/// Rebuilds the keyword table from the `V/` entries.
-pub(crate) fn load_vocab(store: &dyn KvStore) -> Result<KeywordTable> {
+/// Rebuilds the keyword table from the `V/` entries. Vocabulary damage
+/// is always fatal: keyword ids must be gapless, so a single undecodable
+/// id makes every later id ambiguous.
+pub(crate) fn load_vocab(store: &dyn KvStore, version: u64) -> Result<KeywordTable> {
     let mut vocab = KeywordTable::new();
     let mut texts: Vec<(u32, String)> = Vec::new();
     for (key, value) in store.scan_prefix(b"V/")? {
         let text = String::from_utf8(key[2..].to_vec())
-            .map_err(|_| KvError::Corrupt("non-UTF-8 keyword".into()))?;
+            .map_err(|_| KvError::corrupt("non-UTF-8 keyword"))?;
+        let raw = decode_value(version, &value, &format!("keyword id for {text:?}"))?;
         let id = u32::from_le_bytes(
-            value
-                .as_slice()
-                .try_into()
-                .map_err(|_| KvError::Corrupt("bad keyword id".into()))?,
+            raw.try_into()
+                .map_err(|_| KvError::corrupt(format!("bad keyword id for {text:?}")))?,
         );
         texts.push((id, text));
     }
     texts.sort_by_key(|(id, _)| *id);
     for (expected, (id, text)) in texts.iter().enumerate() {
         if *id as usize != expected {
-            return Err(KvError::Corrupt("keyword id gap".into()));
+            return Err(KvError::corrupt("keyword id gap"));
         }
         vocab.intern(text);
     }
     Ok(vocab)
 }
 
-/// Rebuilds the frequency statistics from the `S/` entries.
-pub(crate) fn load_stats(store: &dyn KvStore) -> Result<TypeStats> {
-    let n_nodes = decode_varint_vec(
-        &store
-            .get(b"S/N")?
-            .ok_or_else(|| KvError::Corrupt("missing S/N".into()))?,
-    )?;
-    let distinct = decode_varint_vec(
-        &store
-            .get(b"S/G")?
-            .ok_or_else(|| KvError::Corrupt("missing S/G".into()))?,
-    )?;
+/// Rebuilds the frequency statistics from the `S/` entries. Any damage
+/// is an error (see [`load_stats_lenient`] for the serving path).
+pub(crate) fn load_stats(store: &dyn KvStore, version: u64) -> Result<TypeStats> {
+    let (stats, damage) = load_stats_lenient(store, version)?;
+    match damage.first() {
+        None => Ok(stats),
+        Some(d) => Err(KvError::corrupt(format!("{}: {}", d.entry, d.detail))),
+    }
+}
 
-    let mut tf = HashMap::new();
-    for (key, value) in store.scan_prefix(b"S/T/")? {
-        let (t, k) = parse_stat_key(&key)?;
-        tf.insert((t, k), decode_varint_scalar(&value)?);
-    }
-    let mut df = HashMap::new();
-    for (key, value) in store.scan_prefix(b"S/D/")? {
-        let (t, k) = parse_stat_key(&key)?;
-        df.insert((t, k), decode_varint_scalar(&value)?);
-    }
-    Ok(TypeStats::set_from_parts(n_nodes, distinct, tf, df))
+/// Rebuilds the frequency statistics, recording per-keyword damage
+/// instead of failing: a damaged `tf`/`df` entry is dropped (reads as 0)
+/// and attributed to its keyword, so the serving layer can answer the
+/// remaining keywords and report the degradation. The global `S/N`/`S/G`
+/// vectors have no per-keyword owner, so damage there is still fatal.
+pub(crate) fn load_stats_lenient(
+    store: &dyn KvStore,
+    version: u64,
+) -> Result<(TypeStats, Vec<StatDamage>)> {
+    let n_raw = store
+        .get(b"S/N")?
+        .ok_or_else(|| KvError::corrupt("missing S/N"))?;
+    let n_nodes = decode_varint_vec(decode_value(version, &n_raw, "S/N")?)?;
+    let g_raw = store
+        .get(b"S/G")?
+        .ok_or_else(|| KvError::corrupt("missing S/G"))?;
+    let distinct = decode_varint_vec(decode_value(version, &g_raw, "S/G")?)?;
+
+    let mut damage: Vec<StatDamage> = Vec::new();
+    let mut load_table =
+        |prefix: &[u8], name: &str| -> Result<HashMap<(NodeTypeId, KeywordId), u64>> {
+            let mut table = HashMap::new();
+            for (key, value) in store.scan_prefix(prefix)? {
+                let (t, k) = parse_stat_key(&key)?;
+                let entry = format!("{name}(type {}, keyword {})", t.0, k.0);
+                let decoded = decode_value(version, &value, &entry).and_then(decode_varint_scalar);
+                match decoded {
+                    Ok(v) => {
+                        table.insert((t, k), v);
+                    }
+                    Err(e) => damage.push(StatDamage {
+                        keyword: k,
+                        entry,
+                        detail: e.to_string(),
+                    }),
+                }
+            }
+            Ok(table)
+        };
+    let tf = load_table(b"S/T/", "tf")?;
+    let df = load_table(b"S/D/", "df")?;
+    Ok((TypeStats::set_from_parts(n_nodes, distinct, tf, df), damage))
 }
 
 /// The `L/` key of a keyword id.
@@ -202,47 +259,77 @@ pub(crate) fn list_key(id: u32) -> Vec<u8> {
     key
 }
 
-/// Encodes one posting list as a stored value for `version`.
-pub(crate) fn encode_list_value(version: u64, list: &PostingList) -> Vec<u8> {
-    let payload = list.encode();
-    if version < 2 {
-        return payload;
-    }
+/// Frames `payload` as `varint(len) ‖ crc32 ‖ payload`.
+pub(crate) fn frame_value(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 9);
     write_varint(&mut out, payload.len() as u64);
-    out.extend_from_slice(&crc32(&payload).to_le_bytes());
-    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
     out
 }
 
-/// Decodes one stored list value, validating the version-2 length header
-/// and checksum.
-pub(crate) fn decode_list_value(version: u64, value: &[u8]) -> Result<PostingList> {
-    let payload = if version < 2 {
-        value
+/// Validates a frame written by [`frame_value`] and returns its payload.
+pub(crate) fn unframe_value<'a>(value: &'a [u8], what: &str) -> Result<&'a [u8]> {
+    let mut pos = 0;
+    let len = read_varint(value, &mut pos)
+        .ok_or_else(|| KvError::corrupt(format!("{what}: bad frame length header")))?
+        as usize;
+    let rest = &value[pos..];
+    if rest.len() != 4 + len {
+        return Err(KvError::corrupt(format!(
+            "{what}: frame length mismatch: header {len}, got {}",
+            rest.len().saturating_sub(4)
+        )));
+    }
+    let stored = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+    let payload = &rest[4..];
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(KvError::corrupt(format!(
+            "{what}: checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    Ok(payload)
+}
+
+/// Encodes a non-list stored value for `version` (framed from v3 on).
+pub(crate) fn encode_value(version: u64, payload: Vec<u8>) -> Vec<u8> {
+    if version >= 3 {
+        frame_value(&payload)
     } else {
-        let mut pos = 0;
-        let len = read_varint(value, &mut pos)
-            .ok_or_else(|| KvError::Corrupt("bad list length header".into()))?
-            as usize;
-        let rest = &value[pos..];
-        if rest.len() != 4 + len {
-            return Err(KvError::Corrupt(format!(
-                "list frame length mismatch: header {len}, got {}",
-                rest.len().saturating_sub(4)
-            )));
-        }
-        let stored = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
-        let payload = &rest[4..];
-        let actual = crc32(payload);
-        if stored != actual {
-            return Err(KvError::Corrupt(format!(
-                "list checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
-            )));
-        }
         payload
+    }
+}
+
+/// Decodes a non-list stored value for `version`.
+pub(crate) fn decode_value<'a>(version: u64, value: &'a [u8], what: &str) -> Result<&'a [u8]> {
+    if version >= 3 {
+        unframe_value(value, what)
+    } else {
+        Ok(value)
+    }
+}
+
+/// Encodes one posting list as a stored value for `version` (framed
+/// from v2 on).
+pub(crate) fn encode_list_value(version: u64, list: &PostingList) -> Vec<u8> {
+    let payload = list.encode();
+    if version >= 2 {
+        frame_value(&payload)
+    } else {
+        payload
+    }
+}
+
+/// Decodes one stored list value, validating the frame where the
+/// version has one.
+pub(crate) fn decode_list_value(version: u64, value: &[u8]) -> Result<PostingList> {
+    let payload = if version >= 2 {
+        unframe_value(value, "posting list")?
+    } else {
+        value
     };
-    PostingList::decode(payload).ok_or_else(|| KvError::Corrupt("undecodable posting list".into()))
+    PostingList::decode(payload).ok_or_else(|| KvError::corrupt("undecodable posting list"))
 }
 
 /// Serializes the document as a builder replay stream: per node in
@@ -268,7 +355,7 @@ pub(crate) fn encode_document(doc: &Document) -> Vec<u8> {
 
 /// Rebuilds the document from a replay stream.
 pub(crate) fn decode_document(bytes: &[u8]) -> Result<Document> {
-    let corrupt = |what: &str| KvError::Corrupt(format!("document blob: {what}"));
+    let corrupt = |what: &str| KvError::corrupt(format!("document blob: {what}"));
     let mut pos = 0;
     let count = read_varint(bytes, &mut pos).ok_or_else(|| corrupt("missing node count"))?;
     if count == 0 {
@@ -317,6 +404,214 @@ pub(crate) fn decode_document(bytes: &[u8]) -> Result<Document> {
     Ok(builder.finish())
 }
 
+// ----- integrity checking (the `scrub` path) -------------------------
+
+/// Integrity findings for one key-space section of a persisted index.
+#[derive(Debug, Clone)]
+pub struct SectionReport {
+    pub name: &'static str,
+    /// Entries examined.
+    pub entries: u64,
+    /// Damaged entries: (entry description, what is wrong with it).
+    pub damaged: Vec<(String, String)>,
+}
+
+impl SectionReport {
+    pub fn is_clean(&self) -> bool {
+        self.damaged.is_empty()
+    }
+}
+
+/// The result of a full offline integrity walk over a persisted index.
+#[derive(Debug, Clone)]
+pub struct IntegrityReport {
+    /// The format version, when the `M/version` entry itself was readable.
+    pub version: Option<u64>,
+    pub sections: Vec<SectionReport>,
+}
+
+impl IntegrityReport {
+    pub fn is_clean(&self) -> bool {
+        self.version.is_some() && self.sections.iter().all(SectionReport::is_clean)
+    }
+
+    pub fn total_entries(&self) -> u64 {
+        self.sections.iter().map(|s| s.entries).sum()
+    }
+
+    pub fn total_damaged(&self) -> usize {
+        self.sections.iter().map(|s| s.damaged.len()).sum()
+    }
+}
+
+/// Walks every entry of a persisted index, validating frames, checksums
+/// and decodability, and reports per-section damage without stopping at
+/// the first hit. Storage-level read failures are reported as damage of
+/// the section being walked, so one rotten page does not hide the state
+/// of the rest of the store.
+pub fn verify_store(store: &dyn KvStore) -> IntegrityReport {
+    let mut sections = Vec::new();
+    let version = match read_version(store) {
+        Ok(v) => {
+            sections.push(SectionReport {
+                name: "meta",
+                entries: 1,
+                damaged: Vec::new(),
+            });
+            Some(v)
+        }
+        Err(e) => {
+            sections.push(SectionReport {
+                name: "meta",
+                entries: 1,
+                damaged: vec![("M/version".into(), e.to_string())],
+            });
+            None
+        }
+    };
+    // Without a version byte, assume the current format: damage reports
+    // for the rest of the store are then best-effort rather than absent.
+    let v = version.unwrap_or(FORMAT_VERSION);
+
+    // Document blob (v2+).
+    let mut doc_section = SectionReport {
+        name: "document",
+        entries: 0,
+        damaged: Vec::new(),
+    };
+    match store.get(b"D/doc") {
+        Ok(Some(blob)) => {
+            doc_section.entries = 1;
+            if let Err(e) =
+                decode_value(v, &blob, "D/doc").and_then(|raw| decode_document(raw).map(|_| ()))
+            {
+                doc_section.damaged.push(("D/doc".into(), e.to_string()));
+            }
+        }
+        Ok(None) => {
+            doc_section.entries = 1;
+            if v >= 2 {
+                doc_section
+                    .damaged
+                    .push(("D/doc".into(), "missing embedded document".into()));
+            }
+        }
+        Err(e) => doc_section.damaged.push(("D/doc".into(), e.to_string())),
+    }
+    sections.push(doc_section);
+
+    // Vocabulary: per-entry decode, then the global gapless-ids check.
+    let mut vocab_section = SectionReport {
+        name: "vocabulary",
+        entries: 0,
+        damaged: Vec::new(),
+    };
+    let mut ids: Vec<u32> = Vec::new();
+    let mut names: HashMap<u32, String> = HashMap::new();
+    match store.scan_prefix(b"V/") {
+        Ok(entries) => {
+            for (key, value) in entries {
+                vocab_section.entries += 1;
+                let text = String::from_utf8_lossy(&key[2..]).into_owned();
+                let entry = format!("V/{text}");
+                match decode_value(v, &value, &entry).and_then(|raw| {
+                    raw.try_into()
+                        .map(u32::from_le_bytes)
+                        .map_err(|_| KvError::corrupt("keyword id is not 4 bytes"))
+                }) {
+                    Ok(id) => {
+                        ids.push(id);
+                        names.insert(id, text);
+                    }
+                    Err(e) => vocab_section.damaged.push((entry, e.to_string())),
+                }
+            }
+            ids.sort_unstable();
+            for (expected, id) in ids.iter().enumerate() {
+                if *id as usize != expected {
+                    vocab_section
+                        .damaged
+                        .push(("V/".into(), format!("keyword id gap at {expected}")));
+                    break;
+                }
+            }
+        }
+        Err(e) => vocab_section.damaged.push(("<scan>".into(), e.to_string())),
+    }
+    sections.push(vocab_section);
+
+    // Posting lists.
+    let mut list_section = SectionReport {
+        name: "lists",
+        entries: 0,
+        damaged: Vec::new(),
+    };
+    match store.scan_prefix(b"L/") {
+        Ok(entries) => {
+            for (key, value) in entries {
+                list_section.entries += 1;
+                let entry = match key[2..].try_into().map(u32::from_be_bytes) {
+                    Ok(id) => match names.get(&id) {
+                        Some(text) => format!("L/{id} ({text:?})"),
+                        None => format!("L/{id}"),
+                    },
+                    Err(_) => format!("L/{:?}", &key[2..]),
+                };
+                if let Err(e) = decode_list_value(v, &value) {
+                    list_section.damaged.push((entry, e.to_string()));
+                }
+            }
+        }
+        Err(e) => list_section.damaged.push(("<scan>".into(), e.to_string())),
+    }
+    sections.push(list_section);
+
+    // Statistics: the global vectors, then both per-keyword tables.
+    let mut stat_section = SectionReport {
+        name: "stats",
+        entries: 0,
+        damaged: Vec::new(),
+    };
+    for name in ["S/N", "S/G"] {
+        stat_section.entries += 1;
+        match store.get(name.as_bytes()) {
+            Ok(Some(value)) => {
+                if let Err(e) =
+                    decode_value(v, &value, name).and_then(|raw| decode_varint_vec(raw).map(|_| ()))
+                {
+                    stat_section.damaged.push((name.into(), e.to_string()));
+                }
+            }
+            Ok(None) => stat_section.damaged.push((name.into(), "missing".into())),
+            Err(e) => stat_section.damaged.push((name.into(), e.to_string())),
+        }
+    }
+    for (prefix, name) in [(b"S/T/".as_slice(), "tf"), (b"S/D/".as_slice(), "df")] {
+        match store.scan_prefix(prefix) {
+            Ok(entries) => {
+                for (key, value) in entries {
+                    stat_section.entries += 1;
+                    let entry = match parse_stat_key(&key) {
+                        Ok((t, k)) => format!("{name}(type {}, keyword {})", t.0, k.0),
+                        Err(_) => format!("{name}/{:?}", &key[4..]),
+                    };
+                    if let Err(e) = decode_value(v, &value, &entry)
+                        .and_then(|raw| decode_varint_scalar(raw).map(|_| ()))
+                    {
+                        stat_section.damaged.push((entry, e.to_string()));
+                    }
+                }
+            }
+            Err(e) => stat_section.damaged.push(("<scan>".into(), e.to_string())),
+        }
+    }
+    sections.push(stat_section);
+
+    IntegrityReport { version, sections }
+}
+
+// ----- helpers -------------------------------------------------------
+
 fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     write_varint(out, bytes.len() as u64);
     out.extend_from_slice(bytes);
@@ -343,11 +638,14 @@ fn stat_key(prefix: &[u8], t: NodeTypeId, k: KeywordId) -> Vec<u8> {
 
 fn parse_stat_key(key: &[u8]) -> Result<(NodeTypeId, KeywordId)> {
     if key.len() != 4 + 8 {
-        return Err(KvError::Corrupt("bad stat key".into()));
+        return Err(KvError::corrupt("bad stat key"));
     }
-    let t = u32::from_be_bytes(key[4..8].try_into().unwrap());
-    let k = u32::from_be_bytes(key[8..12].try_into().unwrap());
-    Ok((NodeTypeId(t), KeywordId(k)))
+    let be = |s: &[u8]| -> Result<u32> {
+        s.try_into()
+            .map(u32::from_be_bytes)
+            .map_err(|_| KvError::corrupt("bad stat key"))
+    };
+    Ok((NodeTypeId(be(&key[4..8])?), KeywordId(be(&key[8..12])?)))
 }
 
 fn varint_vec(v: u64) -> Vec<u8> {
@@ -358,9 +656,9 @@ fn varint_vec(v: u64) -> Vec<u8> {
 
 fn decode_varint_scalar(bytes: &[u8]) -> Result<u64> {
     let mut pos = 0;
-    let v = read_varint(bytes, &mut pos).ok_or_else(|| KvError::Corrupt("bad varint".into()))?;
+    let v = read_varint(bytes, &mut pos).ok_or_else(|| KvError::corrupt("bad varint"))?;
     if pos != bytes.len() {
-        return Err(KvError::Corrupt("trailing bytes in varint".into()));
+        return Err(KvError::corrupt("trailing bytes in varint"));
     }
     Ok(v)
 }
@@ -370,8 +668,7 @@ fn decode_varint_vec(bytes: &[u8]) -> Result<Vec<u64>> {
     let mut pos = 0;
     while pos < bytes.len() {
         out.push(
-            read_varint(bytes, &mut pos)
-                .ok_or_else(|| KvError::Corrupt("bad varint vector".into()))?,
+            read_varint(bytes, &mut pos).ok_or_else(|| KvError::corrupt("bad varint vector"))?,
         );
     }
     Ok(out)
@@ -410,17 +707,21 @@ mod tests {
     }
 
     #[test]
-    fn version1_stores_remain_readable() {
+    fn older_format_stores_remain_readable() {
         let doc = Arc::new(figure1());
         let built = Index::build(Arc::clone(&doc));
-        let mut store = MemKv::new();
-        persist_versioned(&built, &mut store, LEGACY_FORMAT_VERSION).unwrap();
-        // no embedded document in v1
-        assert!(store.get(b"D/doc").unwrap().is_none());
-        let loaded = load(Arc::clone(&doc), &store).unwrap();
-        assert_eq!(loaded.total_postings(), built.total_postings());
-        for (k, _) in built.vocabulary().iter() {
-            assert_eq!(built.list_by_id(k), loaded.list_by_id(k));
+        for version in [LEGACY_FORMAT_VERSION, V2_FORMAT_VERSION] {
+            let mut store = MemKv::new();
+            persist_versioned(&built, &mut store, version).unwrap();
+            if version == LEGACY_FORMAT_VERSION {
+                // no embedded document in v1
+                assert!(store.get(b"D/doc").unwrap().is_none());
+            }
+            let loaded = load(Arc::clone(&doc), &store).unwrap();
+            assert_eq!(loaded.total_postings(), built.total_postings());
+            for (k, _) in built.vocabulary().iter() {
+                assert_eq!(built.list_by_id(k), loaded.list_by_id(k));
+            }
         }
     }
 
@@ -437,7 +738,7 @@ mod tests {
         *value.last_mut().unwrap() ^= 0xFF;
         store.put(&key, &value).unwrap();
         match load(Arc::clone(&doc), &store) {
-            Err(KvError::Corrupt(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            Err(e) if e.is_corrupt() => assert!(e.to_string().contains("checksum"), "{e}"),
             other => panic!("expected Corrupt, got {:?}", other.map(|_| "an index")),
         }
 
@@ -447,9 +748,101 @@ mod tests {
         value.pop();
         store.put(&key, &value).unwrap();
         match load(doc, &store) {
-            Err(KvError::Corrupt(msg)) => assert!(msg.contains("length"), "{msg}"),
+            Err(e) if e.is_corrupt() => assert!(e.to_string().contains("length"), "{e}"),
             other => panic!("expected Corrupt, got {:?}", other.map(|_| "an index")),
         }
+    }
+
+    #[test]
+    fn v3_frames_every_value_class() {
+        let doc = Arc::new(figure1());
+        let built = Index::build(Arc::clone(&doc));
+        let mut store = MemKv::new();
+        persist(&built, &mut store).unwrap();
+        // Flipping a byte in a *stat* or *vocabulary* value — unframed in
+        // v2 — must now be detected, not silently reinterpreted.
+        for prefix in [b"V/".as_slice(), b"S/".as_slice()] {
+            for (key, value) in store.scan_prefix(prefix).unwrap() {
+                for pos in 0..value.len() {
+                    let mut damaged = value.clone();
+                    damaged[pos] ^= 0xFF;
+                    let mut s2 = MemKv::new();
+                    for (k2, v2) in store.scan_prefix(b"").unwrap() {
+                        s2.put(&k2, if k2 == key { &damaged } else { &v2 }).unwrap();
+                    }
+                    let got = load(Arc::clone(&doc), &s2);
+                    assert!(
+                        got.is_err(),
+                        "flip at {pos} of {:?} went undetected",
+                        String::from_utf8_lossy(&key)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lenient_stats_attribute_damage_to_the_keyword() {
+        let doc = Arc::new(figure1());
+        let built = Index::build(Arc::clone(&doc));
+        let mut store = MemKv::new();
+        persist(&built, &mut store).unwrap();
+        let victim = built.vocabulary().get("xml").unwrap();
+        // Damage one tf entry of "xml".
+        let (key, value) = store
+            .scan_prefix(b"S/T/")
+            .unwrap()
+            .into_iter()
+            .find(|(k, _)| k[8..12] == victim.0.to_be_bytes())
+            .expect("xml has tf entries");
+        let mut bad = value.clone();
+        *bad.last_mut().unwrap() ^= 0xFF;
+        store.put(&key, &bad).unwrap();
+
+        // Strict loading fails…
+        assert!(load_stats(&store, FORMAT_VERSION).is_err());
+        // …lenient loading degrades exactly that keyword.
+        let (stats, damage) = load_stats_lenient(&store, FORMAT_VERSION).unwrap();
+        assert_eq!(damage.len(), 1);
+        assert_eq!(damage[0].keyword, victim);
+        // The damaged entry reads as 0; undamaged keywords are untouched.
+        let john = built.vocabulary().get("john").unwrap();
+        for t in doc.node_types().iter() {
+            assert_eq!(stats.tf(t, john), built.stats().tf(t, john));
+        }
+    }
+
+    #[test]
+    fn verify_store_reports_damage_per_section() {
+        let doc = Arc::new(figure1());
+        let built = Index::build(Arc::clone(&doc));
+        let mut store = MemKv::new();
+        persist(&built, &mut store).unwrap();
+        let clean = verify_store(&store);
+        assert!(clean.is_clean(), "{clean:?}");
+        assert_eq!(clean.version, Some(FORMAT_VERSION));
+        assert!(clean.total_entries() > 4);
+
+        // Damage one list and one stat entry.
+        let key = list_key(0);
+        let mut value = store.get(&key).unwrap().unwrap();
+        *value.last_mut().unwrap() ^= 0xFF;
+        store.put(&key, &value).unwrap();
+        let (skey, svalue) = store.scan_prefix(b"S/T/").unwrap().remove(0);
+        let mut sbad = svalue.clone();
+        *sbad.last_mut().unwrap() ^= 0xFF;
+        store.put(&skey, &sbad).unwrap();
+
+        let report = verify_store(&store);
+        assert!(!report.is_clean());
+        assert_eq!(report.total_damaged(), 2);
+        let damaged_sections: Vec<&str> = report
+            .sections
+            .iter()
+            .filter(|s| !s.is_clean())
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(damaged_sections, ["lists", "stats"]);
     }
 
     #[test]
@@ -458,8 +851,9 @@ mod tests {
         let built = Index::build(Arc::clone(&doc));
         let mut store = MemKv::new();
         persist(&built, &mut store).unwrap();
-        let blob = store.get(b"D/doc").unwrap().expect("v2 embeds the doc");
-        let replayed = decode_document(&blob).unwrap();
+        let framed = store.get(b"D/doc").unwrap().expect("v2+ embeds the doc");
+        let blob = decode_value(FORMAT_VERSION, &framed, "D/doc").unwrap();
+        let replayed = decode_document(blob).unwrap();
         assert_eq!(replayed.len(), doc.len());
         for ((_, a), (_, b)) in doc.nodes().zip(replayed.nodes()) {
             assert_eq!(a.dewey, b.dewey);

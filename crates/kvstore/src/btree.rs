@@ -20,6 +20,7 @@
 //! overflow-chain freeing. This matches the build-once/read-mostly index
 //! workload of the paper.
 
+use crate::codec;
 use crate::error::{KvError, Result};
 use crate::pager::{PageId, Pager, PAGE_SIZE};
 
@@ -87,11 +88,29 @@ impl<'a> PageReader<'a> {
                 self.pos = end;
                 Ok(out)
             }
-            None => Err(KvError::Corrupt(format!(
-                "truncated node record at page {}",
-                self.page.0
-            ))),
+            None => Err(KvError::corrupt_page(self.page.0, "truncated node record")),
         }
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16> {
+        let v = codec::u16_at(self.buf, self.pos, what)
+            .map_err(|_| KvError::corrupt_page(self.page.0, format!("truncated {what}")))?;
+        self.pos += 2;
+        Ok(v)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        let v = codec::u32_at(self.buf, self.pos, what)
+            .map_err(|_| KvError::corrupt_page(self.page.0, format!("truncated {what}")))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        let v = codec::u64_at(self.buf, self.pos, what)
+            .map_err(|_| KvError::corrupt_page(self.page.0, format!("truncated {what}")))?;
+        self.pos += 8;
+        Ok(v)
     }
 }
 
@@ -111,7 +130,7 @@ impl<P: Pager> BTree<P> {
     /// page is blank.
     pub fn new(mut pager: P) -> Result<Self> {
         let header = pager.read(PageId(0))?;
-        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let magic = codec::u32_at(&header, 0, "tree header magic")?;
         if magic == 0 {
             // Fresh store: allocate an empty root leaf.
             let root = pager.allocate()?;
@@ -131,16 +150,19 @@ impl<P: Pager> BTree<P> {
             Ok(tree)
         } else {
             if magic != MAGIC {
-                return Err(KvError::Corrupt(format!("bad magic {magic:#x}")));
+                return Err(KvError::corrupt_page(0, format!("bad magic {magic:#x}")));
             }
-            let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+            let version = codec::u16_at(&header, 4, "tree header version")?;
             if version != VERSION {
-                return Err(KvError::Corrupt(format!("unsupported version {version}")));
+                return Err(KvError::corrupt_page(
+                    0,
+                    format!("unsupported version {version}"),
+                ));
             }
-            let root = PageId(u64::from_le_bytes(header[6..14].try_into().unwrap()));
-            let count = u64::from_le_bytes(header[14..22].try_into().unwrap());
+            let root = PageId(codec::u64_at(&header, 6, "tree root id")?);
+            let count = codec::u64_at(&header, 14, "tree entry count")?;
             if root.is_null() {
-                return Err(KvError::Corrupt("null root".into()));
+                return Err(KvError::corrupt_page(0, "null root"));
             }
             Ok(BTree { pager, root, count })
         }
@@ -295,7 +317,7 @@ impl<P: Pager> BTree<P> {
             let (entries, next) = match self.read_node(page)? {
                 TreeNode::Leaf { entries, next } => (entries, next),
                 TreeNode::Branch { .. } => {
-                    return Err(KvError::Corrupt("branch in leaf chain".into()))
+                    return Err(KvError::corrupt_page(page.0, "branch in leaf chain"))
                 }
             };
             for (k, vref) in &entries {
@@ -329,6 +351,11 @@ impl<P: Pager> BTree<P> {
     pub fn into_pager(mut self) -> Result<P> {
         self.sync()?;
         Ok(self.pager)
+    }
+
+    /// Borrows the underlying pager (used for integrity checks).
+    pub fn pager(&self) -> &P {
+        &self.pager
     }
 
     // ----- internals -------------------------------------------------
@@ -482,24 +509,28 @@ impl<P: Pager> BTree<P> {
                 let mut page = *head;
                 while !page.is_null() {
                     let buf = self.pager.read(page)?;
-                    if buf[0] != TYPE_OVERFLOW {
-                        return Err(KvError::Corrupt("bad overflow page".into()));
+                    if buf.first() != Some(&TYPE_OVERFLOW) {
+                        return Err(KvError::corrupt_page(page.0, "bad overflow page"));
                     }
-                    let next = PageId(u64::from_le_bytes(buf[1..9].try_into().unwrap()));
-                    let n = u16::from_le_bytes(buf[9..11].try_into().unwrap()) as usize;
+                    let next = PageId(codec::u64_at(&buf, 1, "overflow next link")?);
+                    let n = codec::u16_at(&buf, 9, "overflow chunk length")? as usize;
                     if n == 0 || 11 + n > buf.len() {
-                        return Err(KvError::Corrupt(format!("bad overflow chunk length {n}")));
+                        return Err(KvError::corrupt_page(
+                            page.0,
+                            format!("bad overflow chunk length {n}"),
+                        ));
                     }
                     out.extend_from_slice(&buf[11..11 + n]);
                     if out.len() > *len as usize {
-                        return Err(KvError::Corrupt(
-                            "overflow chain exceeds recorded length".into(),
+                        return Err(KvError::corrupt_page(
+                            page.0,
+                            "overflow chain exceeds recorded length",
                         ));
                     }
                     page = next;
                 }
                 if out.len() != *len as usize {
-                    return Err(KvError::Corrupt(format!(
+                    return Err(KvError::corrupt(format!(
                         "overflow chain length {} != recorded {}",
                         out.len(),
                         len
@@ -514,7 +545,7 @@ impl<P: Pager> BTree<P> {
         let mut page = head;
         while !page.is_null() {
             let buf = self.pager.read(page)?;
-            let next = PageId(u64::from_le_bytes(buf[1..9].try_into().unwrap()));
+            let next = PageId(codec::u64_at(&buf, 1, "overflow next link")?);
             self.pager.free(page)?;
             page = next;
         }
@@ -538,29 +569,29 @@ impl<P: Pager> BTree<P> {
         let ty = r.take(1)?[0];
         match ty {
             TYPE_BRANCH => {
-                let nkeys = u16::from_le_bytes(r.take(2)?.try_into().unwrap()) as usize;
-                let child0 = PageId(u64::from_le_bytes(r.take(8)?.try_into().unwrap()));
+                let nkeys = r.u16("branch key count")? as usize;
+                let child0 = PageId(r.u64("branch child id")?);
                 let mut keys = Vec::new();
                 let mut children = Vec::new();
                 children.push(child0);
                 for _ in 0..nkeys {
-                    let klen = u16::from_le_bytes(r.take(2)?.try_into().unwrap()) as usize;
+                    let klen = r.u16("branch key length")? as usize;
                     keys.push(r.take(klen)?.to_vec());
-                    children.push(PageId(u64::from_le_bytes(r.take(8)?.try_into().unwrap())));
+                    children.push(PageId(r.u64("branch child id")?));
                 }
                 Ok(TreeNode::Branch { keys, children })
             }
             TYPE_LEAF => {
-                let nkeys = u16::from_le_bytes(r.take(2)?.try_into().unwrap()) as usize;
-                let next = PageId(u64::from_le_bytes(r.take(8)?.try_into().unwrap()));
+                let nkeys = r.u16("leaf entry count")? as usize;
+                let next = PageId(r.u64("leaf next link")?);
                 let mut entries = Vec::new();
                 for _ in 0..nkeys {
-                    let klen = u16::from_le_bytes(r.take(2)?.try_into().unwrap()) as usize;
-                    let vinfo = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+                    let klen = r.u16("leaf key length")? as usize;
+                    let vinfo = r.u32("leaf value info")?;
                     let key = r.take(klen)?.to_vec();
                     let vref = if vinfo & 0x8000_0000 != 0 {
-                        let head = PageId(u64::from_le_bytes(r.take(8)?.try_into().unwrap()));
-                        let len = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+                        let head = PageId(r.u64("overflow head id")?);
+                        let len = r.u32("overflow value length")?;
                         ValueRef::Overflow { head, len }
                     } else {
                         ValueRef::Inline(r.take(vinfo as usize)?.to_vec())
@@ -569,10 +600,10 @@ impl<P: Pager> BTree<P> {
                 }
                 Ok(TreeNode::Leaf { entries, next })
             }
-            other => Err(KvError::Corrupt(format!(
-                "unknown page type {other} at page {}",
-                page.0
-            ))),
+            other => Err(KvError::corrupt_page(
+                page.0,
+                format!("unknown page type {other}"),
+            )),
         }
     }
 

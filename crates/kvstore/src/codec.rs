@@ -1,0 +1,64 @@
+//! Checked little-endian decoding helpers.
+//!
+//! Shared by the WAL frame parser, the pager's page-trailer checksum
+//! verification and the B+-tree node readers, so out-of-bounds slices
+//! surface as [`KvError::Corrupt`] instead of panicking on
+//! `try_into().unwrap()`.
+
+use crate::error::{KvError, Result};
+
+fn bytes_at<'a>(buf: &'a [u8], pos: usize, need: usize, what: &str) -> Result<&'a [u8]> {
+    pos.checked_add(need)
+        .and_then(|end| buf.get(pos..end))
+        .ok_or_else(|| truncated(buf, pos, need, what))
+}
+
+/// Reads a little-endian `u16` at `pos`, or reports `what` as truncated.
+pub fn u16_at(buf: &[u8], pos: usize, what: &str) -> Result<u16> {
+    let s = bytes_at(buf, pos, 2, what)?;
+    Ok(u16::from_le_bytes([s[0], s[1]]))
+}
+
+/// Reads a little-endian `u32` at `pos`, or reports `what` as truncated.
+pub fn u32_at(buf: &[u8], pos: usize, what: &str) -> Result<u32> {
+    let s = bytes_at(buf, pos, 4, what)?;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+/// Reads a little-endian `u64` at `pos`, or reports `what` as truncated.
+pub fn u64_at(buf: &[u8], pos: usize, what: &str) -> Result<u64> {
+    let s = bytes_at(buf, pos, 8, what)?;
+    Ok(u64::from_le_bytes([
+        s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+    ]))
+}
+
+fn truncated(buf: &[u8], pos: usize, need: usize, what: &str) -> KvError {
+    KvError::corrupt(format!(
+        "{what}: need {need} bytes at offset {pos} but buffer holds {}",
+        buf.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_bounds_reads_decode_little_endian() {
+        let buf = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09];
+        assert_eq!(u16_at(&buf, 0, "x").unwrap(), 0x0201);
+        assert_eq!(u32_at(&buf, 1, "x").unwrap(), 0x0504_0302);
+        assert_eq!(u64_at(&buf, 1, "x").unwrap(), 0x0908_0706_0504_0302);
+    }
+
+    #[test]
+    fn out_of_bounds_reads_are_corrupt_not_panics() {
+        let buf = [0u8; 3];
+        assert!(u32_at(&buf, 0, "frame length").unwrap_err().is_corrupt());
+        assert!(u16_at(&buf, 2, "key length").unwrap_err().is_corrupt());
+        assert!(u64_at(&buf, usize::MAX - 4, "root")
+            .unwrap_err()
+            .is_corrupt());
+    }
+}

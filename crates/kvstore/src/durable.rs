@@ -4,21 +4,38 @@
 //! Layout on disk: `<base>.db` (the B+-tree holding the last checkpoint)
 //! and `<base>.wal` (mutations since). Every `put`/`delete` is logged and
 //! fsynced before the in-memory overlay changes, so an acknowledged write
-//! survives any crash; `checkpoint()` folds the overlay into the tree and
-//! resets the log. On open, the checkpoint is loaded and the WAL is
-//! replayed over it.
+//! survives any crash; `checkpoint()` folds tree + overlay into a *new*
+//! tree file and atomically renames it over the old one before resetting
+//! the log. On open, the checkpoint is loaded and the WAL is replayed
+//! over it.
+//!
+//! ## Crash-safety of checkpointing
+//!
+//! The checkpoint never modifies `<base>.db` in place. The merged state
+//! is written to `<base>.db.new`, fsynced, renamed over `<base>.db`, and
+//! the directory is fsynced — only then is the WAL truncated. A crash at
+//! any point leaves either the old tree (rename not yet durable) or the
+//! new tree (rename durable), and in both cases the still-intact WAL
+//! replays the overlay on top, which is idempotent. A partially written
+//! `<base>.db.new` left by a crash is deleted on the next open. In-place
+//! tree updates would not have this property: a power cut midway through
+//! flushing a multi-page update can strand the tree in a state no WAL
+//! replay can repair.
 
 use crate::btree::BTree;
 use crate::error::Result;
 use crate::pager::FilePager;
 use crate::store::KvStore;
+use crate::vfs::{StdVfs, Vfs};
 use crate::wal::{Wal, WalRecord};
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// A crash-safe key-value store.
 pub struct DurableKv {
+    vfs: Arc<dyn Vfs>,
     base: PathBuf,
     tree: BTree<FilePager>,
     /// Overlay of mutations since the last checkpoint:
@@ -32,10 +49,18 @@ impl DurableKv {
     /// Opens (creating if absent) the store rooted at `base` — files
     /// `base.db` and `base.wal` are created next to each other.
     pub fn open(base: &Path) -> Result<Self> {
+        Self::open_with_vfs(StdVfs::arc(), base)
+    }
+
+    /// [`Self::open`] through an explicit [`Vfs`] (fault injection,
+    /// crash-recovery testing).
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, base: &Path) -> Result<Self> {
         let db_path = base.with_extension("db");
         let wal_path = base.with_extension("wal");
-        let tree = BTree::new(FilePager::open(&db_path)?)?;
-        let mut wal = Wal::open(&wal_path)?;
+        // A crash mid-checkpoint can leave a partially written new tree.
+        vfs.remove(&base.with_extension("db.new"))?;
+        let tree = BTree::new(FilePager::open_with_vfs(&vfs, &db_path)?)?;
+        let mut wal = Wal::open_with_vfs(&vfs, &wal_path)?;
 
         let mut overlay: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
         for record in wal.replay()? {
@@ -54,6 +79,7 @@ impl DurableKv {
         }
 
         let mut store = DurableKv {
+            vfs,
             base: base.to_path_buf(),
             tree,
             overlay,
@@ -77,21 +103,61 @@ impl DurableKv {
         Ok(count)
     }
 
-    /// Folds the overlay into the B+-tree and resets the WAL. After this
-    /// returns, recovery no longer needs the log.
+    /// Writes the merged tree + overlay state to a fresh tree file,
+    /// atomically swaps it in, and resets the WAL. After this returns,
+    /// recovery no longer needs the log. On error the store is
+    /// unchanged: the old tree, overlay and WAL all remain in force.
     pub fn checkpoint(&mut self) -> Result<()> {
-        for (key, v) in std::mem::take(&mut self.overlay) {
-            match v {
-                Some(value) => {
-                    self.tree.put(&key, &value)?;
+        if self.overlay.is_empty() && self.wal.is_empty()? {
+            return Ok(());
+        }
+        let tmp_path = self.base.with_extension("db.new");
+        self.vfs.remove(&tmp_path)?;
+        let mut new_tree = BTree::new(FilePager::open_with_vfs(&self.vfs, &tmp_path)?)?;
+        {
+            // Stream the merge of the (sorted) tree scan and the
+            // (sorted) overlay without materializing either.
+            let tree = &self.tree;
+            let overlay = &self.overlay;
+            let mut ov = overlay.iter().peekable();
+            tree.for_each_in_range(b"", None, &mut |k, v| {
+                while let Some(&(ov_key, ov_val)) = ov.peek() {
+                    match ov_key.as_slice().cmp(k) {
+                        std::cmp::Ordering::Less => {
+                            if let Some(val) = ov_val {
+                                new_tree.put(ov_key, val)?;
+                            }
+                            ov.next();
+                        }
+                        std::cmp::Ordering::Equal => {
+                            // Overlay shadows the tree (including deletes).
+                            if let Some(val) = ov_val {
+                                new_tree.put(ov_key, val)?;
+                            }
+                            ov.next();
+                            return Ok(true);
+                        }
+                        std::cmp::Ordering::Greater => break,
+                    }
                 }
-                None => {
-                    self.tree.delete(&key)?;
+                new_tree.put(k, &v)?;
+                Ok(true)
+            })?;
+            for (ov_key, ov_val) in ov {
+                if let Some(val) = ov_val {
+                    new_tree.put(ov_key, val)?;
                 }
             }
         }
-        self.tree.sync()?;
-        self.wal.reset()
+        new_tree.sync()?;
+
+        let db_path = self.base.with_extension("db");
+        self.vfs.rename(&tmp_path, &db_path)?;
+        self.vfs.sync_parent_dir(&db_path)?;
+        // The swap is durable; adopt the new tree, then retire the log.
+        self.tree = new_tree;
+        self.overlay.clear();
+        self.wal.reset_with_vfs(&self.vfs)
     }
 
     /// Number of unsynced overlay entries (checkpoint trigger heuristics).
@@ -191,6 +257,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join(name);
         let _ = std::fs::remove_file(p.with_extension("db"));
+        let _ = std::fs::remove_file(p.with_extension("db.new"));
         let _ = std::fs::remove_file(p.with_extension("wal"));
         p
     }
@@ -231,6 +298,46 @@ mod tests {
         assert_eq!(s.get(b"post").unwrap().unwrap(), b"ckpt");
         assert_eq!(s.get(b"k001").unwrap(), None);
         assert_eq!(s.get(b"k002").unwrap().unwrap(), 2u32.to_le_bytes());
+    }
+
+    #[test]
+    fn repeated_checkpoints_fold_deletes_and_survive_reopen() {
+        let base = tmp("reckpt");
+        {
+            let mut s = DurableKv::open(&base).unwrap();
+            for i in 0..40u32 {
+                s.put(format!("k{i:03}").as_bytes(), &i.to_le_bytes())
+                    .unwrap();
+            }
+            s.checkpoint().unwrap();
+            for i in 0..20u32 {
+                s.delete(format!("k{i:03}").as_bytes()).unwrap();
+            }
+            s.checkpoint().unwrap();
+            s.put(b"tail", b"t").unwrap();
+        }
+        let s = DurableKv::open(&base).unwrap();
+        assert_eq!(s.len(), 21);
+        assert_eq!(s.get(b"k000").unwrap(), None);
+        assert_eq!(s.get(b"k039").unwrap().unwrap(), 39u32.to_le_bytes());
+        assert_eq!(s.get(b"tail").unwrap().unwrap(), b"t");
+        // The checkpoint fully rewrote the tree, so deleted keys are
+        // genuinely gone from the base file, not just shadowed.
+        assert_eq!(s.tree.len(), 20);
+    }
+
+    #[test]
+    fn stale_partial_checkpoint_file_is_removed_on_open() {
+        let base = tmp("stale");
+        {
+            let mut s = DurableKv::open(&base).unwrap();
+            s.put(b"a", b"1").unwrap();
+        }
+        // Simulate a crash that left a partial new tree behind.
+        std::fs::write(base.with_extension("db.new"), b"partial garbage").unwrap();
+        let s = DurableKv::open(&base).unwrap();
+        assert_eq!(s.get(b"a").unwrap().unwrap(), b"1");
+        assert!(!base.with_extension("db.new").exists());
     }
 
     #[test]

@@ -5,23 +5,34 @@
 //! workspace's from-scratch substitute: ordered keyed storage with
 //! `O(log n)` lookups, prefix/range scans and values of arbitrary size.
 //!
-//! * [`pager`]: fixed-size page storage (in-memory or file-backed).
+//! * [`vfs`]: the virtual filesystem every file touch goes through —
+//!   [`StdVfs`] in production, [`FaultVfs`] under fault injection.
+//! * [`pager`]: fixed-size page storage (in-memory or file-backed) with
+//!   per-page CRC32 trailers.
 //! * [`btree`]: the B+-tree itself.
 //! * [`store`]: the [`KvStore`] trait plus [`MemKv`] (BTreeMap model),
 //!   [`MemTreeKv`] (B+-tree over memory) and [`DiskKv`] (B+-tree over a
 //!   file).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod btree;
+pub mod codec;
 pub mod durable;
 pub mod error;
 mod fsutil;
 pub mod pager;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use btree::{BTree, MAX_KEY_LEN};
 pub use durable::DurableKv;
 pub use error::{KvError, Result};
-pub use pager::{FilePager, MemPager, PageId, Pager, PAGE_SIZE};
+pub use pager::{
+    FilePager, MemPager, PageId, PageVerifyReport, Pager, PAGE_SIZE, PAGE_TRAILER_MAGIC,
+    PHYS_PAGE_SIZE,
+};
 pub use store::{DiskKv, KvStore, MemKv, MemTreeKv};
+pub use vfs::{Fault, FaultVfs, StdVfs, SurvivalMode, Vfs, VfsFile};
 pub use wal::{crc32, Wal, WalRecord};

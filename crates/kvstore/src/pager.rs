@@ -5,17 +5,37 @@
 //! writes whole pages through the [`Pager`] trait, which keeps the tree
 //! logic testable against the in-memory pager and makes the disk format a
 //! detail of [`FilePager`].
+//!
+//! ## On-disk page format (version 2)
+//!
+//! Each page occupies [`PHYS_PAGE_SIZE`] (4096) bytes on disk: a
+//! [`PAGE_SIZE`] (4088) byte payload followed by an 8-byte trailer
+//! `[crc32(payload):u32][`[`PAGE_TRAILER_MAGIC`]`:u32]` (little-endian).
+//! Torn pages and bit-rot therefore surface as
+//! [`KvError::Corrupt`]` { page, .. }` on read instead of being parsed as
+//! garbage. Pages that are entirely zero are valid: they are the state of
+//! allocated-but-never-flushed pages after the file is grown with
+//! `set_len`.
+//!
+//! Version-1 files (no trailer; raw 4096-byte payloads) are detected by
+//! their all-zero trailer bytes on page 0 and served **read-only**; the
+//! checkpoint path of [`crate::DurableKv`] rewrites them in the current
+//! format.
 
+use crate::codec;
 use crate::error::{KvError, Result};
-use crate::fsutil::sync_parent_dir;
-use parking_lot::Mutex;
+use crate::vfs::{StdVfs, Vfs, VfsFile};
+use crate::wal::crc32;
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
-/// Size of every page in bytes. 4 KiB matches common filesystem blocks.
-pub const PAGE_SIZE: usize = 4096;
+/// Usable payload bytes per page.
+pub const PAGE_SIZE: usize = 4088;
+/// Bytes a page occupies on disk: payload plus checksum trailer.
+pub const PHYS_PAGE_SIZE: usize = 4096;
+/// Marker closing every checksummed page: "XRP2".
+pub const PAGE_TRAILER_MAGIC: u32 = 0x5852_5032;
 
 /// Identifier of a page within a store. Page 0 is the store header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -83,7 +103,7 @@ impl Pager for MemPager {
         self.pages
             .get(id.0 as usize)
             .cloned()
-            .ok_or_else(|| KvError::Corrupt(format!("read of unallocated page {}", id.0)))
+            .ok_or_else(|| KvError::corrupt_page(id.0, "read of unallocated page"))
     }
 
     fn write(&mut self, id: PageId, data: &[u8]) -> Result<()> {
@@ -91,14 +111,14 @@ impl Pager for MemPager {
         let page = self
             .pages
             .get_mut(id.0 as usize)
-            .ok_or_else(|| KvError::Corrupt(format!("write of unallocated page {}", id.0)))?;
+            .ok_or_else(|| KvError::corrupt_page(id.0, "write of unallocated page"))?;
         page.copy_from_slice(data);
         Ok(())
     }
 
     fn free(&mut self, id: PageId) -> Result<()> {
         if id.is_null() || id.0 as usize >= self.pages.len() {
-            return Err(KvError::Corrupt(format!("free of invalid page {}", id.0)));
+            return Err(KvError::corrupt_page(id.0, "free of invalid page"));
         }
         self.free.push(id);
         Ok(())
@@ -113,17 +133,46 @@ impl Pager for MemPager {
     }
 }
 
+/// Checksum verification summary produced by [`FilePager::verify_pages`].
+#[derive(Debug, Clone)]
+pub struct PageVerifyReport {
+    /// On-disk format version (1 = legacy unchecksummed, 2 = trailer CRCs).
+    pub format_version: u8,
+    /// Total pages in the file.
+    pub total_pages: u64,
+    /// All-zero pages (allocated but never flushed, or freed).
+    pub zero_pages: u64,
+    /// Pages whose trailer magic and CRC both verified.
+    pub valid_pages: u64,
+    /// Pages that failed verification, with the reason.
+    pub bad_pages: Vec<(u64, String)>,
+}
+
+impl PageVerifyReport {
+    /// True when every page verified (or the format has no checksums).
+    pub fn is_clean(&self) -> bool {
+        self.bad_pages.is_empty()
+    }
+
+    /// True when the file carries per-page checksums at all.
+    pub fn checksummed(&self) -> bool {
+        self.format_version >= 2
+    }
+}
+
 /// File-backed pager with a simple write-back page cache.
 ///
 /// The cache holds every dirty page plus up to `cache_limit` clean pages;
 /// eviction is not LRU-precise (it drops an arbitrary clean page), which is
 /// adequate for the workload's sequential build + random probe pattern.
 pub struct FilePager {
-    file: Mutex<File>,
+    file: Box<dyn VfsFile>,
     cache: HashMap<PageId, CachedPage>,
     cache_limit: usize,
     page_count: u64,
     free: Vec<PageId>,
+    /// On-disk format version; 1 (legacy) is served read-only.
+    format_version: u8,
 }
 
 struct CachedPage {
@@ -131,40 +180,144 @@ struct CachedPage {
     dirty: bool,
 }
 
+/// Splits a physical page into payload or reports why it is damaged.
+/// All-zero pages are valid empties (`Ok(None)`).
+fn verify_phys_page(phys: &[u8], id: u64) -> Result<Option<&[u8]>> {
+    debug_assert_eq!(phys.len(), PHYS_PAGE_SIZE);
+    if phys.iter().all(|&b| b == 0) {
+        return Ok(None);
+    }
+    let payload = &phys[..PAGE_SIZE];
+    let stored_crc = codec::u32_at(phys, PAGE_SIZE, "page trailer crc")?;
+    let magic = codec::u32_at(phys, PAGE_SIZE + 4, "page trailer magic")?;
+    if magic != PAGE_TRAILER_MAGIC {
+        return Err(KvError::corrupt_page(
+            id,
+            format!("bad page trailer magic {magic:#010x} (torn or rotten page)"),
+        ));
+    }
+    if crc32(payload) != stored_crc {
+        return Err(KvError::corrupt_page(
+            id,
+            "page checksum mismatch (torn or rotten page)",
+        ));
+    }
+    Ok(Some(payload))
+}
+
 impl FilePager {
-    /// Opens (creating if absent) a pager over `path`.
+    /// Opens (creating if absent) a pager over `path` on the real
+    /// filesystem.
     pub fn open(path: &Path) -> Result<Self> {
-        let existed = path.exists();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        Self::open_with_vfs(&StdVfs::arc(), path)
+    }
+
+    /// Opens (creating if absent) a pager over `path` through `vfs`.
+    pub fn open_with_vfs(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<Self> {
+        let existed = vfs.exists(path);
+        let file = vfs.open(path)?;
         if !existed {
-            // Make the file's directory entry durable (see `fsutil`).
-            sync_parent_dir(path)?;
+            // Make the file's directory entry durable (see `vfs`).
+            vfs.sync_parent_dir(path)?;
         }
-        let len = file.seek(SeekFrom::End(0))?;
-        if len % PAGE_SIZE as u64 != 0 {
-            return Err(KvError::Corrupt(format!(
-                "file length {len} is not a multiple of the page size"
-            )));
+        let mut len = file.len()?;
+        if len % PHYS_PAGE_SIZE as u64 != 0 {
+            if len < PHYS_PAGE_SIZE as u64 {
+                // A crash can tear the initial header write of a store
+                // that never held data; restart it from scratch.
+                file.set_len(0)?;
+                len = 0;
+            } else {
+                return Err(KvError::corrupt(format!(
+                    "file length {len} is not a multiple of the physical page size"
+                )));
+            }
         }
-        let mut page_count = len / PAGE_SIZE as u64;
+        let mut page_count = len / PHYS_PAGE_SIZE as u64;
+        let mut format_version = 2;
         if page_count == 0 {
             // Write the header page eagerly so page 0 always exists.
-            file.seek(SeekFrom::Start(0))?;
-            file.write_all(&[0u8; PAGE_SIZE])?;
-            page_count = 1;
+            let pager = FilePager {
+                file,
+                cache: HashMap::new(),
+                cache_limit: 4096,
+                page_count: 1,
+                free: Vec::new(),
+                format_version,
+            };
+            pager.write_through(PageId(0), &[0u8; PAGE_SIZE])?;
+            return Ok(pager);
+        }
+        // Distinguish checksummed (v2) files from legacy (v1) ones by
+        // page 0's trailer: v2 closes it with `PAGE_TRAILER_MAGIC`,
+        // legacy headers are zero past byte 22, and anything else means
+        // the header page itself is damaged.
+        let mut page0 = vec![0u8; PHYS_PAGE_SIZE];
+        file.read_exact_at(0, &mut page0)?;
+        let trailer_magic = codec::u32_at(&page0, PAGE_SIZE + 4, "page trailer magic")?;
+        if trailer_magic != PAGE_TRAILER_MAGIC && !page0.iter().all(|&b| b == 0) {
+            if page0[PAGE_SIZE..].iter().all(|&b| b == 0) {
+                format_version = 1;
+            } else {
+                return Err(KvError::corrupt_page(
+                    0,
+                    "header page trailer is damaged (neither checksummed nor legacy)",
+                ));
+            }
+        }
+        if format_version == 2 {
+            // Fail fast on a rotten header rather than at first read.
+            verify_phys_page(&page0, 0)?;
+        }
+        if format_version == 1 {
+            page_count = len / PHYS_PAGE_SIZE as u64;
         }
         Ok(FilePager {
-            file: Mutex::new(file),
+            file,
             cache: HashMap::new(),
             cache_limit: 4096,
             page_count,
             free: Vec::new(),
+            format_version,
         })
+    }
+
+    /// On-disk format version: 1 = legacy (read-only), 2 = checksummed.
+    pub fn format_version(&self) -> u8 {
+        self.format_version
+    }
+
+    /// True when the file is legacy-format and rejects writes.
+    pub fn is_read_only(&self) -> bool {
+        self.format_version < 2
+    }
+
+    /// Verifies the trailer checksum of every page in the file,
+    /// bypassing the cache. Legacy files carry no checksums, so their
+    /// report only counts pages.
+    pub fn verify_pages(&self) -> Result<PageVerifyReport> {
+        let total = self.file.len()? / PHYS_PAGE_SIZE as u64;
+        let mut report = PageVerifyReport {
+            format_version: self.format_version,
+            total_pages: total,
+            zero_pages: 0,
+            valid_pages: 0,
+            bad_pages: Vec::new(),
+        };
+        if self.format_version < 2 {
+            return Ok(report);
+        }
+        let mut phys = vec![0u8; PHYS_PAGE_SIZE];
+        for id in 0..total {
+            self.file
+                .read_exact_at(id * PHYS_PAGE_SIZE as u64, &mut phys)?;
+            match verify_phys_page(&phys, id) {
+                Ok(None) => report.zero_pages += 1,
+                Ok(Some(_)) => report.valid_pages += 1,
+                Err(e) => report.bad_pages.push((id, e.to_string())),
+            }
+        }
+        Ok(report)
     }
 
     fn evict_if_needed(&mut self) -> Result<()> {
@@ -179,25 +332,32 @@ impl FilePager {
                 self.cache.remove(&id);
             }
             None => {
-                if let Some((&id, _)) = self.cache.iter().next() {
-                    let page = self.cache.remove(&id).expect("just found");
-                    self.write_through(id, &page.data)?;
+                if let Some(&id) = self.cache.keys().next() {
+                    if let Some(page) = self.cache.remove(&id) {
+                        self.write_through(id, &page.data)?;
+                    }
                 }
             }
         }
         Ok(())
     }
 
+    /// Writes one page to the file with its checksum trailer.
     fn write_through(&self, id: PageId, data: &[u8]) -> Result<()> {
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-        file.write_all(data)?;
-        Ok(())
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        let mut phys = vec![0u8; PHYS_PAGE_SIZE];
+        phys[..PAGE_SIZE].copy_from_slice(data);
+        phys[PAGE_SIZE..PAGE_SIZE + 4].copy_from_slice(&crc32(data).to_le_bytes());
+        phys[PAGE_SIZE + 4..].copy_from_slice(&PAGE_TRAILER_MAGIC.to_le_bytes());
+        self.file.write_all_at(id.0 * PHYS_PAGE_SIZE as u64, &phys)
     }
 }
 
 impl Pager for FilePager {
     fn allocate(&mut self) -> Result<PageId> {
+        if self.is_read_only() {
+            return Err(KvError::ReadOnly);
+        }
         if let Some(id) = self.free.pop() {
             self.cache.insert(
                 id,
@@ -223,36 +383,36 @@ impl Pager for FilePager {
 
     fn read(&self, id: PageId) -> Result<Vec<u8>> {
         if id.0 >= self.page_count {
-            return Err(KvError::Corrupt(format!(
-                "read of unallocated page {}",
-                id.0
-            )));
+            return Err(KvError::corrupt_page(id.0, "read of unallocated page"));
         }
         if let Some(p) = self.cache.get(&id) {
             return Ok(p.data.clone());
         }
-        let mut file = self.file.lock();
-        let file_pages = {
-            let len = file.seek(SeekFrom::End(0))?;
-            len / PAGE_SIZE as u64
-        };
+        let file_pages = self.file.len()? / PHYS_PAGE_SIZE as u64;
         if id.0 >= file_pages {
             // Allocated but never flushed nor written: logically zeroed.
             return Ok(vec![0; PAGE_SIZE]);
         }
-        file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-        let mut buf = vec![0; PAGE_SIZE];
-        file.read_exact(&mut buf)?;
-        Ok(buf)
+        let mut phys = vec![0u8; PHYS_PAGE_SIZE];
+        self.file
+            .read_exact_at(id.0 * PHYS_PAGE_SIZE as u64, &mut phys)?;
+        if self.format_version < 2 {
+            // Legacy pages are raw payloads with no trailer.
+            return Ok(phys);
+        }
+        match verify_phys_page(&phys, id.0)? {
+            Some(payload) => Ok(payload.to_vec()),
+            None => Ok(vec![0; PAGE_SIZE]),
+        }
     }
 
     fn write(&mut self, id: PageId, data: &[u8]) -> Result<()> {
         debug_assert_eq!(data.len(), PAGE_SIZE);
+        if self.is_read_only() {
+            return Err(KvError::ReadOnly);
+        }
         if id.0 >= self.page_count {
-            return Err(KvError::Corrupt(format!(
-                "write of unallocated page {}",
-                id.0
-            )));
+            return Err(KvError::corrupt_page(id.0, "write of unallocated page"));
         }
         match self.cache.get_mut(&id) {
             Some(p) => {
@@ -274,8 +434,11 @@ impl Pager for FilePager {
     }
 
     fn free(&mut self, id: PageId) -> Result<()> {
+        if self.is_read_only() {
+            return Err(KvError::ReadOnly);
+        }
         if id.is_null() || id.0 >= self.page_count {
-            return Err(KvError::Corrupt(format!("free of invalid page {}", id.0)));
+            return Err(KvError::corrupt_page(id.0, "free of invalid page"));
         }
         self.cache.remove(&id);
         self.free.push(id);
@@ -287,25 +450,28 @@ impl Pager for FilePager {
     }
 
     fn sync(&mut self) -> Result<()> {
+        if self.is_read_only() {
+            return Err(KvError::ReadOnly);
+        }
         // Grow the file to cover all allocated pages, then flush dirty pages.
-        {
-            let mut file = self.file.lock();
-            let want = self.page_count * PAGE_SIZE as u64;
-            let have = file.seek(SeekFrom::End(0))?;
-            if have < want {
-                file.set_len(want)?;
-            }
+        let want = self.page_count * PHYS_PAGE_SIZE as u64;
+        if self.file.len()? < want {
+            self.file.set_len(want)?;
         }
         for (&id, page) in self.cache.iter_mut() {
             if page.dirty {
-                let mut file = self.file.lock();
-                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-                file.write_all(&page.data)?;
                 page.dirty = false;
+            } else {
+                continue;
             }
+            let mut phys = vec![0u8; PHYS_PAGE_SIZE];
+            phys[..PAGE_SIZE].copy_from_slice(&page.data);
+            phys[PAGE_SIZE..PAGE_SIZE + 4].copy_from_slice(&crc32(&page.data).to_le_bytes());
+            phys[PAGE_SIZE + 4..].copy_from_slice(&PAGE_TRAILER_MAGIC.to_le_bytes());
+            self.file
+                .write_all_at(id.0 * PHYS_PAGE_SIZE as u64, &phys)?;
         }
-        self.file.lock().sync_data()?;
-        Ok(())
+        self.file.sync_data()
     }
 }
 
@@ -361,6 +527,7 @@ mod tests {
         }
         // Reopen and verify durability.
         let p = FilePager::open(&path).unwrap();
+        assert_eq!(p.format_version(), 2);
         assert_eq!(p.read(a).unwrap(), pa);
         std::fs::remove_file(&path).unwrap();
     }
@@ -370,8 +537,24 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("kvstore_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("torn.db");
-        std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).unwrap();
-        assert!(matches!(FilePager::open(&path), Err(KvError::Corrupt(_))));
+        std::fs::write(&path, vec![0u8; PHYS_PAGE_SIZE + 17]).unwrap();
+        assert!(matches!(
+            FilePager::open(&path),
+            Err(KvError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_pager_recovers_a_torn_header_only_file() {
+        // A crash during the very first header write can leave a short
+        // file; that store never held data, so it restarts cleanly.
+        let dir = std::env::temp_dir().join(format!("kvstore_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn_header.db");
+        std::fs::write(&path, vec![0u8; 1234]).unwrap();
+        let p = FilePager::open(&path).unwrap();
+        assert_eq!(p.page_count(), 1);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -394,6 +577,118 @@ mod tests {
         for (i, id) in ids.iter().enumerate() {
             assert_eq!(p.read(*id).unwrap()[0], i as u8);
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipped_byte_in_page_payload_reads_as_corrupt() {
+        let dir = std::env::temp_dir().join(format!("kvstore_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bitrot.db");
+        let _ = std::fs::remove_file(&path);
+        let id;
+        {
+            let mut p = FilePager::open(&path).unwrap();
+            id = p.allocate().unwrap();
+            let mut page = vec![0u8; PAGE_SIZE];
+            page[100] = 7;
+            p.write(id, &page).unwrap();
+            p.sync().unwrap();
+        }
+        // Rot one payload byte on disk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[id.0 as usize * PHYS_PAGE_SIZE + 100] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let p = FilePager::open(&path).unwrap();
+        match p.read(id) {
+            Err(KvError::Corrupt { page, .. }) => assert_eq!(page, Some(id.0)),
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+        let report = p.verify_pages().unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.bad_pages.len(), 1);
+        assert_eq!(report.bad_pages[0].0, id.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_page_write_reads_as_corrupt_with_page_number() {
+        // Tear a flushed page in half the way a power cut mid-write
+        // would: first half new bytes, second half stale (zeros).
+        let dir = std::env::temp_dir().join(format!("kvstore_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tornpage.db");
+        let _ = std::fs::remove_file(&path);
+        let id;
+        {
+            let mut p = FilePager::open(&path).unwrap();
+            id = p.allocate().unwrap();
+            let page = vec![0xABu8; PAGE_SIZE];
+            p.write(id, &page).unwrap();
+            p.sync().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let start = id.0 as usize * PHYS_PAGE_SIZE;
+        for b in &mut bytes[start + PHYS_PAGE_SIZE / 2..start + PHYS_PAGE_SIZE] {
+            *b = 0;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        let p = FilePager::open(&path).unwrap();
+        match p.read(id) {
+            Err(KvError::Corrupt { page, context }) => {
+                assert_eq!(page, Some(id.0));
+                assert!(context.contains("torn"), "context: {context}");
+            }
+            other => panic!("expected torn-page corruption, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_files_are_detected_and_read_only() {
+        // Handcraft a minimal legacy (version-1) store: raw 4096-byte
+        // pages, no trailers. Page 0 is the tree header, page 1 a leaf
+        // holding one entry.
+        let dir = std::env::temp_dir().join(format!("kvstore_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy_v1.db");
+        let mut header = vec![0u8; PHYS_PAGE_SIZE];
+        header[0..4].copy_from_slice(&0x5852_4B56u32.to_le_bytes()); // XRKV
+        header[4..6].copy_from_slice(&1u16.to_le_bytes()); // tree version
+        header[6..14].copy_from_slice(&1u64.to_le_bytes()); // root = page 1
+        header[14..22].copy_from_slice(&1u64.to_le_bytes()); // count = 1
+        let mut leaf = vec![0u8; PHYS_PAGE_SIZE];
+        leaf[0] = 2; // TYPE_LEAF
+        leaf[1..3].copy_from_slice(&1u16.to_le_bytes()); // one entry
+        leaf[3..11].copy_from_slice(&0u64.to_le_bytes()); // no next leaf
+        leaf[11..13].copy_from_slice(&1u16.to_le_bytes()); // klen
+        leaf[13..17].copy_from_slice(&1u32.to_le_bytes()); // inline, 1 byte
+        leaf[17] = b'k';
+        leaf[18] = b'v';
+        let mut bytes = header;
+        bytes.extend_from_slice(&leaf);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut p = FilePager::open(&path).unwrap();
+        assert_eq!(p.format_version(), 1);
+        assert!(p.is_read_only());
+        assert_eq!(p.read(PageId(1)).unwrap()[17], b'k');
+        assert!(matches!(p.allocate(), Err(KvError::ReadOnly)));
+        let zero_page = [0u8; PAGE_SIZE];
+        assert!(matches!(
+            p.write(PageId(1), &zero_page),
+            Err(KvError::ReadOnly)
+        ));
+        let report = p.verify_pages().unwrap();
+        assert_eq!(report.format_version, 1);
+        assert!(!report.checksummed());
+        assert!(report.is_clean());
+
+        // The tree layer reads the legacy entry back.
+        let tree = crate::BTree::new(p).unwrap();
+        assert_eq!(tree.get(b"k").unwrap(), Some(b"v".to_vec()));
         std::fs::remove_file(&path).unwrap();
     }
 }

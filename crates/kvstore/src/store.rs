@@ -6,10 +6,12 @@
 
 use crate::btree::BTree;
 use crate::error::Result;
-use crate::pager::{FilePager, MemPager};
+use crate::pager::{FilePager, MemPager, PageVerifyReport};
+use crate::vfs::Vfs;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Ordered key-value storage.
 ///
@@ -107,6 +109,19 @@ impl DiskKv {
         Ok(DiskKv {
             tree: BTree::new(FilePager::open(path)?)?,
         })
+    }
+
+    /// Opens a store whose I/O goes through `vfs` — the fault-injection
+    /// entry point used by the torture tests.
+    pub fn open_with_vfs(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<Self> {
+        Ok(DiskKv {
+            tree: BTree::new(FilePager::open_with_vfs(vfs, path)?)?,
+        })
+    }
+
+    /// Checksum-verifies every page in the backing file.
+    pub fn verify_pages(&self) -> Result<PageVerifyReport> {
+        self.tree.pager().verify_pages()
     }
 }
 

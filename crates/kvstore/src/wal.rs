@@ -7,6 +7,13 @@
 //! CRC32-guarded) and fsynced before being applied; on open the log is
 //! replayed and any torn tail is truncated away.
 //!
+//! A *torn tail* is strictly the final, incompletely written record: a
+//! crash can only tear the bytes that were in flight. A damaged record
+//! with intact records *after* it cannot be a crash artifact — it means
+//! committed data was corrupted in place — so replay reports it as
+//! [`KvError::Corrupt`] instead of silently dropping the committed
+//! records behind it.
+//!
 //! Record wire format (little-endian):
 //!
 //! ```text
@@ -16,11 +23,11 @@
 //! kind 3 = Checkpoint (no payload)
 //! ```
 
-use crate::error::Result;
-use crate::fsutil::sync_parent_dir;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use crate::codec;
+use crate::error::{KvError, Result};
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// A logical WAL record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,46 +45,69 @@ pub enum WalRecord {
 }
 
 /// CRC-32 (IEEE 802.3, reflected) — implemented locally; the workspace
-/// keeps its dependency list minimal (DESIGN.md §5).
+/// keeps its dependency list minimal (DESIGN.md §5). Table-driven: the
+/// page checksums guard every 4 KiB flushed by the pager, so the byte
+/// loop is hot in checkpoint-heavy workloads and the torture tests.
 pub fn crc32(data: &[u8]) -> u32 {
-    const POLY: u32 = 0xEDB8_8320;
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (POLY & mask);
-        }
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
 
+/// Per-byte remainder table for the reflected 0xEDB88320 polynomial.
+const CRC_TABLE: [u32; 256] = {
+    const POLY: u32 = 0xEDB8_8320;
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            let mask = (c & 1).wrapping_neg();
+            c = (c >> 1) ^ (POLY & mask);
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
 /// An append-only write-ahead log over one file.
 pub struct Wal {
     path: PathBuf,
-    file: File,
+    file: Box<dyn VfsFile>,
+    /// Byte offset where the next frame is appended. Maintained
+    /// explicitly because the [`VfsFile`] interface is positional.
+    tail: u64,
 }
 
 impl Wal {
-    /// Opens (creating if absent) the log at `path`. When the file is
-    /// freshly created, the parent directory is fsynced as well — without
-    /// that, a crash right after creation can lose the file (and with it
-    /// every record subsequently acknowledged) even though each append
-    /// fsyncs the file itself.
+    /// Opens (creating if absent) the log at `path` on the real
+    /// filesystem.
     pub fn open(path: &Path) -> Result<Self> {
-        let existed = path.exists();
-        let file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(path)?;
+        Self::open_with_vfs(&StdVfs::arc(), path)
+    }
+
+    /// Opens (creating if absent) the log at `path` through `vfs`. When
+    /// the file is freshly created, the parent directory is fsynced as
+    /// well — without that, a crash right after creation can lose the
+    /// file (and with it every record subsequently acknowledged) even
+    /// though each append fsyncs the file itself.
+    pub fn open_with_vfs(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<Self> {
+        let existed = vfs.exists(path);
+        let file = vfs.open(path)?;
         if !existed {
             file.sync_data()?;
-            sync_parent_dir(path)?;
+            vfs.sync_parent_dir(path)?;
         }
+        let tail = file.len()?;
         Ok(Wal {
             path: path.to_path_buf(),
             file,
+            tail,
         })
     }
 
@@ -92,45 +122,61 @@ impl Wal {
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&body).to_le_bytes());
         frame.extend_from_slice(&body);
-        self.file.write_all(&frame)?;
+        if let Err(e) = self.file.write_all_at(self.tail, &frame) {
+            // Best-effort rollback of a short write so the tail stays
+            // parseable; the frame was never acknowledged.
+            let _ = self.file.set_len(self.tail);
+            return Err(e);
+        }
         self.file.sync_data()?;
+        self.tail += frame.len() as u64;
         Ok(())
     }
 
     /// Reads every intact record from the start of the log. A torn or
-    /// corrupt tail ends replay silently (those records were never
-    /// acknowledged as committed); corruption *followed by* intact
-    /// records is reported as an error.
+    /// corrupt *tail* ends replay silently (those records were never
+    /// acknowledged as committed) and is truncated away; a damaged
+    /// record *followed by* an intact one is mid-log corruption of
+    /// committed data and is reported as [`KvError::Corrupt`].
     pub fn replay(&mut self) -> Result<Vec<WalRecord>> {
-        let mut buf = Vec::new();
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.read_to_end(&mut buf)?;
+        let len = self.file.len()? as usize;
+        let mut buf = vec![0u8; len];
+        self.file.read_exact_at(0, &mut buf)?;
         let mut records = Vec::new();
         let mut pos = 0usize;
         while pos < buf.len() {
             if pos + 8 > buf.len() {
+                ensure_tail_only(&buf, pos)?;
                 break; // torn length header
             }
-            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+            let len = codec::u32_at(&buf, pos, "WAL frame length")? as usize;
+            let crc = codec::u32_at(&buf, pos + 4, "WAL frame checksum")?;
             if pos + 8 + len > buf.len() {
+                ensure_tail_only(&buf, pos)?;
                 break; // torn body
             }
             let body = &buf[pos + 8..pos + 8 + len];
             if crc32(body) != crc {
-                // A corrupt record invalidates everything after it; if
-                // this is the tail, treat it as torn.
-                break;
+                ensure_tail_only(&buf, pos)?;
+                break; // torn final record
             }
             match decode_body(body) {
                 Some(r) => records.push(r),
-                None => break,
+                None => {
+                    // A fully written, CRC-valid frame that does not
+                    // decode was never a torn write.
+                    return Err(KvError::corrupt(format!(
+                        "WAL record at byte {pos} has a valid checksum but undecodable body"
+                    )));
+                }
             }
             pos += 8 + len;
         }
-        // position the append cursor at the end of the intact prefix
-        self.file.seek(SeekFrom::Start(pos as u64))?;
-        self.file.set_len(pos as u64)?;
+        // Truncate any torn tail so appends resume at the intact prefix.
+        if (pos as u64) < self.file.len()? {
+            self.file.set_len(pos as u64)?;
+        }
+        self.tail = pos as u64;
         Ok(records)
     }
 
@@ -139,21 +185,49 @@ impl Wal {
     /// truncation — the moment recovery stops depending on the log — is
     /// itself durable.
     pub fn reset(&mut self) -> Result<()> {
+        self.reset_with_vfs(&StdVfs::arc())
+    }
+
+    /// [`Self::reset`] through an explicit `vfs` (must be the one the
+    /// log was opened with).
+    pub fn reset_with_vfs(&mut self, vfs: &Arc<dyn Vfs>) -> Result<()> {
         self.file.set_len(0)?;
-        self.file.seek(SeekFrom::Start(0))?;
+        // Track the truncation immediately: if one of the syncs below
+        // fails, the file *is* empty and a stale tail would make the next
+        // append leave a zero gap that replays as corruption.
+        self.tail = 0;
         self.file.sync_data()?;
-        sync_parent_dir(&self.path)?;
+        vfs.sync_parent_dir(&self.path)?;
         Ok(())
     }
 
     /// Current log size in bytes.
     pub fn len(&mut self) -> Result<u64> {
-        Ok(self.file.seek(SeekFrom::End(0))?)
+        self.file.len()
     }
 
     pub fn is_empty(&mut self) -> Result<bool> {
         Ok(self.len()? == 0)
     }
+}
+
+/// Reports mid-log corruption: the frame at `bad_at` is damaged, so no
+/// *committed* (intact, decodable) record may follow it. A torn tail —
+/// the only damage a crash can cause — is always last.
+fn ensure_tail_only(buf: &[u8], bad_at: usize) -> Result<()> {
+    // The damaged frame's length field is untrusted, so scan every byte
+    // offset behind it. An 8-zero-byte run decodes as an "intact" empty
+    // frame, hence the decode check: only a frame that parses into a
+    // record is evidence of committed data.
+    for p in bad_at + 1..buf.len() {
+        if frame_is_intact(buf, p) && decode_at(buf, p).is_some() {
+            return Err(KvError::corrupt(format!(
+                "WAL record at byte {bad_at} is damaged but an intact record follows at \
+                 byte {p}: mid-log corruption, not a torn tail"
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn encode_body(record: &WalRecord) -> Vec<u8> {
@@ -196,22 +270,36 @@ fn decode_body(body: &[u8]) -> Option<WalRecord> {
     }
 }
 
+/// Decodes the record of the frame at `buf[pos..]`, if it is intact.
+fn decode_at(buf: &[u8], pos: usize) -> Option<WalRecord> {
+    let len = codec::u32_at(buf, pos, "frame length").ok()? as usize;
+    let body = buf.get(pos + 8..pos + 8 + len)?;
+    decode_body(body)
+}
+
 /// Validates a record frame at `buf[pos..]`; exposed for fuzz-style tests.
 pub fn frame_is_intact(buf: &[u8], pos: usize) -> bool {
-    if pos + 8 > buf.len() {
+    let Ok(len) = codec::u32_at(buf, pos, "frame length") else {
         return false;
-    }
-    let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
-    if pos + 8 + len > buf.len() {
+    };
+    let Ok(crc) = codec::u32_at(buf, pos + 4, "frame checksum") else {
         return false;
+    };
+    let len = len as usize;
+    match pos
+        .checked_add(8 + len)
+        .and_then(|end| buf.get(pos + 8..end))
+    {
+        Some(body) => crc32(body) == crc,
+        None => false,
     }
-    let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
-    crc32(&buf[pos + 8..pos + 8 + len]) == crc
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
+    use std::io::Write;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("kvwal_{}", std::process::id()));
@@ -290,8 +378,12 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_byte_ends_replay_at_that_record() {
-        let path = tmp("corrupt.wal");
+    fn mid_log_bit_flip_is_corruption_not_a_torn_tail() {
+        // A damaged record with intact records after it means committed
+        // data was corrupted in place; silently truncating there would
+        // drop the committed suffix. Regression for the old behavior of
+        // `replay`, which treated any bad frame as a torn tail.
+        let path = tmp("midlog.wal");
         {
             let mut wal = Wal::open(&path).unwrap();
             for i in 0..5u8 {
@@ -302,14 +394,72 @@ mod tests {
                 .unwrap();
             }
         }
-        let mut bytes = std::fs::read(&path).unwrap();
-        // flip a byte inside the third record's body
-        let frame = bytes.len() / 5;
+        let full = std::fs::read(&path).unwrap();
+        let frame = full.len() / 5;
+        // Flip a byte inside the third record's body.
+        let mut bytes = full.clone();
         bytes[2 * frame + 10] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut wal = Wal::open(&path).unwrap();
+        match wal.replay() {
+            Err(KvError::Corrupt { context, .. }) => {
+                assert!(context.contains("mid-log"), "context: {context}");
+            }
+            other => panic!("expected mid-log corruption, got {other:?}"),
+        }
+
+        // Flip a byte in every *other* position of the log and check the
+        // verdict is always corruption (records follow) except within
+        // the final frame, where truncation to the intact prefix is the
+        // correct recovery.
+        let last_frame_start = 4 * frame;
+        for flip in 0..full.len() {
+            let mut bytes = full.clone();
+            bytes[flip] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+            let mut wal = Wal::open(&path).unwrap();
+            match wal.replay() {
+                Ok(records) => {
+                    assert!(
+                        flip >= last_frame_start,
+                        "flip at {flip} silently truncated committed records"
+                    );
+                    assert_eq!(records.len(), 4);
+                }
+                Err(KvError::Corrupt { .. }) => {
+                    assert!(
+                        flip < last_frame_start,
+                        "flip at {flip} inside the tail frame"
+                    );
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_final_record_is_truncated_as_torn_tail() {
+        let path = tmp("tailflip.wal");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for i in 0..3u8 {
+                wal.append(&WalRecord::Put {
+                    key: vec![i],
+                    value: vec![i; 16],
+                })
+                .unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let frame = bytes.len() / 3;
+        let n = bytes.len();
+        bytes[2 * frame + frame / 2] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         let mut wal = Wal::open(&path).unwrap();
         let records = wal.replay().unwrap();
         assert_eq!(records.len(), 2);
+        // The damaged tail was truncated away.
+        assert!(wal.len().unwrap() < n as u64);
     }
 
     #[test]

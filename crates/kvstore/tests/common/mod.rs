@@ -1,0 +1,108 @@
+//! Shared workload machinery for the fault-injection and crash-recovery
+//! torture tests: a deterministic `DurableKv` workload, its reference
+//! model, and helpers to replay it against a store.
+#![allow(dead_code)]
+
+use kvstore::{DurableKv, KvStore};
+use std::collections::BTreeMap;
+
+/// One logical store operation of the recorded workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Checkpoint,
+}
+
+impl Op {
+    /// True for operations that change the logical contents. A power cut
+    /// during one of these may legitimately persist it (the WAL frame
+    /// reached the platter) or not; a checkpoint in flight must never
+    /// change what the store contains.
+    pub fn is_mutation(&self) -> bool {
+        matches!(self, Op::Put(..) | Op::Delete(..))
+    }
+}
+
+/// xorshift64 — the workspace has no RNG dependency, and the workload
+/// must be identical on every run for the sweep to mean anything.
+pub struct XorShift(pub u64);
+
+impl XorShift {
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// A deterministic `n`-operation workload: ~25% deletes, the rest puts
+/// over a 48-key pool; every 16th value is 2-3 KiB so checkpoints also
+/// exercise overflow pages; a checkpoint every 150 operations.
+pub fn workload(n: usize) -> Vec<Op> {
+    let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+    let mut ops = Vec::with_capacity(n);
+    for i in 0..n {
+        if i > 0 && i % 150 == 0 {
+            ops.push(Op::Checkpoint);
+            continue;
+        }
+        let r = rng.next();
+        let key = format!("k{:02}", r % 48).into_bytes();
+        if r % 100 < 25 {
+            ops.push(Op::Delete(key));
+        } else {
+            let len = if i % 16 == 5 {
+                2048 + ((r >> 8) % 1024) as usize
+            } else {
+                8 + ((r >> 8) % 24) as usize
+            };
+            ops.push(Op::Put(key, vec![(r >> 16) as u8; len]));
+        }
+    }
+    ops
+}
+
+/// Logical store contents.
+pub type Model = BTreeMap<Vec<u8>, Vec<u8>>;
+
+/// `models(ops)[i]` = the contents after exactly the first `i` operations.
+pub fn models(ops: &[Op]) -> Vec<Model> {
+    let mut snapshots = Vec::with_capacity(ops.len() + 1);
+    let mut state = Model::new();
+    snapshots.push(state.clone());
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                state.insert(k.clone(), v.clone());
+            }
+            Op::Delete(k) => {
+                state.remove(k);
+            }
+            Op::Checkpoint => {}
+        }
+        snapshots.push(state.clone());
+    }
+    snapshots
+}
+
+/// Applies one workload operation to a live store.
+pub fn apply_op(store: &mut DurableKv, op: &Op) -> kvstore::Result<()> {
+    match op {
+        Op::Put(k, v) => store.put(k, v),
+        Op::Delete(k) => store.delete(k).map(|_| ()),
+        Op::Checkpoint => store.checkpoint(),
+    }
+}
+
+/// Full contents of a store, for comparison against a [`Model`].
+pub fn contents(store: &DurableKv) -> Model {
+    store
+        .scan_range(b"", None)
+        .expect("scan of a recovered store")
+        .into_iter()
+        .collect()
+}

@@ -31,11 +31,14 @@ const USAGE: &str = "usage: xrefine-cli [--data <file.xml>|dblp|baseball|figure1
 [--algorithm partition|sle|stack] [--k N]\n       \
 xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db>\n       \
 xrefine-cli query --store <store.db> [--algorithm partition|sle|stack] [--k N] \
-[--threads N --batch <queries.txt>]";
+[--threads N --batch <queries.txt>]\n       \
+xrefine-cli scrub --store <store.db>";
 
 enum Command {
     /// Build an index for a document and persist it to a kvstore file.
     Index { data: String, store: String },
+    /// Verify the integrity of a persisted store, section by section.
+    Scrub { store: String },
     /// Serve queries, either from a document spec or a persisted store.
     Repl(Options),
 }
@@ -59,6 +62,14 @@ fn parse_args() -> Result<Command, String> {
         return Ok(Command::Index {
             data: args.remove(1),
             store: args.remove(1),
+        });
+    }
+    if args.first().map(|s| s.as_str()) == Some("scrub") {
+        if args.len() != 3 || args[1] != "--store" {
+            return Err(USAGE.into());
+        }
+        return Ok(Command::Scrub {
+            store: args.remove(2),
         });
     }
     let flags_at = usize::from(args.first().map(|s| s.as_str()) == Some("query"));
@@ -167,6 +178,72 @@ fn build_store(data: &str, store_path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `xrefine-cli scrub --store <db>`: per-section integrity report.
+/// Returns `Ok(true)` when every page and every entry verified.
+fn scrub_store(store_path: &str) -> Result<bool, String> {
+    let path = std::path::Path::new(store_path);
+    if !path.exists() {
+        return Err(format!("no such store: {store_path}"));
+    }
+    let kv = kvstore::DiskKv::open(path).map_err(|e| format!("cannot open {store_path}: {e}"))?;
+
+    // Layer 1: page checksums (catches damage anywhere in the file).
+    let pages = kv
+        .verify_pages()
+        .map_err(|e| format!("cannot scan pages of {store_path}: {e}"))?;
+    if pages.checksummed() {
+        println!(
+            "pages: format v{}, {} total: {} valid, {} free, {} damaged",
+            pages.format_version,
+            pages.total_pages,
+            pages.valid_pages,
+            pages.zero_pages,
+            pages.bad_pages.len()
+        );
+        for (id, reason) in &pages.bad_pages {
+            println!("  page {id}: {reason}");
+        }
+    } else {
+        println!(
+            "pages: legacy format v{} ({} pages, no checksums to verify)",
+            pages.format_version, pages.total_pages
+        );
+    }
+
+    // Layer 2: the index's own framing, section by section.
+    let report = invindex::verify_store(&kv);
+    match report.version {
+        Some(v) => println!("index format: v{v}"),
+        None => println!("index format: unreadable version record"),
+    }
+    for section in &report.sections {
+        println!(
+            "section {:<10} {:>6} entries, {} damaged",
+            section.name,
+            section.entries,
+            section.damaged.len()
+        );
+        for (entry, detail) in &section.damaged {
+            println!("  {entry}: {detail}");
+        }
+    }
+
+    let clean = pages.is_clean() && report.is_clean();
+    if clean {
+        println!(
+            "{store_path}: clean ({} entries verified)",
+            report.total_entries()
+        );
+    } else {
+        println!(
+            "{store_path}: DAMAGED ({} bad page(s), {} bad entr(ies))",
+            pages.bad_pages.len(),
+            report.total_damaged()
+        );
+    }
+    Ok(clean)
+}
+
 fn build_engine(opts: &Options) -> Result<XRefineEngine, String> {
     let config = EngineConfig {
         algorithm: opts.algorithm,
@@ -205,6 +282,16 @@ fn main() -> ExitCode {
         Ok(Command::Index { data, store }) => {
             return match build_store(&data, &store) {
                 Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Ok(Command::Scrub { store }) => {
+            return match scrub_store(&store) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::from(2),
                 Err(msg) => {
                     eprintln!("{msg}");
                     ExitCode::FAILURE
@@ -255,9 +342,10 @@ fn repl(engine: &XRefineEngine, opts: &Options) -> ExitCode {
         if line == "quit" || line == "exit" {
             break;
         }
-        // per-query errors (e.g. a corrupt list page) are reported and
-        // the loop keeps serving: one bad page must not kill the session
-        let outcome = match engine.answer(line) {
+        // per-query errors (e.g. a corrupt list page) are reported with
+        // the keyword they trace back to, and the loop keeps serving:
+        // one bad page must not kill the session
+        let outcome = match engine.answer_detailed(line) {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("storage error: {e}");
@@ -265,6 +353,9 @@ fn repl(engine: &XRefineEngine, opts: &Options) -> ExitCode {
                 continue;
             }
         };
+        for d in &outcome.degraded {
+            eprintln!("degraded: keyword \"{}\": {}", d.keyword, d.reason);
+        }
         if outcome.original_ok {
             if let Some(r) = outcome.best() {
                 let _ = writeln!(
@@ -514,6 +605,26 @@ mod tests {
         // untouched lists still serve after the failure
         let ok = engine.answer("john fishing").unwrap();
         assert!(ok.original_ok);
+    }
+
+    #[test]
+    fn scrub_passes_a_fresh_store_and_flags_a_flipped_byte() {
+        let dir = std::env::temp_dir().join(format!("xref_scrub_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store_path = dir.join("fig1.db");
+        let _ = std::fs::remove_file(&store_path);
+        let spath = store_path.to_str().unwrap();
+
+        build_store("figure1", spath).unwrap();
+        assert!(scrub_store(spath).unwrap(), "fresh store must scrub clean");
+
+        // At-rest bit rot in the first data page: scrub must fail.
+        let mut bytes = std::fs::read(&store_path).unwrap();
+        bytes[kvstore::PHYS_PAGE_SIZE + 700] ^= 0xFF;
+        std::fs::write(&store_path, &bytes).unwrap();
+        assert!(!scrub_store(spath).unwrap(), "damage must be reported");
+
+        assert!(scrub_store("/no/such/store.db").is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::partition::{partition_refine, PartitionOptions, SlcaMethod};
 use crate::query::Query;
 use crate::ranking::RankingConfig;
-use crate::results::RefineOutcome;
+use crate::results::{QueryFailure, RefineOutcome};
 use crate::session::RefineSession;
 use crate::sle::{sle_refine, SleOptions};
 use crate::stack_refine::stack_refine;
@@ -189,6 +189,16 @@ impl XRefineEngine {
         self.answer_query_timed(query).map(|(outcome, _)| outcome)
     }
 
+    /// Like [`XRefineEngine::answer`], but failures keep their keyword
+    /// attribution (see [`QueryFailure`]) and successful outcomes carry
+    /// their degradation notes — the serving path's entry point, where a
+    /// corrupt posting list must fail *this query*, structured enough to
+    /// report, while the engine keeps serving everything else.
+    pub fn answer_detailed(&self, query_text: &str) -> Result<RefineOutcome, QueryFailure> {
+        self.answer_query_detailed(Query::parse(query_text))
+            .map(|(outcome, _)| outcome)
+    }
+
     /// Like [`XRefineEngine::answer`], additionally reporting where the
     /// wall-clock time went (see [`PhaseTimings`]).
     pub fn answer_timed(&self, query_text: &str) -> kvstore::Result<(RefineOutcome, PhaseTimings)> {
@@ -200,6 +210,15 @@ impl XRefineEngine {
         &self,
         query: Query,
     ) -> kvstore::Result<(RefineOutcome, PhaseTimings)> {
+        self.answer_query_detailed(query).map_err(Into::into)
+    }
+
+    /// Answers a parsed query with per-phase timings, keyword-attributed
+    /// failures and degradation notes.
+    pub fn answer_query_detailed(
+        &self,
+        query: Query,
+    ) -> Result<(RefineOutcome, PhaseTimings), QueryFailure> {
         let mut timings = PhaseTimings::default();
         let t0 = Instant::now();
         let rules = self.rules_for(&query);

@@ -215,6 +215,7 @@ pub(crate) fn finalize(
             refinements,
             advances: session.scan_stats.advances(),
             random_accesses: session.scan_stats.random_accesses(),
+            degraded: session.degraded.clone(),
         };
     }
 
@@ -224,6 +225,7 @@ pub(crate) fn finalize(
         refinements,
         advances: session.scan_stats.advances(),
         random_accesses: session.scan_stats.random_accesses(),
+        degraded: session.degraded.clone(),
     }
 }
 

@@ -1,7 +1,72 @@
-//! Output types of the refinement algorithms.
+//! Output types of the refinement algorithms, and the structured failure
+//! report of the serving path.
 
 use crate::query::RqCandidate;
+use std::fmt;
 use xmldom::Dewey;
+
+/// A keyword the engine dropped or de-weighted because its on-disk state
+/// is damaged: the answer was still produced, from the remaining
+/// keywords and statistics, and this records what was ignored.
+#[derive(Debug, Clone)]
+pub struct DegradedKeyword {
+    pub keyword: String,
+    /// What is damaged (posting list frame, statistics entry, …).
+    pub reason: String,
+}
+
+/// A query the engine could not answer, attributed to the keyword whose
+/// storage failed when the failure is attributable at all.
+///
+/// The split with [`DegradedKeyword`] is the degradation policy: damage
+/// to an *original* query keyword's posting list changes what the query
+/// means, so it fails the query (this type); damage to a rule-*generated*
+/// keyword or to ranking statistics only narrows the refinement space,
+/// so the query proceeds and reports the degradation.
+#[derive(Debug)]
+pub struct QueryFailure {
+    /// The query keyword whose list could not be served, when the
+    /// failure is attributable to one keyword (`None` for session-level
+    /// failures such as an unreadable store).
+    pub keyword: Option<String>,
+    pub error: kvstore::KvError,
+}
+
+impl fmt::Display for QueryFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.keyword {
+            Some(kw) => write!(f, "query keyword {kw:?} cannot be served: {}", self.error),
+            None => write!(f, "query cannot be served: {}", self.error),
+        }
+    }
+}
+
+impl std::error::Error for QueryFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<kvstore::KvError> for QueryFailure {
+    fn from(error: kvstore::KvError) -> Self {
+        QueryFailure {
+            keyword: None,
+            error,
+        }
+    }
+}
+
+impl From<QueryFailure> for kvstore::KvError {
+    fn from(f: QueryFailure) -> Self {
+        match (f.keyword, f.error) {
+            (Some(kw), kvstore::KvError::Corrupt { page, context }) => kvstore::KvError::Corrupt {
+                page,
+                context: format!("keyword {kw:?}: {context}"),
+            },
+            (_, e) => e,
+        }
+    }
+}
 
 /// One refined query with its score and matching results.
 #[derive(Debug, Clone)]
@@ -28,6 +93,10 @@ pub struct RefineOutcome {
     pub advances: u64,
     /// Random accesses into the lists (SLE's probes).
     pub random_accesses: u64,
+    /// Keywords dropped or de-weighted because their on-disk state is
+    /// damaged (empty on a healthy store). Filled by the engine from the
+    /// session; the algorithms themselves never degrade.
+    pub degraded: Vec<DegradedKeyword>,
 }
 
 impl RefineOutcome {
@@ -40,5 +109,10 @@ impl RefineOutcome {
     /// query?
     pub fn needs_refinement(&self) -> bool {
         !self.original_ok
+    }
+
+    /// True when some keyword's damaged storage narrowed this answer.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
     }
 }

@@ -4,6 +4,7 @@
 //! instrumentation.
 
 use crate::query::Query;
+use crate::results::{DegradedKeyword, QueryFailure};
 use invindex::{IndexReader, ListHandle, ScanStats};
 use lexicon::RuleSet;
 use slca::{MeaningfulFilter, SearchForConfig};
@@ -29,10 +30,23 @@ pub struct RefineSession<'a> {
     pub lists: Vec<ListHandle>,
     pub filter: MeaningfulFilter<'a>,
     pub scan_stats: Arc<ScanStats>,
+    /// Keywords this session dropped or de-weighted because their
+    /// on-disk state is damaged. The degradation policy at acquisition
+    /// time: a corrupt posting list of an *original* query keyword fails
+    /// construction (the query's meaning is gone); a corrupt list of a
+    /// rule-*generated* keyword only removes refinements that would use
+    /// it, so the keyword gets an empty list and a note here; damaged
+    /// *statistics* only skew ranking, so the keyword stays and gets a
+    /// note here. Non-corruption storage errors always fail.
+    pub degraded: Vec<DegradedKeyword>,
 }
 
 impl<'a> RefineSession<'a> {
-    pub fn new(index: &'a dyn IndexReader, query: Query, rules: RuleSet) -> kvstore::Result<Self> {
+    pub fn new(
+        index: &'a dyn IndexReader,
+        query: Query,
+        rules: RuleSet,
+    ) -> Result<Self, QueryFailure> {
         Self::with_search_for(index, query, rules, &SearchForConfig::default())
     }
 
@@ -41,7 +55,7 @@ impl<'a> RefineSession<'a> {
         query: Query,
         rules: RuleSet,
         search_for: &SearchForConfig,
-    ) -> kvstore::Result<Self> {
+    ) -> Result<Self, QueryFailure> {
         let mut ks: Vec<String> = Vec::new();
         let mut ks_pos: HashMap<String, usize> = HashMap::new();
         let push = |w: &str, ks: &mut Vec<String>, pos: &mut HashMap<String, usize>| {
@@ -53,14 +67,43 @@ impl<'a> RefineSession<'a> {
         for k in query.keywords() {
             push(k, &mut ks, &mut ks_pos);
         }
+        let original = ks.len();
         for k in rules.rhs_keywords() {
             push(&k, &mut ks, &mut ks_pos);
         }
 
-        let lists: Vec<ListHandle> = ks
-            .iter()
-            .map(|k| index.list_handle(k))
-            .collect::<kvstore::Result<_>>()?;
+        let mut degraded: Vec<DegradedKeyword> = Vec::new();
+        let mut lists: Vec<ListHandle> = Vec::with_capacity(ks.len());
+        for (i, k) in ks.iter().enumerate() {
+            match index.list_handle(k) {
+                Ok(h) => lists.push(h),
+                Err(e) if e.is_corrupt() && i >= original => {
+                    degraded.push(DegradedKeyword {
+                        keyword: k.clone(),
+                        reason: format!("posting list unreadable, keyword dropped: {e}"),
+                    });
+                    lists.push(ListHandle::empty());
+                }
+                Err(e) => {
+                    return Err(QueryFailure {
+                        keyword: Some(k.clone()),
+                        error: e,
+                    })
+                }
+            }
+        }
+        // Damaged statistics never fail a query — they only skew its
+        // ranking — but the caller deserves to know.
+        for k in &ks {
+            if let Some(id) = index.keyword_id(k) {
+                if let Some(damage) = index.keyword_damage(id) {
+                    degraded.push(DegradedKeyword {
+                        keyword: k.clone(),
+                        reason: format!("ranking statistics damaged: {damage}"),
+                    });
+                }
+            }
+        }
 
         let mut query_ids: Vec<invindex::KeywordId> = query
             .keywords()
@@ -89,6 +132,7 @@ impl<'a> RefineSession<'a> {
             lists,
             filter,
             scan_stats: ScanStats::new(),
+            degraded,
         })
     }
 

@@ -146,6 +146,7 @@ pub fn stack_refine(session: &RefineSession<'_>) -> RefineOutcome {
         refinements,
         advances: session.scan_stats.advances(),
         random_accesses: session.scan_stats.random_accesses(),
+        degraded: session.degraded.clone(),
     }
 }
 

@@ -12,3 +12,9 @@ cargo test --workspace -q
 # tests in release so a data race has a real chance to surface.
 cargo test --release -q --test concurrent_engine
 cargo test --release -q -p invindex --test cache_prop
+
+# Fault-injection and crash-recovery sweeps cover every I/O boundary /
+# byte flip only in release (debug strides them for speed).
+cargo test --release -q -p kvstore --test torture
+cargo test --release -q -p kvstore --test fault_injection
+cargo test --release -q --test storage_bitflips
