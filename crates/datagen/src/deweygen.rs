@@ -1,0 +1,105 @@
+//! Seeded random Dewey-label corpora for the SLCA differential-oracle
+//! suite.
+//!
+//! A corpus is a set of keyword match lists over one synthetic document
+//! tree. The tree is implicit: labels are random root-anchored paths with
+//! bounded depth and fanout, so distinct lists share ancestors often enough
+//! to exercise every branch of the SLCA algorithms (deep nesting, shared
+//! nodes, disjoint partitions, singleton lists).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmldom::Dewey;
+
+/// Shape parameters for [`random_dewey_corpus`].
+#[derive(Clone, Copy, Debug)]
+pub struct DeweyCorpusConfig {
+    /// Number of keyword match lists (>= 1).
+    pub lists: usize,
+    /// Maximum postings per list (>= 1); actual lengths are random in
+    /// `1..=max_len`, with an occasional empty list when `allow_empty`.
+    pub max_len: usize,
+    /// Maximum label depth below the root (>= 1).
+    pub max_depth: usize,
+    /// Maximum children per node; small values force label collisions.
+    pub fanout: u32,
+    /// When true, roughly one corpus in eight contains an empty list
+    /// (exercising the "no result" paths).
+    pub allow_empty: bool,
+}
+
+impl Default for DeweyCorpusConfig {
+    fn default() -> Self {
+        DeweyCorpusConfig {
+            lists: 3,
+            max_len: 12,
+            max_depth: 5,
+            fanout: 3,
+            allow_empty: false,
+        }
+    }
+}
+
+/// Generate a seeded corpus: `cfg.lists` sorted, deduplicated Dewey-label
+/// lists over a shared implicit tree. Deterministic in `(seed, cfg)`.
+pub fn random_dewey_corpus(seed: u64, cfg: &DeweyCorpusConfig) -> Vec<Vec<Dewey>> {
+    assert!(cfg.lists >= 1 && cfg.max_len >= 1 && cfg.max_depth >= 1 && cfg.fanout >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut corpus = Vec::with_capacity(cfg.lists);
+    for _ in 0..cfg.lists {
+        let len = if cfg.allow_empty && rng.random_range(0..8u32) == 0 {
+            0
+        } else {
+            rng.random_range(1..=cfg.max_len)
+        };
+        let mut list: Vec<Dewey> = (0..len).map(|_| random_label(&mut rng, cfg)).collect();
+        list.sort();
+        list.dedup();
+        corpus.push(list);
+    }
+    corpus
+}
+
+fn random_label(rng: &mut StdRng, cfg: &DeweyCorpusConfig) -> Dewey {
+    let depth = rng.random_range(1..=cfg.max_depth);
+    let mut comps = Vec::with_capacity(depth + 1);
+    comps.push(0); // document root
+    for _ in 0..depth {
+        comps.push(rng.random_range(0..cfg.fanout));
+    }
+    Dewey::new(comps).expect("non-empty components")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_deterministic_sorted_and_rooted() {
+        let cfg = DeweyCorpusConfig::default();
+        let a = random_dewey_corpus(42, &cfg);
+        let b = random_dewey_corpus(42, &cfg);
+        assert_eq!(a, b);
+        assert_ne!(a, random_dewey_corpus(43, &cfg));
+        assert_eq!(a.len(), cfg.lists);
+        for list in &a {
+            assert!(!list.is_empty());
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+            for d in list {
+                assert_eq!(d.components()[0], 0, "root-anchored");
+                assert!(d.components().len() <= cfg.max_depth + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn allow_empty_eventually_produces_an_empty_list() {
+        let cfg = DeweyCorpusConfig {
+            allow_empty: true,
+            ..DeweyCorpusConfig::default()
+        };
+        let saw_empty =
+            (0..64u64).any(|seed| random_dewey_corpus(seed, &cfg).iter().any(|l| l.is_empty()));
+        assert!(saw_empty);
+    }
+}

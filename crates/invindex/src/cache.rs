@@ -182,12 +182,28 @@ impl ShardedListCache {
 
     /// Looks up `id`, promoting it to most-recently-used in its shard.
     pub fn get(&self, id: u32) -> Option<Arc<PostingList>> {
-        self.shard(id).lock().get(id)
+        let got = self.shard(id).lock().get(id);
+        if got.is_some() {
+            obs::counter!("invindex_cache_hits_total").inc();
+        } else {
+            obs::counter!("invindex_cache_misses_total").inc();
+        }
+        got
     }
 
     /// Inserts a freshly decoded list of stored size `cost`.
     pub fn insert(&self, id: u32, list: Arc<PostingList>, cost: usize) {
-        self.shard(id).lock().insert(id, list, cost);
+        let mut shard = self.shard(id).lock();
+        let (used_before, evictions_before) = (shard.used, shard.evictions);
+        shard.insert(id, list, cost);
+        let evicted = shard.evictions - evictions_before;
+        let used_delta = shard.used as i64 - used_before as i64;
+        drop(shard);
+        obs::counter!("invindex_cache_lists_decoded_total").inc();
+        if evicted > 0 {
+            obs::counter!("invindex_cache_evictions_total").add(evicted);
+        }
+        obs::gauge!("invindex_cache_resident_bytes").add(used_delta);
     }
 
     /// Aggregated counters across all shards. The snapshot is *per
@@ -199,6 +215,20 @@ impl ShardedListCache {
             shard.lock().add_to(&mut total);
         }
         total
+    }
+
+    /// Per-shard counter snapshots, in shard order. The aggregated
+    /// [`ShardedListCache::stats`] must equal the field-wise sum of these —
+    /// the merge invariant the obs test suite checks.
+    pub fn per_shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let mut one = CacheStats::default();
+                shard.lock().add_to(&mut one);
+                one
+            })
+            .collect()
     }
 
     /// The global byte budget (the per-shard budgets sum to this).

@@ -162,8 +162,18 @@ impl IndexReader for KvBackedIndex {
         }
         // Hit path: one shard lock, no store access.
         if let Some(list) = self.cache.get(k.0) {
+            obs::trace::event(
+                "list_load",
+                &[
+                    ("keyword_id", &k.0),
+                    ("len", &list.len()),
+                    ("cache", &"hit"),
+                ],
+            );
+            obs::trace::count("cache.hits", 1);
             return Ok(ListHandle::new(list));
         }
+        obs::trace::count("cache.misses", 1);
         // Miss path: the store's read lock is shared, so concurrent
         // misses read in parallel; decoding happens outside every lock.
         let value = {
@@ -177,6 +187,15 @@ impl IndexReader for KvBackedIndex {
             )));
         };
         let list = Arc::new(persist::decode_list_value(self.version, &value)?);
+        obs::trace::event(
+            "list_load",
+            &[
+                ("keyword_id", &k.0),
+                ("len", &list.len()),
+                ("stored_bytes", &value.len()),
+                ("cache", &"miss"),
+            ],
+        );
         self.cache.insert(k.0, Arc::clone(&list), value.len());
         Ok(ListHandle::new(list))
     }

@@ -384,6 +384,8 @@ impl<P: Pager> BTree<P> {
                         // Split the branch: the key at the byte midpoint
                         // moves up (count midpoints can leave a half
                         // overflowing when key sizes are skewed).
+                        obs::counter!("kvstore_btree_splits_total").inc();
+                        obs::trace::count("btree.splits", 1);
                         let (keys, children) = match node {
                             TreeNode::Branch { keys, children } => (keys, children),
                             _ => unreachable!(),
@@ -443,6 +445,8 @@ impl<P: Pager> BTree<P> {
                 // Split the leaf at the *byte* midpoint: entries differ in
                 // size by up to ~MAX_INLINE_ENTRY, so the count midpoint
                 // can leave one half still overflowing the page.
+                obs::counter!("kvstore_btree_splits_total").inc();
+                obs::trace::count("btree.splits", 1);
                 let (entries, next) = match node {
                     TreeNode::Leaf { entries, next } => (entries, next),
                     _ => unreachable!(),

@@ -100,6 +100,8 @@ impl Pager for MemPager {
     }
 
     fn read(&self, id: PageId) -> Result<Vec<u8>> {
+        obs::counter!("kvstore_pager_page_reads_total").inc();
+        obs::trace::count("pages.read", 1);
         self.pages
             .get(id.0 as usize)
             .cloned()
@@ -108,6 +110,7 @@ impl Pager for MemPager {
 
     fn write(&mut self, id: PageId, data: &[u8]) -> Result<()> {
         debug_assert_eq!(data.len(), PAGE_SIZE);
+        obs::counter!("kvstore_pager_page_writes_total").inc();
         let page = self
             .pages
             .get_mut(id.0 as usize)
@@ -382,12 +385,15 @@ impl Pager for FilePager {
     }
 
     fn read(&self, id: PageId) -> Result<Vec<u8>> {
+        obs::counter!("kvstore_pager_page_reads_total").inc();
+        obs::trace::count("pages.read", 1);
         if id.0 >= self.page_count {
             return Err(KvError::corrupt_page(id.0, "read of unallocated page"));
         }
         if let Some(p) = self.cache.get(&id) {
             return Ok(p.data.clone());
         }
+        obs::counter!("kvstore_pager_disk_page_reads_total").inc();
         let file_pages = self.file.len()? / PHYS_PAGE_SIZE as u64;
         if id.0 >= file_pages {
             // Allocated but never flushed nor written: logically zeroed.
@@ -400,7 +406,11 @@ impl Pager for FilePager {
             // Legacy pages are raw payloads with no trailer.
             return Ok(phys);
         }
-        match verify_phys_page(&phys, id.0)? {
+        let verified = verify_phys_page(&phys, id.0);
+        if verified.is_err() {
+            obs::counter!("kvstore_pager_corrupt_pages_total").inc();
+        }
+        match verified? {
             Some(payload) => Ok(payload.to_vec()),
             None => Ok(vec![0; PAGE_SIZE]),
         }
@@ -414,6 +424,7 @@ impl Pager for FilePager {
         if id.0 >= self.page_count {
             return Err(KvError::corrupt_page(id.0, "write of unallocated page"));
         }
+        obs::counter!("kvstore_pager_page_writes_total").inc();
         match self.cache.get_mut(&id) {
             Some(p) => {
                 p.data.copy_from_slice(data);
@@ -453,6 +464,8 @@ impl Pager for FilePager {
         if self.is_read_only() {
             return Err(KvError::ReadOnly);
         }
+        obs::counter!("kvstore_pager_syncs_total").inc();
+        obs::trace::count("pager.syncs", 1);
         // Grow the file to cover all allocated pages, then flush dirty pages.
         let want = self.page_count * PHYS_PAGE_SIZE as u64;
         if self.file.len()? < want {

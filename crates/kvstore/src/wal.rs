@@ -129,6 +129,10 @@ impl Wal {
             return Err(e);
         }
         self.file.sync_data()?;
+        obs::counter!("kvstore_wal_appends_total").inc();
+        obs::counter!("kvstore_wal_appended_bytes_total").add(frame.len() as u64);
+        obs::counter!("kvstore_wal_syncs_total").inc();
+        obs::trace::count("wal.syncs", 1);
         self.tail += frame.len() as u64;
         Ok(())
     }

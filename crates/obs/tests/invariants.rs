@@ -1,0 +1,184 @@
+//! Integration invariants of the metrics registry and the tracer: bucket
+//! monotonicity, merge/sum agreement, delta attribution, and span-tree
+//! well-nestedness under thread pressure. These use private `Registry`
+//! instances and never flip the process-global kill switch, so they are
+//! safe to run in parallel.
+
+use obs::metrics::{bucket_bound, bucket_index, BUCKET_COUNT};
+use obs::{Histogram, HistogramSnapshot, Registry};
+
+/// The deterministic per-thread sample stream used by the concurrency
+/// tests (a splitmix-style scramble, spread across bucket magnitudes).
+fn sample(tid: u64, i: u64) -> u64 {
+    let mut z = (tid << 32).wrapping_add(i).wrapping_mul(0x9e3779b97f4a7c15);
+    z ^= z >> 31;
+    // Spread over magnitudes so every run touches many buckets.
+    z >> (i % 60)
+}
+
+#[test]
+fn histogram_buckets_are_monotone_and_account_for_every_observe() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let h = Histogram::default();
+    let mut expected_sum = 0u64;
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            // fetch_add wraps, so the oracle wraps identically
+            expected_sum = expected_sum.wrapping_add(sample(t, i));
+        }
+    }
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = &h;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.observe(sample(t, i));
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.buckets.len(), BUCKET_COUNT);
+    // Cumulative counts are non-decreasing by construction; the real
+    // invariant is that the buckets account for exactly every observe.
+    let total: u64 = snap.buckets.iter().sum();
+    assert_eq!(total, snap.count);
+    let mut cum = 0u64;
+    for (i, &b) in snap.buckets.iter().enumerate() {
+        let prev = cum;
+        cum += b;
+        assert!(cum >= prev, "cumulative count decreased at bucket {i}");
+    }
+    assert_eq!(cum, snap.count);
+}
+
+#[test]
+fn every_bucket_holds_only_values_in_its_range() {
+    let h = Histogram::default();
+    let values = [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX];
+    for &v in &values {
+        h.observe(v);
+    }
+    let snap = h.snapshot();
+    for &v in &values {
+        let i = bucket_index(v);
+        assert!(v <= bucket_bound(i), "value {v} above bound of bucket {i}");
+        if i > 0 {
+            assert!(
+                v > bucket_bound(i - 1),
+                "value {v} also fits bucket {}",
+                i - 1
+            );
+        }
+        assert!(snap.buckets[i] > 0, "bucket {i} empty despite value {v}");
+    }
+}
+
+#[test]
+fn merged_snapshot_equals_the_snapshot_of_all_traffic() {
+    const SHARDS: u64 = 8;
+    const PER_SHARD: u64 = 2_000;
+    // The same stream observed (a) sharded into 8 histograms and (b)
+    // into one histogram; merging the shard snapshots must reproduce
+    // the monolithic snapshot field for field.
+    let shards: Vec<Histogram> = (0..SHARDS).map(|_| Histogram::default()).collect();
+    let all = Histogram::default();
+    for t in 0..SHARDS {
+        for i in 0..PER_SHARD {
+            let v = sample(t, i);
+            shards[t as usize].observe(v);
+            all.observe(v);
+        }
+    }
+    let mut merged = HistogramSnapshot::empty();
+    for s in &shards {
+        merged.merge(&s.snapshot());
+    }
+    assert_eq!(merged, all.snapshot());
+    // Quantiles of the merged histogram are the monolithic quantiles.
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(merged.quantile(q), all.snapshot().quantile(q), "q={q}");
+    }
+}
+
+#[test]
+fn registry_snapshot_delta_attributes_only_new_traffic() {
+    let r = Registry::new();
+    r.counter("reqs_total").add(5);
+    r.gauge("level").set(11);
+    r.histogram("lat").observe(100);
+    let base = r.snapshot();
+
+    r.counter("reqs_total").add(2);
+    r.counter("fresh_total").add(1);
+    r.gauge("level").set(7);
+    r.histogram("lat").observe(100_000);
+    let delta = r.snapshot().delta_since(&base);
+
+    assert_eq!(delta.counters["reqs_total"], 2);
+    assert_eq!(delta.counters["fresh_total"], 1);
+    // Gauges are levels, not rates: the delta keeps the current value.
+    assert_eq!(delta.gauges["level"], 7);
+    assert_eq!(delta.histograms["lat"].count, 1);
+    assert_eq!(delta.histograms["lat"].sum, 100_000);
+}
+
+#[test]
+fn concurrent_registration_yields_one_counter_per_name() {
+    const THREADS: usize = 8;
+    const NAMES: usize = 32;
+    let r = Registry::new();
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let r = &r;
+            s.spawn(move || {
+                for n in 0..NAMES {
+                    r.counter(&format!("c{n}")).inc();
+                }
+            });
+        }
+    });
+    let snap = r.snapshot();
+    assert_eq!(snap.counters.len(), NAMES);
+    for n in 0..NAMES {
+        assert_eq!(snap.counters[&format!("c{n}")], THREADS as u64);
+    }
+}
+
+#[test]
+fn traces_are_well_nested_and_thread_isolated_under_the_8_thread_hammer() {
+    const THREADS: usize = 8;
+    const CAPTURES: usize = 200;
+    std::thread::scope(|s| {
+        for tid in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..CAPTURES {
+                    let depth = i % 5;
+                    let ((), trace) = obs::trace::capture("root", || {
+                        let _a = obs::trace::span(if tid % 2 == 0 { "even" } else { "odd" });
+                        obs::trace::count("work", (i + 1) as u64);
+                        for _ in 0..depth {
+                            let _b = obs::trace::span("inner");
+                            obs::trace::event("tick", &[("tid", &tid)]);
+                        }
+                    });
+                    assert!(
+                        trace.is_well_nested(),
+                        "thread {tid} capture {i} not well nested"
+                    );
+                    // The tracer is thread-local: only this thread's spans
+                    // appear, under this thread's parity name.
+                    let other = if tid % 2 == 0 { "odd" } else { "even" };
+                    assert!(trace.find(other).is_none(), "cross-thread span leaked");
+                    let own = trace
+                        .find(if tid % 2 == 0 { "even" } else { "odd" })
+                        .expect("own span present");
+                    assert_eq!(own.counts.get("work"), Some(&((i + 1) as u64)));
+                }
+            });
+        }
+    });
+}

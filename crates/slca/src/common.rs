@@ -62,7 +62,10 @@ pub fn slca_brute_force<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
 /// The element of `list` whose LCA with `anchor` is deepest: the better of
 /// the predecessor (`<= anchor`) and successor (`> anchor`) under the
 /// longest-common-prefix measure. `None` on an empty list.
-pub fn closest_match(list: &[Posting], anchor: &Dewey) -> Option<Dewey> {
+///
+/// Returns a borrow into `list`: this runs once per (anchor, list) pair on
+/// the eager/multiway hot paths, so it must not clone the matched label.
+pub fn closest_match<'a>(list: &'a [Posting], anchor: &Dewey) -> Option<&'a Dewey> {
     if list.is_empty() {
         return None;
     }
@@ -72,13 +75,13 @@ pub fn closest_match(list: &[Posting], anchor: &Dewey) -> Option<Dewey> {
     match (pred, succ) {
         (Some(p), Some(s)) => {
             if anchor.common_prefix_len(p) >= anchor.common_prefix_len(s) {
-                Some(p.clone())
+                Some(p)
             } else {
-                Some(s.clone())
+                Some(s)
             }
         }
-        (Some(p), None) => Some(p.clone()),
-        (None, Some(s)) => Some(s.clone()),
+        (Some(p), None) => Some(p),
+        (None, Some(s)) => Some(s),
         (None, None) => None,
     }
 }
@@ -140,9 +143,9 @@ mod tests {
     fn closest_match_picks_deeper_side() {
         let l = ps(&["0.0.1", "0.2.5"]);
         // anchor 0.2.4: pred 0.0.1 (lca 0), succ 0.2.5 (lca 0.2) -> succ
-        assert_eq!(closest_match(&l, &d("0.2.4")).unwrap(), d("0.2.5"));
+        assert_eq!(closest_match(&l, &d("0.2.4")).unwrap(), &d("0.2.5"));
         // anchor 0.0.2: pred 0.0.1 (lca 0.0), succ 0.2.5 (lca 0) -> pred
-        assert_eq!(closest_match(&l, &d("0.0.2")).unwrap(), d("0.0.1"));
+        assert_eq!(closest_match(&l, &d("0.0.2")).unwrap(), &d("0.0.1"));
         assert_eq!(closest_match(&[], &d("0")), None);
     }
 }

@@ -17,6 +17,7 @@ use xmldom::Dewey;
 /// Indexed-Lookup-Eager SLCA. Accepts anything list-shaped — `&[Posting]`,
 /// `Vec<Posting>`, or an [`invindex::ListHandle`] from any backend.
 pub fn slca_indexed_lookup_eager<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
+    obs::counter!("slca_invocations_total").inc();
     let lists: Vec<&[Posting]> = lists.iter().map(AsRef::as_ref).collect();
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
@@ -28,20 +29,27 @@ pub fn slca_indexed_lookup_eager<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey>
         .map(|(i, _)| i)
         .expect("non-empty list set");
 
+    // Steps (anchor × other-list probes) accumulate locally and flush as a
+    // single atomic add so instrumentation stays off the inner loop.
+    let mut steps = 0u64;
     let mut candidates = Vec::with_capacity(lists[shortest].len());
     for anchor in lists[shortest] {
+        steps += lists.len() as u64 - 1;
         if let Some(c) = candidate_for_anchor(&lists, shortest, &anchor.dewey, |list, a| {
             closest_match(list, a)
         }) {
             candidates.push(c);
         }
     }
+    obs::counter!("slca_eager_steps_total").add(steps);
+    obs::trace::count("slca.steps", steps);
     minimal_candidates(candidates)
 }
 
 /// Scan-Eager SLCA: identical candidates, but closest matches come from
 /// forward cursors rather than binary probes.
 pub fn slca_scan_eager<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
+    obs::counter!("slca_invocations_total").inc();
     let lists: Vec<&[Posting]> = lists.iter().map(AsRef::as_ref).collect();
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
@@ -56,18 +64,24 @@ pub fn slca_scan_eager<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
     // One forward position per list: index of the first element > the
     // previous anchor. Anchors ascend, so positions only move forward.
     let mut pos = vec![0usize; lists.len()];
+    let mut steps = 0u64;
     let mut candidates = Vec::with_capacity(lists[shortest].len());
     for anchor in lists[shortest] {
         let a = &anchor.dewey;
-        let mut lca_shortest: Option<Dewey> = None;
+        // The per-list LCA is a prefix of the anchor, so only the minimum
+        // common-prefix length is tracked; the candidate label is built once
+        // per anchor instead of once per list.
+        let mut min_prefix: Option<usize> = None;
         let mut dead = false;
         for (i, list) in lists.iter().enumerate() {
             if i == shortest {
                 continue;
             }
+            steps += 1;
             // advance cursor while the next element is still <= anchor
             while pos[i] < list.len() && list[pos[i]].dewey <= *a {
                 pos[i] += 1;
+                steps += 1;
             }
             let pred = pos[i].checked_sub(1).map(|j| &list[j].dewey);
             let succ = list.get(pos[i]).map(|p| &p.dewey);
@@ -86,52 +100,46 @@ pub fn slca_scan_eager<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
                     break;
                 }
             };
-            let lca = a.lca(best).expect("same document");
-            lca_shortest = Some(match lca_shortest {
-                None => lca,
-                Some(cur) => {
-                    if lca.len() < cur.len() {
-                        lca
-                    } else {
-                        cur
-                    }
-                }
-            });
+            let n = a.common_prefix_len(best);
+            min_prefix = Some(min_prefix.map_or(n, |cur| cur.min(n)));
         }
         if dead {
             continue;
         }
-        candidates.push(lca_shortest.unwrap_or_else(|| a.clone()));
+        candidates.push(match min_prefix {
+            Some(n) => a.prefix(n).expect("same document"),
+            None => a.clone(),
+        });
     }
+    obs::counter!("slca_eager_steps_total").add(steps);
+    obs::trace::count("slca.steps", steps);
     minimal_candidates(candidates)
 }
 
 /// Shared anchor-candidate computation for probe-based variants.
-fn candidate_for_anchor(
-    lists: &[&[Posting]],
+///
+/// Every per-list LCA is a prefix of the anchor, so the shortest one is
+/// identified by the minimum common-prefix length — compared as plain
+/// `usize`s — and materialized as a `Dewey` exactly once on return.
+fn candidate_for_anchor<'a>(
+    lists: &[&'a [Posting]],
     anchor_list: usize,
     anchor: &Dewey,
-    locate: impl Fn(&[Posting], &Dewey) -> Option<Dewey>,
+    locate: impl Fn(&'a [Posting], &Dewey) -> Option<&'a Dewey>,
 ) -> Option<Dewey> {
-    let mut shortest_lca: Option<Dewey> = None;
+    let mut min_prefix: Option<usize> = None;
     for (i, list) in lists.iter().enumerate() {
         if i == anchor_list {
             continue;
         }
         let m = locate(list, anchor)?;
-        let lca = anchor.lca(&m).expect("same document");
-        shortest_lca = Some(match shortest_lca {
-            None => lca,
-            Some(cur) => {
-                if lca.len() < cur.len() {
-                    lca
-                } else {
-                    cur
-                }
-            }
-        });
+        let n = anchor.common_prefix_len(m);
+        min_prefix = Some(min_prefix.map_or(n, |cur| cur.min(n)));
     }
-    Some(shortest_lca.unwrap_or_else(|| anchor.clone()))
+    match min_prefix {
+        Some(n) => Some(anchor.prefix(n).expect("same document")),
+        None => Some(anchor.clone()),
+    }
 }
 
 #[cfg(test)]

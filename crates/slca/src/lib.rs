@@ -21,7 +21,7 @@ pub mod multiway;
 pub mod searchfor;
 pub mod stack;
 
-pub use common::{minimal_candidates, slca_brute_force};
+pub use common::{closest_match, minimal_candidates, slca_brute_force};
 pub use eager::{slca_indexed_lookup_eager, slca_scan_eager};
 pub use elca::{elca, elca_brute_force, slca_via_elca};
 pub use meaningful::{needs_refinement, MeaningfulFilter};

@@ -16,12 +16,14 @@ use xmldom::Dewey;
 
 /// Multiway-SLCA.
 pub fn slca_multiway<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
+    obs::counter!("slca_invocations_total").inc();
     let lists: Vec<&[Posting]> = lists.iter().map(AsRef::as_ref).collect();
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
     }
     let mut pos = vec![0usize; lists.len()];
     let mut candidates = Vec::new();
+    let mut steps = 0u64;
 
     loop {
         // Anchor: the maximum among current heads. Lists whose remaining
@@ -37,22 +39,16 @@ pub fn slca_multiway<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
         }
         let Some(anchor) = anchor else { break };
 
-        let mut shortest_lca: Option<Dewey> = None;
+        // Each per-list LCA is a prefix of the anchor, so the shortest one
+        // is found by minimizing the common-prefix length and the candidate
+        // label is allocated once per round, not once per list.
+        let mut min_prefix = usize::MAX;
         for list in &lists {
+            steps += 1;
             let m = closest_match(list, &anchor).expect("lists verified non-empty");
-            let lca = anchor.lca(&m).expect("same document");
-            shortest_lca = Some(match shortest_lca {
-                None => lca,
-                Some(cur) => {
-                    if lca.len() < cur.len() {
-                        lca
-                    } else {
-                        cur
-                    }
-                }
-            });
+            min_prefix = min_prefix.min(anchor.common_prefix_len(m));
         }
-        candidates.push(shortest_lca.expect("at least one list"));
+        candidates.push(anchor.prefix(min_prefix).expect("same document"));
 
         // Advance every cursor past the anchor.
         for (i, list) in lists.iter().enumerate() {
@@ -61,6 +57,8 @@ pub fn slca_multiway<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
             }
         }
     }
+    obs::counter!("slca_multiway_steps_total").add(steps);
+    obs::trace::count("slca.steps", steps);
     minimal_candidates(candidates)
 }
 

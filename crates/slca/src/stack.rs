@@ -20,6 +20,7 @@ struct Entry {
 
 /// Stack-based SLCA over `k` posting lists.
 pub fn slca_stack<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
+    obs::counter!("slca_invocations_total").inc();
     let lists: Vec<&[Posting]> = lists.iter().map(AsRef::as_ref).collect();
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
@@ -28,6 +29,8 @@ pub fn slca_stack<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
     let mut pos = vec![0usize; k];
     let mut stack: Vec<Entry> = Vec::new();
     let mut results: Vec<Dewey> = Vec::new();
+    // Postings consumed from the merged stream, flushed as one atomic add.
+    let mut steps = 0u64;
 
     loop {
         // k-way merge: smallest head across lists, with its keyword index.
@@ -43,6 +46,7 @@ pub fn slca_stack<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
         }
         let Some((list_idx, dewey)) = best else { break };
         pos[list_idx] += 1;
+        steps += 1;
 
         let comps = dewey.components();
         // common prefix length between stack path and the new node
@@ -65,6 +69,8 @@ pub fn slca_stack<S: AsRef<[Posting]>>(lists: &[S]) -> Vec<Dewey> {
         }
     }
     pop_to(&mut stack, 0, &mut results);
+    obs::counter!("slca_stack_steps_total").add(steps);
+    obs::trace::count("slca.steps", steps);
     minimal_candidates(results)
 }
 

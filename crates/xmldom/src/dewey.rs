@@ -105,6 +105,18 @@ impl Dewey {
         Dewey::new(self.components[..n].to_vec())
     }
 
+    /// The ancestor-or-self label consisting of the first `len` components
+    /// (`None` when `len` is 0 or exceeds the depth). Together with
+    /// [`Dewey::common_prefix_len`] this lets callers compute an LCA with a
+    /// single allocation after comparing prefix lengths allocation-free.
+    pub fn prefix(&self, len: usize) -> Option<Dewey> {
+        if len == 0 || len > self.components.len() {
+            None
+        } else {
+            Dewey::new(self.components[..len].to_vec())
+        }
+    }
+
     /// Length of the longest common prefix with `other`.
     pub fn common_prefix_len(&self, other: &Dewey) -> usize {
         self.components

@@ -20,6 +20,16 @@
 //! per-thread throughput, latency percentiles, per-phase timers and
 //! cache/cursor counters. Per-query storage errors are reported and do
 //! not stop the batch.
+//!
+//! Observability (see DESIGN.md "Observability"):
+//!
+//! * `--metrics` dumps the global metrics registry in Prometheus text
+//!   format when the session (REPL, batch or `--trace`) ends — pager
+//!   page reads, WAL syncs, cache hit/miss, SLCA steps, per-phase
+//!   latency histograms;
+//! * `--trace <query>` answers that one query with span capture on and
+//!   pretty-prints the span tree (phases, per-keyword list loads,
+//!   cursor counters), then exits.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -31,7 +41,7 @@ const USAGE: &str = "usage: xrefine-cli [--data <file.xml>|dblp|baseball|figure1
 [--algorithm partition|sle|stack] [--k N]\n       \
 xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db>\n       \
 xrefine-cli query --store <store.db> [--algorithm partition|sle|stack] [--k N] \
-[--threads N --batch <queries.txt>]\n       \
+[--threads N --batch <queries.txt>] [--metrics] [--trace <query>]\n       \
 xrefine-cli scrub --store <store.db>";
 
 enum Command {
@@ -51,6 +61,8 @@ struct Options {
     max_render: usize,
     threads: usize,
     batch: Option<String>,
+    metrics: bool,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Command, String> {
@@ -81,6 +93,8 @@ fn parse_args() -> Result<Command, String> {
         max_render: 2,
         threads: 1,
         batch: None,
+        metrics: false,
+        trace: None,
     };
     let mut i = flags_at;
     while i < args.len() {
@@ -126,6 +140,14 @@ fn parse_args() -> Result<Command, String> {
             }
             "--batch" => {
                 opts.batch = Some(args.get(i + 1).ok_or("--batch needs a file")?.clone());
+                i += 2;
+            }
+            "--metrics" => {
+                opts.metrics = true;
+                i += 1;
+            }
+            "--trace" => {
+                opts.trace = Some(args.get(i + 1).ok_or("--trace needs a query")?.clone());
                 i += 2;
             }
             "--help" | "-h" => {
@@ -312,6 +334,14 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(query) = &opts.trace {
+        let code = trace_one_query(&engine, query);
+        if opts.metrics {
+            dump_metrics();
+        }
+        return code;
+    }
+
     if let Some(batch_path) = &opts.batch {
         let queries = match load_batch(batch_path) {
             Ok(q) => q,
@@ -322,10 +352,53 @@ fn main() -> ExitCode {
         };
         let report = run_batch(&engine, &queries, opts.threads);
         print!("{report}");
+        if opts.metrics {
+            dump_metrics();
+        }
         return ExitCode::SUCCESS;
     }
 
-    repl(&engine, &opts)
+    let code = repl(&engine, &opts);
+    if opts.metrics {
+        dump_metrics();
+    }
+    code
+}
+
+/// `--trace <query>`: answer one query with span capture on and print
+/// the span tree. A failing query still prints its (partial) trace.
+fn trace_one_query(engine: &XRefineEngine, query: &str) -> ExitCode {
+    let (result, trace) = engine.answer_traced(query);
+    print!("{}", trace.render());
+    match result {
+        Ok(outcome) => {
+            match outcome.best() {
+                Some(r) if outcome.original_ok => {
+                    println!(
+                        "-> {} meaningful result(s), no refinement needed",
+                        r.slcas.len()
+                    )
+                }
+                Some(r) => println!(
+                    "-> best refinement {{{}}} dSim={} with {} result(s)",
+                    r.candidate.keywords.join(", "),
+                    r.candidate.dissimilarity,
+                    r.slcas.len()
+                ),
+                None => println!("-> no refined query with meaningful results"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--metrics`: the global registry in Prometheus text format.
+fn dump_metrics() {
+    print!("{}", obs::global().snapshot().render_prometheus());
 }
 
 fn repl(engine: &XRefineEngine, opts: &Options) -> ExitCode {

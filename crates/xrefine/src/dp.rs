@@ -104,6 +104,8 @@ fn run_dp(
     rules: &RuleSet,
     m: usize,
 ) -> (DpResult, Vec<State>) {
+    obs::counter!("xrefine_dp_calls_total").inc();
+    obs::trace::count("dp.calls", 1);
     let cap = (4 * m).max(8);
     let s = query.keywords();
     let mut layers: Vec<Vec<State>> = Vec::with_capacity(s.len() + 1);

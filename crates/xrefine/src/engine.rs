@@ -214,48 +214,101 @@ impl XRefineEngine {
     }
 
     /// Answers a parsed query with per-phase timings, keyword-attributed
-    /// failures and degradation notes.
+    /// failures and degradation notes. Each phase is also recorded as a
+    /// trace span (when a capture is active) and a latency histogram in
+    /// the global metrics registry.
     pub fn answer_query_detailed(
         &self,
         query: Query,
     ) -> Result<(RefineOutcome, PhaseTimings), QueryFailure> {
+        obs::counter!("xrefine_queries_total").inc();
+        let result = self.answer_phases(query);
+        if result.is_err() {
+            obs::counter!("xrefine_query_failures_total").inc();
+        }
+        result
+    }
+
+    fn answer_phases(&self, query: Query) -> Result<(RefineOutcome, PhaseTimings), QueryFailure> {
+        let started = Instant::now();
         let mut timings = PhaseTimings::default();
+
         let t0 = Instant::now();
-        let rules = self.rules_for(&query);
+        let rules = {
+            let _span = obs::trace::span("rules");
+            obs::trace::attr("query", query.keywords().join(" "));
+            self.rules_for(&query)
+        };
         timings.rules = t0.elapsed();
+        obs::histogram!("xrefine_phase_rules_nanos").observe_duration(timings.rules);
 
         let t1 = Instant::now();
-        let session = RefineSession::with_search_for(
-            self.reader.as_ref(),
-            query,
-            rules,
-            &self.config.search_for,
-        )?;
+        let session = {
+            let _span = obs::trace::span("session");
+            obs::trace::attr("rules", rules.len());
+            RefineSession::with_search_for(
+                self.reader.as_ref(),
+                query,
+                rules,
+                &self.config.search_for,
+            )?
+        };
         timings.session = t1.elapsed();
+        obs::histogram!("xrefine_phase_session_nanos").observe_duration(timings.session);
 
         let t2 = Instant::now();
-        let outcome = match self.config.algorithm {
-            Algorithm::StackRefine => stack_refine(&session),
-            Algorithm::Partition => partition_refine(
-                &session,
-                &PartitionOptions {
-                    k: self.config.k,
-                    slca: slca::slca_scan_eager,
-                    ranking: self.config.ranking.clone(),
-                },
-            ),
-            Algorithm::ShortListEager => sle_refine(
-                &session,
-                &SleOptions {
-                    k: self.config.k,
-                    slca: slca::slca_scan_eager,
-                    ranking: self.config.ranking.clone(),
-                    smart_choice: true,
-                },
-            ),
+        let outcome = {
+            let _span = obs::trace::span(match self.config.algorithm {
+                Algorithm::StackRefine => "stack-refine",
+                Algorithm::Partition => "partition",
+                Algorithm::ShortListEager => "sle",
+            });
+            match self.config.algorithm {
+                Algorithm::StackRefine => stack_refine(&session),
+                Algorithm::Partition => partition_refine(
+                    &session,
+                    &PartitionOptions {
+                        k: self.config.k,
+                        slca: slca::slca_scan_eager,
+                        ranking: self.config.ranking.clone(),
+                    },
+                ),
+                Algorithm::ShortListEager => sle_refine(
+                    &session,
+                    &SleOptions {
+                        k: self.config.k,
+                        slca: slca::slca_scan_eager,
+                        ranking: self.config.ranking.clone(),
+                        smart_choice: true,
+                    },
+                ),
+            }
         };
         timings.algorithm = t2.elapsed();
+        obs::histogram!("xrefine_phase_algorithm_nanos").observe_duration(timings.algorithm);
+        obs::histogram!("xrefine_query_nanos").observe_duration(started.elapsed());
+
+        obs::counter!("invindex_scan_advances_total").add(outcome.advances);
+        obs::counter!("invindex_random_accesses_total").add(outcome.random_accesses);
+        obs::trace::count("scan.advances", outcome.advances);
+        obs::trace::count("scan.random_accesses", outcome.random_accesses);
         Ok((outcome, timings))
+    }
+
+    /// Answers a free-text query while capturing a per-query span tree
+    /// (see [`obs::QueryTrace`]). The trace is returned alongside the
+    /// outcome whether the query succeeded or failed — a failing query's
+    /// trace shows how far it got.
+    pub fn answer_traced(
+        &self,
+        query_text: &str,
+    ) -> (Result<RefineOutcome, QueryFailure>, obs::QueryTrace) {
+        let query = Query::parse(query_text);
+        let (result, trace) = obs::trace::capture("query", || {
+            self.answer_query_detailed(query)
+                .map(|(outcome, _)| outcome)
+        });
+        (result, trace)
     }
 
     /// Explains how a refined query derives from `query_text`: the

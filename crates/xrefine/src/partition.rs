@@ -46,6 +46,7 @@ impl DpMemo {
         m: usize,
     ) -> std::rc::Rc<Vec<RqCandidate>> {
         if let Some(c) = self.memo.get(&mask) {
+            obs::counter!("xrefine_dp_memo_hits_total").inc();
             return std::rc::Rc::clone(c);
         }
         let availability = |w: &str| session.pos(w).map(|i| mask.get(i)).unwrap_or(false);
@@ -97,6 +98,11 @@ pub fn partition_refine(session: &RefineSession<'_>, options: &PartitionOptions)
         .map(|l| ListCursor::new(l, session.scan_stats.clone()))
         .collect();
 
+    // Hot-loop counters are accumulated locally and flushed with one
+    // atomic add per query (see DESIGN.md "Observability").
+    let mut partitions_scanned = 0u64;
+    let mut rqs_pruned = 0u64;
+
     loop {
         // v_s: the smallest head across all cursors (line 5).
         let mut smallest: Option<Dewey> = None;
@@ -128,6 +134,8 @@ pub fn partition_refine(session: &RefineSession<'_>, options: &PartitionOptions)
             slices.push(c.handle().slice(range));
         }
 
+        partitions_scanned += 1;
+
         // T: keywords with a non-empty sub-list (line 9).
         let mut mask = KeyMask::empty(session.width());
         for (i, s) in slices.iter().enumerate() {
@@ -146,6 +154,7 @@ pub fn partition_refine(session: &RefineSession<'_>, options: &PartitionOptions)
             if !already && cand.dissimilarity >= rq_list.admission_threshold() {
                 // Worse than the current Top-2K: skip even the SLCA
                 // computation (the paper's key optimization).
+                rqs_pruned += 1;
                 continue;
             }
             let rq_slices: Vec<ListHandle> = cand
@@ -171,6 +180,11 @@ pub fn partition_refine(session: &RefineSession<'_>, options: &PartitionOptions)
             }
         }
     }
+
+    obs::counter!("xrefine_partitions_scanned_total").add(partitions_scanned);
+    obs::counter!("xrefine_rqs_pruned_total").add(rqs_pruned);
+    obs::trace::count("partitions.scanned", partitions_scanned);
+    obs::trace::count("rqs.pruned", rqs_pruned);
 
     finalize(session, rq_list, slcas_by_rq, k, &options.ranking)
 }

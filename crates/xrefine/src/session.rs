@@ -76,7 +76,17 @@ impl<'a> RefineSession<'a> {
         let mut lists: Vec<ListHandle> = Vec::with_capacity(ks.len());
         for (i, k) in ks.iter().enumerate() {
             match index.list_handle(k) {
-                Ok(h) => lists.push(h),
+                Ok(h) => {
+                    obs::trace::event(
+                        "keyword",
+                        &[
+                            ("word", &k),
+                            ("list_len", &h.len()),
+                            ("origin", &if i < original { "query" } else { "rule" }),
+                        ],
+                    );
+                    lists.push(h)
+                }
                 Err(e) if e.is_corrupt() && i >= original => {
                     degraded.push(DegradedKeyword {
                         keyword: k.clone(),
@@ -122,6 +132,7 @@ impl<'a> RefineSession<'a> {
                 .collect();
         }
         let filter = MeaningfulFilter::infer(index, &query_ids, search_for);
+        obs::trace::attr("ks_width", ks.len());
 
         Ok(RefineSession {
             index,

@@ -84,6 +84,9 @@ pub fn sle_refine(session: &RefineSession<'_>, options: &SleOptions) -> RefineOu
     };
 
     let mut processed_partitions: HashSet<Dewey> = HashSet::new();
+    // Flushed as one atomic add per query (hot-loop discipline).
+    let mut partitions_probed = 0u64;
+    let mut early_stops = 0u64;
 
     while !remaining.is_empty() {
         // Stop condition (line 4): even the best refined query over the
@@ -96,6 +99,7 @@ pub fn sle_refine(session: &RefineSession<'_>, options: &SleOptions) -> RefineOu
                 .map(|c| c.dissimilarity)
                 .unwrap_or(f64::INFINITY);
             if c_potential > rq_list.admission_threshold() {
+                early_stops += 1;
                 break;
             }
         }
@@ -122,6 +126,7 @@ pub fn sle_refine(session: &RefineSession<'_>, options: &SleOptions) -> RefineOu
             if !processed_partitions.insert(pid.clone()) {
                 continue;
             }
+            partitions_probed += 1;
             // Random-access probes: which keywords occur in this partition?
             let mut mask = KeyMask::empty(session.width());
             mask.set(ki);
@@ -141,6 +146,10 @@ pub fn sle_refine(session: &RefineSession<'_>, options: &SleOptions) -> RefineOu
             }
         }
     }
+
+    obs::counter!("xrefine_partitions_scanned_total").add(partitions_probed);
+    obs::counter!("xrefine_sle_early_stops_total").add(early_stops);
+    obs::trace::count("partitions.scanned", partitions_probed);
 
     // Step 2: SLCAs for the surviving candidates over the full lists.
     let mut slcas_by_rq: HashMap<String, Vec<Dewey>> = HashMap::new();

@@ -18,3 +18,14 @@ cargo test --release -q -p invindex --test cache_prop
 cargo test --release -q -p kvstore --test torture
 cargo test --release -q -p kvstore --test fault_injection
 cargo test --release -q --test storage_bitflips
+
+# Observability: obs invariants, the differential oracles (SLCA
+# stack/eager/multiway vs brute force; DP vs brute-force rule
+# application), tracer well-nestedness under concurrent serving, and a
+# quick metrics-overhead run emitting results/BENCH_obs.json.
+cargo test -q -p obs
+cargo test -q -p slca --test differential
+cargo test -q -p xrefine --test dp_oracle
+cargo test --release -q -p xrefine --test trace_concurrency
+OBS_BENCH_FRACTION=0.02 OBS_BENCH_REPS=2 \
+    cargo run --release -q -p bench --bin bench_obs

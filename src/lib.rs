@@ -13,7 +13,8 @@
 //! * [`xrefine`] — the refinement engine (ranking model, `getOptimalRQ`
 //!   dynamic program, the three refinement algorithms);
 //! * [`datagen`] — synthetic DBLP/Baseball corpora and query workloads;
-//! * [`evalkit`] — Cumulated-Gain evaluation harness.
+//! * [`evalkit`] — Cumulated-Gain evaluation harness;
+//! * [`obs`] — metrics registry and per-query span tracer.
 //!
 //! # Quickstart
 //!
@@ -34,6 +35,7 @@ pub use evalkit;
 pub use invindex;
 pub use kvstore;
 pub use lexicon;
+pub use obs;
 pub use slca;
 pub use xmldom;
 pub use xrefine;
