@@ -182,7 +182,10 @@ impl ShardedListCache {
 
     /// Looks up `id`, promoting it to most-recently-used in its shard.
     pub fn get(&self, id: u32) -> Option<Arc<PostingList>> {
-        let got = self.shard(id).lock().get(id);
+        let got = {
+            let _rank = obs::lockrank::acquire(obs::lockrank::rank::CACHE_SHARD, "cache.shard");
+            self.shard(id).lock().get(id) // xlint::lock(cache.shard)
+        };
         if got.is_some() {
             obs::counter!("invindex_cache_hits_total").inc();
         } else {
@@ -193,12 +196,16 @@ impl ShardedListCache {
 
     /// Inserts a freshly decoded list of stored size `cost`.
     pub fn insert(&self, id: u32, list: Arc<PostingList>, cost: usize) {
-        let mut shard = self.shard(id).lock();
-        let (used_before, evictions_before) = (shard.used, shard.evictions);
-        shard.insert(id, list, cost);
-        let evicted = shard.evictions - evictions_before;
-        let used_delta = shard.used as i64 - used_before as i64;
-        drop(shard);
+        // Block scope: the metric updates below must happen outside the
+        // shard lock (registration takes the registry mutex).
+        let (used_delta, evicted) = {
+            let _rank = obs::lockrank::acquire(obs::lockrank::rank::CACHE_SHARD, "cache.shard");
+            let mut shard = self.shard(id).lock(); // xlint::lock(cache.shard)
+            let (used_before, evictions_before) = (shard.used, shard.evictions);
+            shard.insert(id, list, cost);
+            let evicted = shard.evictions - evictions_before;
+            (shard.used as i64 - used_before as i64, evicted)
+        };
         obs::counter!("invindex_cache_lists_decoded_total").inc();
         if evicted > 0 {
             obs::counter!("invindex_cache_evictions_total").add(evicted);
@@ -212,7 +219,8 @@ impl ShardedListCache {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for shard in &self.shards {
-            shard.lock().add_to(&mut total);
+            let _rank = obs::lockrank::acquire(obs::lockrank::rank::CACHE_SHARD, "cache.shard");
+            shard.lock().add_to(&mut total); // xlint::lock(cache.shard)
         }
         total
     }
@@ -224,8 +232,9 @@ impl ShardedListCache {
         self.shards
             .iter()
             .map(|shard| {
+                let _rank = obs::lockrank::acquire(obs::lockrank::rank::CACHE_SHARD, "cache.shard");
                 let mut one = CacheStats::default();
-                shard.lock().add_to(&mut one);
+                shard.lock().add_to(&mut one); // xlint::lock(cache.shard)
                 one
             })
             .collect()
@@ -245,7 +254,8 @@ impl ShardedListCache {
     /// costs ≤ budget, `lru` and `map` agree). For tests.
     pub fn check_invariants(&self) {
         for shard in &self.shards {
-            shard.lock().check_invariants();
+            let _rank = obs::lockrank::acquire(obs::lockrank::rank::CACHE_SHARD, "cache.shard");
+            shard.lock().check_invariants(); // xlint::lock(cache.shard)
         }
     }
 }

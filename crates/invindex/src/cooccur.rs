@@ -44,8 +44,13 @@ impl CoOccurrence {
         kj: KeywordId,
     ) -> u64 {
         let (a, b) = if ki <= kj { (ki, kj) } else { (kj, ki) };
-        if let Some(&n) = self.counts.lock().get(&(t, a, b)) {
-            return n;
+        {
+            let _rank =
+                obs::lockrank::acquire(obs::lockrank::rank::COOCCUR_COUNTS, "cooccur.counts");
+            // xlint::lock(cooccur.counts)
+            if let Some(&n) = self.counts.lock().get(&(t, a, b)) {
+                return n;
+            }
         }
         let la = self.typed_ancestors(reader, a, t);
         let n = if a == b {
@@ -54,7 +59,11 @@ impl CoOccurrence {
             let lb = self.typed_ancestors(reader, b, t);
             sorted_intersection_size(&la, &lb)
         };
-        self.counts.lock().insert((t, a, b), n);
+        {
+            let _rank =
+                obs::lockrank::acquire(obs::lockrank::rank::COOCCUR_COUNTS, "cooccur.counts");
+            self.counts.lock().insert((t, a, b), n); // xlint::lock(cooccur.counts)
+        }
         n
     }
 
@@ -64,12 +73,22 @@ impl CoOccurrence {
         k: KeywordId,
         t: NodeTypeId,
     ) -> Arc<Vec<Dewey>> {
-        if let Some(v) = self.ancestors.lock().get(&(k, t)) {
-            return Arc::clone(v);
+        {
+            let _rank =
+                obs::lockrank::acquire(obs::lockrank::rank::COOCCUR_ANCESTORS, "cooccur.ancestors");
+            // xlint::lock(cooccur.ancestors)
+            if let Some(v) = self.ancestors.lock().get(&(k, t)) {
+                return Arc::clone(v);
+            }
         }
         let postings = reader.list_handle_by_id(k).unwrap_or_default();
         let v = Arc::new(typed_ancestors_in(reader.document(), &postings, t));
-        self.ancestors.lock().insert((k, t), Arc::clone(&v));
+        {
+            let _rank =
+                obs::lockrank::acquire(obs::lockrank::rank::COOCCUR_ANCESTORS, "cooccur.ancestors");
+            // xlint::lock(cooccur.ancestors)
+            self.ancestors.lock().insert((k, t), Arc::clone(&v));
+        }
         v
     }
 }

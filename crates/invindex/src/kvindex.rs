@@ -177,7 +177,12 @@ impl IndexReader for KvBackedIndex {
         // Miss path: the store's read lock is shared, so concurrent
         // misses read in parallel; decoding happens outside every lock.
         let value = {
-            let store = self.store.read().expect("store lock poisoned");
+            let _rank = obs::lockrank::acquire(obs::lockrank::rank::KVINDEX_STORE, "kvindex.store");
+            let store = self
+                .store
+                // xlint::lock(kvindex.store)
+                .read()
+                .map_err(|_| KvError::corrupt("store lock poisoned by a panicked writer"))?;
             store.get(&persist::list_key(k.0))?
         };
         let Some(value) = value else {

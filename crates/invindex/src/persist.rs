@@ -140,10 +140,10 @@ pub fn load(doc: Arc<Document>, store: &dyn KvStore) -> Result<Index> {
                 .try_into()
                 .map_err(|_| KvError::corrupt("bad list key"))?,
         ) as usize;
-        if id >= lists.len() {
-            return Err(KvError::corrupt("list for unknown keyword"));
+        match lists.get_mut(id) {
+            Some(slot) => *slot = decode_list_value(version, &value)?,
+            None => return Err(KvError::corrupt("list for unknown keyword")),
         }
-        lists[id] = decode_list_value(version, &value)?;
     }
 
     let stats = load_stats(store, version)?;
@@ -274,15 +274,19 @@ pub(crate) fn unframe_value<'a>(value: &'a [u8], what: &str) -> Result<&'a [u8]>
     let len = read_varint(value, &mut pos)
         .ok_or_else(|| KvError::corrupt(format!("{what}: bad frame length header")))?
         as usize;
-    let rest = &value[pos..];
+    let rest = value.get(pos..).unwrap_or(&[]);
     if rest.len() != 4 + len {
         return Err(KvError::corrupt(format!(
             "{what}: frame length mismatch: header {len}, got {}",
             rest.len().saturating_sub(4)
         )));
     }
-    let stored = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
-    let payload = &rest[4..];
+    let Some((crc_bytes, payload)) = rest.split_first_chunk::<4>() else {
+        return Err(KvError::corrupt(format!(
+            "{what}: frame too short for its checksum"
+        )));
+    };
+    let stored = u32::from_le_bytes(*crc_bytes);
     let actual = crc32(payload);
     if stored != actual {
         return Err(KvError::corrupt(format!(
@@ -620,10 +624,8 @@ fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 fn read_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
     let len = read_varint(bytes, pos)? as usize;
     let end = pos.checked_add(len)?;
-    if end > bytes.len() {
-        return None;
-    }
-    let s = String::from_utf8(bytes[*pos..end].to_vec()).ok()?;
+    let raw = bytes.get(*pos..end)?;
+    let s = String::from_utf8(raw.to_vec()).ok()?;
     *pos = end;
     Some(s)
 }

@@ -98,9 +98,8 @@ impl PostingList {
     /// index range.
     pub fn partition_range(&self, partition_root: &Dewey) -> std::ops::Range<usize> {
         let start = self.lower_bound(partition_root);
-        let end = self.postings[start..]
-            .partition_point(|p| partition_root.is_ancestor_or_self_of(&p.dewey))
-            + start;
+        let tail = self.postings.get(start..).unwrap_or(&[]);
+        let end = tail.partition_point(|p| partition_root.is_ancestor_or_self_of(&p.dewey)) + start;
         start..end
     }
 
@@ -120,7 +119,7 @@ impl PostingList {
                 .count();
             write_varint(&mut out, shared as u64);
             write_varint(&mut out, (comps.len() - shared) as u64);
-            for &c in &comps[shared..] {
+            for &c in comps.iter().skip(shared) {
                 write_varint(&mut out, c as u64);
             }
             write_varint(&mut out, p.node_type.0 as u64);
@@ -138,10 +137,7 @@ impl PostingList {
         for _ in 0..n {
             let shared = read_varint(bytes, &mut pos)? as usize;
             let rest = read_varint(bytes, &mut pos)? as usize;
-            if shared > prev.len() {
-                return None;
-            }
-            let mut comps = prev[..shared].to_vec();
+            let mut comps = prev.get(..shared)?.to_vec();
             for _ in 0..rest {
                 comps.push(read_varint(bytes, &mut pos)? as u32);
             }

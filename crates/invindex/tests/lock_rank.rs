@@ -1,0 +1,96 @@
+//! Deadlock regression tests for the store-lock / shard-lock nesting.
+//!
+//! The static half of the lock-order story is xlint's `lock-order` rule;
+//! this is the runtime half: `obs::lockrank` keeps a thread-local stack
+//! of held ranks and `debug_assert`s that acquisitions are strictly
+//! increasing. Eight threads hammer the real sharded cache (whose
+//! instrumented sites acquire `cache.shard` under the runtime checker)
+//! while nesting a modelled `kvindex.store` read outside it — the order
+//! the production `KvBackedIndex` read path uses. The inverted order
+//! must panic, in debug builds only.
+
+use invindex::{Posting, PostingList, ShardedListCache};
+use obs::lockrank;
+use std::sync::{Arc, Barrier, RwLock};
+use std::thread;
+use xmldom::{Dewey, NodeTypeId};
+
+fn list(n: u32) -> Arc<PostingList> {
+    let mut l = PostingList::new();
+    l.push(Posting::new(
+        Dewey::new(vec![0, n]).expect("non-empty dewey"),
+        NodeTypeId(1),
+    ));
+    Arc::new(l)
+}
+
+/// Store-before-shard (the production order) from eight threads at once:
+/// every acquisition is strictly increasing, so the checker stays quiet
+/// and nothing deadlocks.
+#[test]
+fn eight_threads_nest_store_then_shard_cleanly() {
+    const THREADS: usize = 8;
+    const ROUNDS: u32 = 200;
+    let store = Arc::new(RwLock::new(0u64));
+    let cache = Arc::new(ShardedListCache::new(1 << 16, 4));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    let id = (t as u32) * ROUNDS + round;
+                    // The read path's shape: hold the store lock, then
+                    // dip into a cache shard. `cache.get`/`insert`
+                    // acquire CACHE_SHARD through their own
+                    // instrumentation, nested inside this guard.
+                    let _store_rank =
+                        lockrank::acquire(lockrank::rank::KVINDEX_STORE, "kvindex.store");
+                    let _store_guard = store.read().expect("store lock");
+                    if cache.get(id).is_none() {
+                        cache.insert(id, list(id), 64);
+                    }
+                }
+                cache.check_invariants();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    assert!(
+        lockrank::held_ranks().is_empty(),
+        "main thread should hold no ranks"
+    );
+}
+
+/// The inverted nesting — shard held, then the store lock — is exactly
+/// the shape that deadlocks against the clean order above. The runtime
+/// checker must refuse it before any scheduler interleaving gets a say.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "lock-rank violation")]
+fn shard_then_store_nesting_panics_in_debug() {
+    let cache = ShardedListCache::new(1 << 12, 4);
+    // Entering the shard via the instrumented `insert` is fine on its
+    // own; the violation is taking the store rank while a same-thread
+    // shard guard would still be live.
+    cache.insert(1, list(1), 64);
+    let _shard_rank = lockrank::acquire(lockrank::rank::CACHE_SHARD, "cache.shard");
+    let _store_rank = lockrank::acquire(lockrank::rank::KVINDEX_STORE, "kvindex.store");
+}
+
+/// In release builds the checker compiles down to nothing: the guard is
+/// a ZST and inverted acquisition is (dangerously) silent — that's the
+/// zero-overhead contract, and why debug CI runs the test above.
+#[cfg(not(debug_assertions))]
+#[test]
+fn release_checker_is_zero_cost_and_silent() {
+    assert_eq!(std::mem::size_of::<lockrank::RankGuard>(), 0);
+    let _shard = lockrank::acquire(lockrank::rank::CACHE_SHARD, "cache.shard");
+    let _store = lockrank::acquire(lockrank::rank::KVINDEX_STORE, "kvindex.store");
+    assert!(lockrank::held_ranks().is_empty());
+}

@@ -376,9 +376,8 @@ impl<P: Pager> BTree<P> {
                     } => {
                         keys.insert(idx, sep);
                         children.insert(idx + 1, right);
-                        let node = TreeNode::Branch { keys, children };
-                        if node_size(&node) <= PAGE_SIZE {
-                            self.write_node(page, &node)?;
+                        if branch_size(&keys) <= PAGE_SIZE {
+                            self.write_node(page, &TreeNode::Branch { keys, children })?;
                             return Ok(InsertOutcome::Done { replaced });
                         }
                         // Split the branch: the key at the byte midpoint
@@ -386,10 +385,6 @@ impl<P: Pager> BTree<P> {
                         // overflowing when key sizes are skewed).
                         obs::counter!("kvstore_btree_splits_total").inc();
                         obs::trace::count("btree.splits", 1);
-                        let (keys, children) = match node {
-                            TreeNode::Branch { keys, children } => (keys, children),
-                            _ => unreachable!(),
-                        };
                         let sizes: Vec<usize> = keys.iter().map(|k| 2 + k.len() + 8).collect();
                         // mid ∈ [1, len-2]: both halves keep ≥ 1 key
                         // (the separator itself moves up, not sideways)
@@ -437,9 +432,8 @@ impl<P: Pager> BTree<P> {
                         false
                     }
                 };
-                let node = TreeNode::Leaf { entries, next };
-                if node_size(&node) <= PAGE_SIZE {
-                    self.write_node(page, &node)?;
+                if leaf_size(&entries) <= PAGE_SIZE {
+                    self.write_node(page, &TreeNode::Leaf { entries, next })?;
                     return Ok(InsertOutcome::Done { replaced });
                 }
                 // Split the leaf at the *byte* midpoint: entries differ in
@@ -447,10 +441,6 @@ impl<P: Pager> BTree<P> {
                 // can leave one half still overflowing the page.
                 obs::counter!("kvstore_btree_splits_total").inc();
                 obs::trace::count("btree.splits", 1);
-                let (entries, next) = match node {
-                    TreeNode::Leaf { entries, next } => (entries, next),
-                    _ => unreachable!(),
-                };
                 let sizes: Vec<usize> =
                     entries.iter().map(|(k, v)| leaf_entry_size(k, v)).collect();
                 let mid = byte_midpoint(&sizes);
@@ -612,8 +602,7 @@ impl<P: Pager> BTree<P> {
     }
 
     fn write_node(&mut self, page: PageId, node: &TreeNode) -> Result<()> {
-        // hard assert: an overflowing node would silently truncate on
-        // disk, which is far worse than aborting the writer
+        // xlint::allow(no-panic-paths): deliberate hard abort — an overflowing node would silently truncate on disk, which is far worse than aborting the writer
         assert!(node_size(node) <= PAGE_SIZE, "node overflows page");
         let mut buf = vec![0u8; PAGE_SIZE];
         let mut pos = 0usize;
@@ -708,19 +697,23 @@ fn byte_midpoint(sizes: &[usize]) -> usize {
 }
 
 /// Serialized size of a node in bytes.
+fn branch_size(keys: &[Vec<u8>]) -> usize {
+    1 + 2 + 8 + keys.iter().map(|k| 2 + k.len() + 8).sum::<usize>()
+}
+
+fn leaf_size(entries: &[(Vec<u8>, ValueRef)]) -> usize {
+    1 + 2
+        + 8
+        + entries
+            .iter()
+            .map(|(k, v)| leaf_entry_size(k, v))
+            .sum::<usize>()
+}
+
 fn node_size(node: &TreeNode) -> usize {
     match node {
-        TreeNode::Branch { keys, .. } => {
-            1 + 2 + 8 + keys.iter().map(|k| 2 + k.len() + 8).sum::<usize>()
-        }
-        TreeNode::Leaf { entries, .. } => {
-            1 + 2
-                + 8
-                + entries
-                    .iter()
-                    .map(|(k, v)| leaf_entry_size(k, v))
-                    .sum::<usize>()
-        }
+        TreeNode::Branch { keys, .. } => branch_size(keys),
+        TreeNode::Leaf { entries, .. } => leaf_size(entries),
     }
 }
 

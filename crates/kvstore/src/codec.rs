@@ -33,6 +33,13 @@ pub fn u64_at(buf: &[u8], pos: usize, what: &str) -> Result<u64> {
     ]))
 }
 
+/// Borrows the `len`-byte slice at `pos`, or reports `what` as
+/// truncated. The checked form of `&buf[pos..pos + len]` for
+/// disk-derived lengths.
+pub fn slice_at<'a>(buf: &'a [u8], pos: usize, len: usize, what: &str) -> Result<&'a [u8]> {
+    bytes_at(buf, pos, len, what)
+}
+
 fn truncated(buf: &[u8], pos: usize, need: usize, what: &str) -> KvError {
     KvError::corrupt(format!(
         "{what}: need {need} bytes at offset {pos} but buffer holds {}",

@@ -91,7 +91,15 @@ impl MemPager {
 impl Pager for MemPager {
     fn allocate(&mut self) -> Result<PageId> {
         if let Some(id) = self.free.pop() {
-            self.pages[id.0 as usize].fill(0);
+            match self.pages.get_mut(id.0 as usize) {
+                Some(page) => page.fill(0),
+                None => {
+                    return Err(KvError::corrupt_page(
+                        id.0,
+                        "free list references a page the pager never allocated",
+                    ))
+                }
+            }
             return Ok(id);
         }
         let id = PageId(self.pages.len() as u64);

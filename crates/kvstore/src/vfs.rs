@@ -89,30 +89,30 @@ struct StdFile {
 
 impl VfsFile for StdFile {
     fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        let mut f = self.file.lock();
+        let mut f = self.file.lock(); // xlint::lock(vfs.file)
         f.seek(SeekFrom::Start(offset))?;
         f.read_exact(buf)?;
         Ok(())
     }
 
     fn write_all_at(&self, offset: u64, data: &[u8]) -> Result<()> {
-        let mut f = self.file.lock();
+        let mut f = self.file.lock(); // xlint::lock(vfs.file)
         f.seek(SeekFrom::Start(offset))?;
         f.write_all(data)?;
         Ok(())
     }
 
     fn set_len(&self, len: u64) -> Result<()> {
-        self.file.lock().set_len(len)?;
+        self.file.lock().set_len(len)?; // xlint::lock(vfs.file)
         Ok(())
     }
 
     fn len(&self) -> Result<u64> {
-        Ok(self.file.lock().metadata()?.len())
+        Ok(self.file.lock().metadata()?.len()) // xlint::lock(vfs.file)
     }
 
     fn sync_data(&self) -> Result<()> {
-        self.file.lock().sync_data()?;
+        self.file.lock().sync_data()?; // xlint::lock(vfs.file)
         Ok(())
     }
 }
@@ -331,42 +331,42 @@ impl FaultVfs {
     /// Arms `fault` to fire on the `at`-th mutating operation
     /// (0-based, counted from filesystem creation).
     pub fn set_fault(&self, at: u64, fault: Fault) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // xlint::lock(vfs.state)
         inner.fault = Some((at, fault));
         inner.fired = false;
     }
 
     /// Disarms any pending fault.
     pub fn clear_fault(&self) {
-        self.inner.lock().fault = None;
+        self.inner.lock().fault = None; // xlint::lock(vfs.state)
     }
 
     /// Number of mutating operations performed so far.
     pub fn op_count(&self) -> u64 {
-        self.inner.lock().ops
+        self.inner.lock().ops // xlint::lock(vfs.state)
     }
 
     /// True if the armed fault has fired.
     pub fn fault_fired(&self) -> bool {
-        self.inner.lock().fired
+        self.inner.lock().fired // xlint::lock(vfs.state)
     }
 
     /// True between a power cut and [`Self::power_cycle`].
     pub fn is_dead(&self) -> bool {
-        self.inner.lock().dead
+        self.inner.lock().dead // xlint::lock(vfs.state)
     }
 
     /// Restores power after a [`Fault::PowerCut`]. The surviving state
     /// was already selected at cut time; old handles remain usable but
     /// refer to the post-cut images.
     pub fn power_cycle(&self) {
-        self.inner.lock().dead = false;
+        self.inner.lock().dead = false; // xlint::lock(vfs.state)
     }
 
     /// Test hook: flips the byte at `offset` of `path` in place,
     /// bypassing fault accounting (simulates at-rest bit-rot).
     pub fn corrupt_byte(&self, path: &Path, offset: usize) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // xlint::lock(vfs.state)
         let node = *inner
             .live
             .get(path)
@@ -382,7 +382,7 @@ impl FaultVfs {
 
     /// Test hook: a snapshot of the live bytes of `path`.
     pub fn read_file(&self, path: &Path) -> Option<Vec<u8>> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock(); // xlint::lock(vfs.state)
         inner.live.get(path).map(|&n| inner.nodes[n].data.clone())
     }
 }
@@ -394,7 +394,7 @@ struct FaultFile {
 
 impl VfsFile for FaultFile {
     fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock(); // xlint::lock(vfs.state)
         if inner.dead {
             return Err(power_off());
         }
@@ -418,7 +418,7 @@ impl VfsFile for FaultFile {
     }
 
     fn write_all_at(&self, offset: u64, data: &[u8]) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // xlint::lock(vfs.state)
         let op = PendingOp::Write {
             offset,
             data: data.to_vec(),
@@ -458,7 +458,7 @@ impl VfsFile for FaultFile {
     }
 
     fn set_len(&self, len: u64) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // xlint::lock(vfs.state)
         let op = PendingOp::SetLen(len);
         match inner.begin_op()? {
             None => {
@@ -485,7 +485,7 @@ impl VfsFile for FaultFile {
     }
 
     fn len(&self) -> Result<u64> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock(); // xlint::lock(vfs.state)
         if inner.dead {
             return Err(power_off());
         }
@@ -493,7 +493,7 @@ impl VfsFile for FaultFile {
     }
 
     fn sync_data(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // xlint::lock(vfs.state)
         match inner.begin_op()? {
             None => {
                 inner.nodes[self.node].sync();
@@ -528,7 +528,7 @@ fn parent_of(path: &Path) -> PathBuf {
 
 impl Vfs for FaultVfs {
     fn open(&self, path: &Path) -> Result<Box<dyn VfsFile>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // xlint::lock(vfs.state)
         if let Some(&node) = inner.live.get(path) {
             if inner.dead {
                 return Err(power_off());
@@ -567,11 +567,11 @@ impl Vfs for FaultVfs {
     }
 
     fn exists(&self, path: &Path) -> bool {
-        self.inner.lock().live.contains_key(path)
+        self.inner.lock().live.contains_key(path) // xlint::lock(vfs.state)
     }
 
     fn remove(&self, path: &Path) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // xlint::lock(vfs.state)
         match inner.begin_op()? {
             None => {
                 inner.live.remove(path);
@@ -593,7 +593,7 @@ impl Vfs for FaultVfs {
     }
 
     fn rename(&self, from: &Path, to: &Path) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // xlint::lock(vfs.state)
         match inner.begin_op()? {
             None => {
                 let node = inner.live.remove(from).ok_or_else(|| {
@@ -623,7 +623,7 @@ impl Vfs for FaultVfs {
     }
 
     fn sync_parent_dir(&self, path: &Path) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // xlint::lock(vfs.state)
         let dir = parent_of(path);
         let promote = move |fs: &mut FsInner| {
             fs.durable_ns.retain(|p, _| parent_of(p) != dir);

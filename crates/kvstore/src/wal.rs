@@ -51,6 +51,7 @@ pub enum WalRecord {
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
+        // xlint::allow(no-panic-paths): index is masked to 8 bits and the table has 256 entries
         crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
@@ -69,6 +70,7 @@ const CRC_TABLE: [u32; 256] = {
             c = (c >> 1) ^ (POLY & mask);
             k += 1;
         }
+        // xlint::allow(no-panic-paths): const-evaluated initializer; i < 256 is the loop bound
         table[i] = c;
         i += 1;
     }
@@ -159,7 +161,7 @@ impl Wal {
                 ensure_tail_only(&buf, pos)?;
                 break; // torn body
             }
-            let body = &buf[pos + 8..pos + 8 + len];
+            let body = codec::slice_at(&buf, pos + 8, len, "WAL frame body")?;
             if crc32(body) != crc {
                 ensure_tail_only(&buf, pos)?;
                 break; // torn final record

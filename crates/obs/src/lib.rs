@@ -15,6 +15,7 @@
 //! The crate is `std`-only by design: it sits below `kvstore` in the
 //! dependency order so every layer of the system can use it.
 
+pub mod lockrank;
 pub mod metrics;
 pub mod trace;
 

@@ -7,6 +7,7 @@
 //! cost of an increment is a single relaxed atomic RMW plus one predictable
 //! branch on the global kill switch.
 
+use crate::lockrank;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -253,7 +254,11 @@ impl Registry {
 
     /// Get-or-create the counter with this name.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().unwrap();
+        let _rank = lockrank::acquire(
+            lockrank::rank::OBS_REGISTRY_COUNTERS,
+            "obs.registry.counters",
+        );
+        let mut map = self.counters.lock().unwrap(); // xlint::lock(obs.registry.counters)
         if let Some(c) = map.get(name) {
             return Arc::clone(c);
         }
@@ -264,7 +269,8 @@ impl Registry {
 
     /// Get-or-create the gauge with this name.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().unwrap();
+        let _rank = lockrank::acquire(lockrank::rank::OBS_REGISTRY_GAUGES, "obs.registry.gauges");
+        let mut map = self.gauges.lock().unwrap(); // xlint::lock(obs.registry.gauges)
         if let Some(g) = map.get(name) {
             return Arc::clone(g);
         }
@@ -275,7 +281,11 @@ impl Registry {
 
     /// Get-or-create the histogram with this name.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap();
+        let _rank = lockrank::acquire(
+            lockrank::rank::OBS_REGISTRY_HISTOGRAMS,
+            "obs.registry.histograms",
+        );
+        let mut map = self.histograms.lock().unwrap(); // xlint::lock(obs.registry.histograms)
         if let Some(h) = map.get(name) {
             return Arc::clone(h);
         }
@@ -285,27 +295,43 @@ impl Registry {
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
-            .counters
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
-            .collect();
-        let gauges = self
-            .gauges
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
-            .collect();
-        let histograms = self
-            .histograms
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.snapshot()))
-            .collect();
+        let counters = {
+            let _rank = lockrank::acquire(
+                lockrank::rank::OBS_REGISTRY_COUNTERS,
+                "obs.registry.counters",
+            );
+            self.counters
+                // xlint::lock(obs.registry.counters)
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect()
+        };
+        let gauges = {
+            let _rank =
+                lockrank::acquire(lockrank::rank::OBS_REGISTRY_GAUGES, "obs.registry.gauges");
+            self.gauges
+                // xlint::lock(obs.registry.gauges)
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect()
+        };
+        let histograms = {
+            let _rank = lockrank::acquire(
+                lockrank::rank::OBS_REGISTRY_HISTOGRAMS,
+                "obs.registry.histograms",
+            );
+            self.histograms
+                // xlint::lock(obs.registry.histograms)
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect()
+        };
         MetricsSnapshot {
             counters,
             gauges,

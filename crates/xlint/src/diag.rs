@@ -1,0 +1,96 @@
+//! Findings and rustc-style diagnostic rendering.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`no-panic-paths`, `lock-order`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    pub message: String,
+    /// Optional remediation hint, rendered as a `= help:` line.
+    pub help: String,
+}
+
+impl Finding {
+    /// Renders in the rustc layout:
+    ///
+    /// ```text
+    /// error[xlint::rule]: message
+    ///   --> path:line:col
+    ///    |
+    /// NN | source line
+    ///    |      ^
+    ///    = help: hint
+    /// ```
+    pub fn render(&self, source_line: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "error[xlint::{}]: {}", self.rule, self.message);
+        let _ = writeln!(out, "  --> {}:{}:{}", self.path, self.line, self.col);
+        let gutter = self.line.to_string().len().max(2);
+        let _ = writeln!(out, "{:gutter$} |", "");
+        let _ = writeln!(out, "{:>gutter$} | {}", self.line, source_line);
+        let caret_pad = self.col.saturating_sub(1);
+        let _ = writeln!(out, "{:gutter$} | {:caret_pad$}^", "", "");
+        if !self.help.is_empty() {
+            let _ = writeln!(out, "{:gutter$} = help: {}", "", self.help);
+        }
+        out
+    }
+}
+
+/// Stable output order: path, then line, then column, then rule.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_rustc_shape() {
+        let f = Finding {
+            rule: "no-panic-paths",
+            path: "crates/kvstore/src/wal.rs".into(),
+            line: 7,
+            col: 13,
+            message: "`.unwrap()` on a decode path".into(),
+            help: "return KvError::Corrupt instead".into(),
+        };
+        let r = f.render("    let x = y.unwrap();");
+        assert!(r.starts_with("error[xlint::no-panic-paths]: `.unwrap()` on a decode path\n"));
+        assert!(r.contains("--> crates/kvstore/src/wal.rs:7:13\n"));
+        assert!(r.contains(" 7 |     let x = y.unwrap();\n"));
+        assert!(r.contains("   |             ^\n"));
+        assert!(r.contains("   = help: return KvError::Corrupt instead\n"));
+    }
+
+    #[test]
+    fn findings_sort_stably() {
+        let mk = |path: &str, line| Finding {
+            rule: "r",
+            path: path.into(),
+            line,
+            col: 1,
+            message: String::new(),
+            help: String::new(),
+        };
+        let mut v = vec![mk("b.rs", 1), mk("a.rs", 9), mk("a.rs", 2)];
+        sort_findings(&mut v);
+        assert_eq!(
+            v.iter()
+                .map(|f| (f.path.clone(), f.line))
+                .collect::<Vec<_>>(),
+            [("a.rs".into(), 2), ("a.rs".into(), 9), ("b.rs".into(), 1)]
+        );
+    }
+}

@@ -1,0 +1,472 @@
+//! A hand-rolled Rust lexer, just deep enough for static analysis.
+//!
+//! The rules in this crate match on *token* patterns (`.` `unwrap` `(`),
+//! never on raw text, so occurrences inside string literals, char
+//! literals and comments can never fire a rule. The lexer therefore has
+//! to get exactly four things right:
+//!
+//! * comments — line, block, and *nested* block comments;
+//! * string literals — plain, byte, and raw (`r#"…"#` with any number
+//!   of `#`s), with escape sequences;
+//! * char literals vs. lifetimes — `'a'` is a char, `'a` is a lifetime;
+//! * line/column positions — diagnostics point at real source.
+//!
+//! Comments are kept as tokens: suppression pragmas and lock-site
+//! annotations live in them (see [`crate::source`]).
+
+/// What a token is. Punctuation is kept per-character; the rules only
+/// ever need single-character lookahead on punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// One punctuation character (`.`, `(`, `[`, `!`, …).
+    Punct(char),
+    /// String literal (plain, byte or raw). `text` holds the *content*
+    /// without quotes or prefixes.
+    Str,
+    /// Char literal (content without quotes).
+    Char,
+    /// Lifetime (`'a`), content without the leading quote.
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// `// …` comment, content without the slashes.
+    LineComment,
+    /// `/* … */` comment, content without the delimiters.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// For `Str`/`Char`/`Lifetime`/comments this is the *content*; for
+    /// everything else, the exact source text.
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. The lexer never fails: unexpected
+/// bytes become single-character punctuation tokens, and an unterminated
+/// string or comment simply ends at EOF (the analyzer runs on code that
+/// rustc already accepted, so neither case occurs in practice).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: src[start..cur.pos].to_string(),
+                    line,
+                    col,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                let mut depth = 1usize;
+                let mut end = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'/' && cur.peek_at(1) == Some(b'*') {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    } else if c == b'*' && cur.peek_at(1) == Some(b'/') {
+                        depth -= 1;
+                        end = cur.pos;
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        cur.bump();
+                        end = cur.pos;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::BlockComment,
+                    text: src[start..end].to_string(),
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                tokens.push(lex_string(&mut cur, src, line, col));
+            }
+            b'r' | b'b' if starts_prefixed_literal(&cur) => {
+                tokens.push(lex_prefixed_literal(&mut cur, src, line, col));
+            }
+            b'\'' => {
+                tokens.push(lex_quote(&mut cur, src, line, col));
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..cur.pos].to_string(),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let start = cur.pos;
+                while cur
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    cur.bump();
+                }
+                // A float like `1.5` (but not `1..2` or `1.method()`).
+                if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                    cur.bump();
+                    while cur
+                        .peek()
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                    {
+                        cur.bump();
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: src[start..cur.pos].to_string(),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                cur.bump();
+                tokens.push(Token {
+                    kind: TokenKind::Punct(b as char),
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    tokens
+}
+
+/// Does the cursor sit on `r"`, `r#"`, `b"`, `br"`, `br#"` or `b'`?
+fn starts_prefixed_literal(cur: &Cursor) -> bool {
+    let mut i = 0;
+    if cur.peek() == Some(b'b') {
+        i += 1;
+    }
+    if cur.peek_at(i) == Some(b'r') {
+        let mut j = i + 1;
+        while cur.peek_at(j) == Some(b'#') {
+            j += 1;
+        }
+        return cur.peek_at(j) == Some(b'"');
+    }
+    // b"…" or b'…'
+    i > 0 && matches!(cur.peek_at(i), Some(b'"') | Some(b'\''))
+}
+
+fn lex_prefixed_literal(cur: &mut Cursor, src: &str, line: usize, col: usize) -> Token {
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'r') {
+        cur.bump();
+        let mut hashes = 0usize;
+        while cur.peek() == Some(b'#') {
+            hashes += 1;
+            cur.bump();
+        }
+        cur.bump(); // opening quote
+        let start = cur.pos;
+        let mut end = cur.pos;
+        'scan: while let Some(c) = cur.peek() {
+            if c == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if cur.peek_at(1 + k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    end = cur.pos;
+                    cur.bump();
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    break 'scan;
+                }
+            }
+            cur.bump();
+            end = cur.pos;
+        }
+        return Token {
+            kind: TokenKind::Str,
+            text: src[start..end].to_string(),
+            line,
+            col,
+        };
+    }
+    if cur.peek() == Some(b'\'') {
+        return lex_quote(cur, src, line, col);
+    }
+    lex_string(cur, src, line, col)
+}
+
+fn lex_string(cur: &mut Cursor, src: &str, line: usize, col: usize) -> Token {
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    let mut end = cur.pos;
+    while let Some(c) = cur.peek() {
+        if c == b'\\' {
+            cur.bump();
+            cur.bump();
+            end = cur.pos;
+        } else if c == b'"' {
+            end = cur.pos;
+            cur.bump();
+            break;
+        } else {
+            cur.bump();
+            end = cur.pos;
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text: src[start..end].to_string(),
+        line,
+        col,
+    }
+}
+
+/// Lexes `'…` as either a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor, src: &str, line: usize, col: usize) -> Token {
+    cur.bump(); // the quote
+    let start = cur.pos;
+    // `'a` followed by anything but a closing quote is a lifetime (also
+    // covers `'static`). `'a'`, `'\n'`, `'\u{1F600}'` are char literals.
+    if cur.peek().is_some_and(is_ident_start) && cur.peek() != Some(b'\\') {
+        let mut j = 1;
+        while cur.peek_at(j).is_some_and(is_ident_continue) {
+            j += 1;
+        }
+        if cur.peek_at(j) != Some(b'\'') {
+            // lifetime
+            for _ in 0..j {
+                cur.bump();
+            }
+            return Token {
+                kind: TokenKind::Lifetime,
+                text: src[start..cur.pos].to_string(),
+                line,
+                col,
+            };
+        }
+    }
+    // char literal: consume until the closing quote, honoring escapes
+    let mut end = cur.pos;
+    while let Some(c) = cur.peek() {
+        if c == b'\\' {
+            cur.bump();
+            cur.bump();
+            end = cur.pos;
+        } else if c == b'\'' {
+            end = cur.pos;
+            cur.bump();
+            break;
+        } else {
+            cur.bump();
+            end = cur.pos;
+        }
+    }
+    Token {
+        kind: TokenKind::Char,
+        text: src[start..end].to_string(),
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_punct_numbers() {
+        let t = kinds("let x = foo.unwrap();");
+        assert_eq!(t[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(t[3], (TokenKind::Ident, "foo".into()));
+        assert_eq!(t[4], (TokenKind::Punct('.'), ".".into()));
+        assert_eq!(t[5], (TokenKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_content_from_token_matching() {
+        let t = kinds(r#"let s = ".unwrap() // not a comment";"#);
+        assert!(t
+            .iter()
+            .all(|(k, txt)| *k != TokenKind::Ident || txt != "unwrap"));
+        let s = t.iter().find(|(k, _)| *k == TokenKind::Str).unwrap();
+        assert_eq!(s.1, ".unwrap() // not a comment");
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let t = kinds(r##"let a = r#"has "quotes" and \ raw"#; let b = b"bytes";"##);
+        let strs: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(strs, [r#"has "quotes" and \ raw"#, "bytes"]);
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let t = kinds(r#"let s = "a\"b"; x"#);
+        let s = t.iter().find(|(k, _)| *k == TokenKind::Str).unwrap();
+        assert_eq!(s.1, r#"a\"b"#);
+        assert!(t
+            .iter()
+            .any(|(k, txt)| *k == TokenKind::Ident && txt == "x"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let t = kinds(r"fn f<'a>(x: &'a str) { let c = 'x'; let n = '\n'; }");
+        let lifetimes: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let chars: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(chars, ["x", r"\n"]);
+    }
+
+    #[test]
+    fn comments_are_tokens_with_content() {
+        let t = kinds("a // xlint::allow(r): why\n/* block /* nested */ still */ b");
+        assert_eq!(
+            t[1],
+            (TokenKind::LineComment, " xlint::allow(r): why".into())
+        );
+        assert_eq!(
+            t[2],
+            (TokenKind::BlockComment, " block /* nested */ still ".into())
+        );
+        assert_eq!(t[3], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn code_inside_comments_never_tokenizes() {
+        let t = kinds("// foo.unwrap()\nreal");
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokenKind::Ident).count(),
+            1,
+            "only `real` is an identifier"
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let t = lex("ab\n  cd");
+        assert_eq!((t[0].line, t[0].col), (1, 1));
+        assert_eq!((t[1].line, t[1].col), (2, 3));
+    }
+
+    #[test]
+    fn floats_do_not_eat_ranges_or_methods() {
+        let t = kinds("1.5 1..2 3.min(4)");
+        assert_eq!(t[0], (TokenKind::Number, "1.5".into()));
+        assert_eq!(t[1], (TokenKind::Number, "1".into()));
+        assert_eq!(t[2], (TokenKind::Punct('.'), ".".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "min"));
+    }
+}

@@ -1,0 +1,41 @@
+//! xlint — a from-scratch static analyzer for this workspace.
+//!
+//! Rustc and clippy enforce language-level invariants; xlint enforces
+//! *architecture-level* ones that only this codebase knows about:
+//!
+//! * `no-panic-paths` — storage/decode paths return `KvError::Corrupt`,
+//!   they never panic;
+//! * `lock-order` — annotated lock sites respect the declared hierarchy
+//!   in `crates/xlint/lockorder.toml`;
+//! * `metric-catalogue` — metric and span names match DESIGN.md;
+//! * `no-wallclock-in-hot-paths` — no clock reads in query evaluation;
+//! * `error-context` — corruption errors always say what went wrong.
+//!
+//! The analyzer is zero-dependency: a hand-rolled lexer
+//! ([`lexer`]) feeds token-pattern rules ([`rules`]) over a per-file
+//! model ([`source`]) that tracks test regions, suppression pragmas and
+//! lock annotations. Exemptions are `// xlint::allow(rule): why`
+//! pragmas with a *required* justification.
+//!
+//! `cargo run -p xlint -- --workspace` lints the live tree;
+//! `-- --fixtures` self-tests the rules against golden fixtures.
+
+pub mod config;
+pub mod diag;
+pub mod fixtures;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+use config::Config;
+use diag::Finding;
+use source::{FileKind, SourceFile};
+
+/// Lints one in-memory source text under a workspace-relative path.
+pub fn lint_source(path: &str, text: &str, kind: FileKind, config: &Config) -> Vec<Finding> {
+    let file = SourceFile::parse(path, text, kind);
+    let mut findings = rules::run_all(&file, config);
+    diag::sort_findings(&mut findings);
+    findings
+}

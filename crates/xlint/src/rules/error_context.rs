@@ -1,0 +1,205 @@
+//! `error-context`: a `KvError::Corrupt` constructed with an empty
+//! context string is a dead end for whoever reads the log at 3am.
+//! Every `KvError::corrupt(..)` / `corrupt_page(..)` call and every
+//! `Corrupt { .. }` literal must carry a non-empty, non-`format!("")`
+//! context.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+pub const RULE: &str = "error-context";
+
+pub fn check(file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
+    if !Config::in_scope(&file.path, &config.error_context_paths) {
+        return;
+    }
+    let toks = file.code_tokens();
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        if matches!(t.kind, TokenKind::Ident) && i + 1 < toks.len() && toks[i + 1].is_punct('(') {
+            // `corrupt(context)` / `corrupt_page(page, context)`
+            let arg_index = match t.text.as_str() {
+                "corrupt" => 0,
+                "corrupt_page" => 1,
+                _ => continue,
+            };
+            if let Some(arg) = nth_arg(&toks, i + 1, arg_index) {
+                if is_empty_context(&arg) {
+                    super::emit(
+                        out,
+                        file,
+                        RULE,
+                        t.line,
+                        t.col,
+                        format!("`{}` called with an empty context", t.text),
+                        "say what was being decoded and what was wrong with it".into(),
+                    );
+                }
+            }
+        }
+        // `Corrupt { page: …, context: "" }`
+        if t.is_ident("Corrupt") && i + 1 < toks.len() && toks[i + 1].is_punct('{') {
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1
+                    && toks[j].is_ident("context")
+                    && j + 1 < toks.len()
+                    && toks[j + 1].is_punct(':')
+                {
+                    let field: Vec<&Token> = toks[j + 2..]
+                        .iter()
+                        .copied()
+                        .take_while(|t| !t.is_punct(',') && !t.is_punct('}'))
+                        .collect();
+                    if is_empty_context(&field) {
+                        super::emit(
+                            out,
+                            file,
+                            RULE,
+                            toks[j].line,
+                            toks[j].col,
+                            "`Corrupt { .. }` built with an empty context".into(),
+                            "say what was being decoded and what was wrong with it".into(),
+                        );
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+/// The tokens of the `n`th (0-based) argument of a call whose opening
+/// paren is at `toks[open]`. Argument boundaries are commas at paren
+/// depth 1 outside braces/brackets.
+fn nth_arg<'a>(toks: &[&'a Token], open: usize, n: usize) -> Option<Vec<&'a Token>> {
+    let mut paren = 0usize;
+    let mut brace = 0usize;
+    let mut bracket = 0usize;
+    let mut arg = 0usize;
+    let mut current = Vec::new();
+    for t in &toks[open..] {
+        match t.kind {
+            TokenKind::Punct('(') => {
+                paren += 1;
+                if paren == 1 {
+                    continue; // don't include the opening paren
+                }
+            }
+            TokenKind::Punct(')') => {
+                paren -= 1;
+                if paren == 0 {
+                    return (arg == n).then_some(current);
+                }
+            }
+            TokenKind::Punct('{') => brace += 1,
+            TokenKind::Punct('}') => brace = brace.saturating_sub(1),
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket = bracket.saturating_sub(1),
+            TokenKind::Punct(',') if paren == 1 && brace == 0 && bracket == 0 => {
+                if arg == n {
+                    return Some(current);
+                }
+                arg += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if arg == n {
+            current.push(*t);
+        }
+    }
+    None
+}
+
+/// `""` (optionally followed by `.to_string()` / `.into()` / …),
+/// `String::new()`, or `format!("")` with no substitutions.
+fn is_empty_context(arg: &[&Token]) -> bool {
+    match arg {
+        [] => false,
+        [first, ..] if matches!(first.kind, TokenKind::Str) => first.text.is_empty(),
+        [a, b, c, d, ..] if a.is_ident("String") => {
+            b.is_punct(':') && c.is_punct(':') && d.is_ident("new")
+        }
+        [a, b, c, d, rest @ ..] if a.is_ident("format") => {
+            b.is_punct('!')
+                && c.is_punct('(')
+                && matches!(d.kind, TokenKind::Str)
+                && d.text.is_empty()
+                && rest.iter().all(|t| t.is_punct(')'))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn findings(src: &str) -> Vec<(usize, String)> {
+        let file = SourceFile::parse("crates/kvstore/src/wal.rs", src, FileKind::Production);
+        let mut out = Vec::new();
+        check(&file, &Config::workspace_defaults(), &mut out);
+        out.into_iter().map(|f| (f.line, f.message)).collect()
+    }
+
+    #[test]
+    fn empty_contexts_are_flagged() {
+        let fs = findings(
+            "fn f() {\n\
+             return Err(KvError::corrupt(\"\"));\n\
+             return Err(KvError::corrupt_page(7, String::new()));\n\
+             return Err(KvError::corrupt(format!(\"\")));\n\
+             }\n",
+        );
+        assert_eq!(
+            fs.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "{fs:?}"
+        );
+    }
+
+    #[test]
+    fn informative_contexts_pass() {
+        let fs = findings(
+            "fn f() {\n\
+             return Err(KvError::corrupt(\"wal record truncated\"));\n\
+             return Err(KvError::corrupt_page(7, format!(\"page {} crc mismatch\", id)));\n\
+             return Err(KvError::corrupt(format!(\"{what} out of range\")));\n\
+             }\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn struct_literal_contexts_are_checked() {
+        let fs = findings(
+            "fn f() {\n\
+             let a = KvError::Corrupt { page: None, context: \"\".to_string() };\n\
+             let b = KvError::Corrupt { page: None, context: \"short header\".into() };\n\
+             }\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].0, 2);
+    }
+
+    #[test]
+    fn definition_sites_do_not_trip_the_rule() {
+        let fs = findings("pub fn corrupt(context: impl Into<String>) -> Self {\n    x\n}\n");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

@@ -1,0 +1,249 @@
+//! `metric-catalogue`: every metric name passed to `counter!` /
+//! `gauge!` / `histogram!` and every name passed to `trace::span` /
+//! `trace::count` / `trace::event` / `trace::capture` must appear in the
+//! catalogue DESIGN.md declares between its
+//! `<!-- xlint:catalogue:begin/end -->` markers. Metric names must also
+//! follow the `<crate>_<noun>_<unit>` convention. An undocumented metric
+//! is a dashboard that silently reads zero; this rule makes the docs and
+//! the code diverge loudly instead.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+pub const RULE: &str = "metric-catalogue";
+
+const METRIC_MACROS: &[&str] = &["counter", "gauge", "histogram"];
+const TRACE_FNS: &[&str] = &["span", "count", "event", "capture"];
+
+pub fn check(file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
+    if config.catalogue.is_empty() {
+        return; // no catalogue loaded (unit-test config); nothing to check against
+    }
+    let toks = file.code_tokens();
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        // `counter!("name")` / `gauge!(..)` / `histogram!(..)`
+        if matches!(t.kind, TokenKind::Ident)
+            && METRIC_MACROS.contains(&t.text.as_str())
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct('!')
+            && toks[i + 2].is_punct('(')
+            && matches!(toks[i + 3].kind, TokenKind::Str)
+        {
+            let name_tok = toks[i + 3];
+            check_metric_name(file, config, name_tok, out);
+        }
+        // `trace::span("name")` etc. — collect every string literal in
+        // the first argument (span names can come out of a `match`).
+        if matches!(t.kind, TokenKind::Ident)
+            && TRACE_FNS.contains(&t.text.as_str())
+            && i >= 3
+            && toks[i - 3].is_ident("trace")
+            && toks[i - 2].is_punct(':')
+            && toks[i - 1].is_punct(':')
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('(')
+        {
+            for name_tok in first_arg_strings(&toks, i + 1) {
+                if !config.catalogue.contains(&name_tok.text) {
+                    super::emit(
+                        out,
+                        file,
+                        RULE,
+                        name_tok.line,
+                        name_tok.col,
+                        format!(
+                            "span/count name `{}` is not in the DESIGN.md catalogue",
+                            name_tok.text
+                        ),
+                        "add it to the catalogue section of DESIGN.md (or fix the name)".into(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_metric_name(file: &SourceFile, config: &Config, tok: &Token, out: &mut Vec<Finding>) {
+    let name = &tok.text;
+    if !follows_convention(name, config) {
+        super::emit(
+            out,
+            file,
+            RULE,
+            tok.line,
+            tok.col,
+            format!("metric name `{name}` does not follow `<crate>_<noun>_<unit>`"),
+            format!(
+                "prefix with one of [{}], suffix with one of [{}]",
+                config.metric_crates.join(", "),
+                config
+                    .metric_units
+                    .iter()
+                    .map(|u| format!("_{u}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+    } else if !config.catalogue.contains(name) {
+        super::emit(
+            out,
+            file,
+            RULE,
+            tok.line,
+            tok.col,
+            format!("metric `{name}` is not in the DESIGN.md catalogue"),
+            "add it to the catalogue section of DESIGN.md (or fix the name)".into(),
+        );
+    }
+}
+
+fn follows_convention(name: &str, config: &Config) -> bool {
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    {
+        return false;
+    }
+    let Some(prefix) = config
+        .metric_crates
+        .iter()
+        .find(|c| name.starts_with(&format!("{c}_")))
+    else {
+        return false;
+    };
+    let Some(unit) = config
+        .metric_units
+        .iter()
+        .find(|u| name.ends_with(&format!("_{u}")))
+    else {
+        return false;
+    };
+    // A non-empty noun must sit between prefix and unit.
+    name.len() > prefix.len() + 1 + unit.len() + 1
+}
+
+/// String literals inside the first macro/call argument starting at the
+/// opening paren `toks[open]`. The argument ends at a `,` at paren depth
+/// 1 outside any braces/brackets, or at the matching `)`.
+fn first_arg_strings<'a>(toks: &[&'a Token], open: usize) -> Vec<&'a Token> {
+    let mut strings = Vec::new();
+    let mut paren = 0usize;
+    let mut brace = 0usize;
+    let mut bracket = 0usize;
+    for t in &toks[open..] {
+        match t.kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => {
+                paren -= 1;
+                if paren == 0 {
+                    break;
+                }
+            }
+            TokenKind::Punct('{') => brace += 1,
+            TokenKind::Punct('}') => brace = brace.saturating_sub(1),
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket = bracket.saturating_sub(1),
+            TokenKind::Punct(',') if paren == 1 && brace == 0 && bracket == 0 => break,
+            TokenKind::Str => strings.push(*t),
+            _ => {}
+        }
+    }
+    strings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn config() -> Config {
+        let mut c = Config::workspace_defaults();
+        for n in [
+            "kvstore_pager_syncs_total",
+            "query",
+            "stack-refine",
+            "pages.read",
+        ] {
+            c.catalogue.insert(n.to_string());
+        }
+        c
+    }
+
+    fn findings(src: &str) -> Vec<(usize, String)> {
+        let file = SourceFile::parse("crates/kvstore/src/pager.rs", src, FileKind::Production);
+        let mut out = Vec::new();
+        check(&file, &config(), &mut out);
+        out.into_iter().map(|f| (f.line, f.message)).collect()
+    }
+
+    #[test]
+    fn documented_names_pass() {
+        let fs = findings(
+            "fn f() {\n\
+             counter!(\"kvstore_pager_syncs_total\").inc();\n\
+             trace::span(\"query\");\n\
+             trace::count(\"pages.read\", 1);\n\
+             }\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn undocumented_metric_is_flagged() {
+        let fs = findings("fn f() { counter!(\"kvstore_pager_flushes_total\").inc(); }\n");
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].1.contains("not in the DESIGN.md catalogue"));
+    }
+
+    #[test]
+    fn convention_violations_are_flagged() {
+        for bad in [
+            "pager_syncs_total",      // unknown crate prefix
+            "kvstore_syncs",          // missing unit suffix
+            "kvstore_total",          // empty noun
+            "kvstore_Pager_ns_total", // uppercase
+        ] {
+            let fs = findings(&format!("fn f() {{ counter!(\"{bad}\").inc(); }}\n"));
+            assert_eq!(fs.len(), 1, "{bad}: {fs:?}");
+            assert!(fs[0].1.contains("does not follow"), "{bad}: {fs:?}");
+        }
+    }
+
+    #[test]
+    fn span_names_inside_match_arms_are_collected() {
+        let fs = findings(
+            "fn f() {\n\
+             trace::span(match algo {\n\
+             Algo::Stack => \"stack-refine\",\n\
+             Algo::Part => \"nonexistent-span\",\n\
+             });\n\
+             }\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].1.contains("nonexistent-span"));
+    }
+
+    #[test]
+    fn second_argument_strings_are_not_names() {
+        let fs = findings("fn f() { trace::event(\"query\", \"free text payload\"); }\n");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn empty_catalogue_disables_the_rule() {
+        let file = SourceFile::parse(
+            "a.rs",
+            "fn f() { counter!(\"zzz\"); }\n",
+            FileKind::Production,
+        );
+        let mut out = Vec::new();
+        check(&file, &Config::workspace_defaults(), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! `no-panic-paths`: panicking constructs are forbidden in storage and
+//! decode paths. A corrupt page, a truncated WAL, or a bit-flipped
+//! postings frame must surface as `KvError::Corrupt`, never as a panic
+//! that takes the whole engine down mid-recovery.
+//!
+//! Detected constructs:
+//!
+//! * `.unwrap()` / `.unwrap_err()` / `.expect(..)` / `.expect_err(..)`
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! * hard `assert!` / `assert_eq!` / `assert_ne!` (the `debug_assert*`
+//!   family is exempt: it compiles out of release builds)
+//! * data-dependent `[]` indexing, but only in decode-path files
+//!   (`index_paths`): an index that came off disk must be bounds-checked
+//!   with `.get()`. Structurally constant indices (integer literals,
+//!   `UPPER_CASE` consts, and range punctuation) are allowed.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "no-panic-paths";
+
+const PANIC_METHODS: &[&str] = &["unwrap", "unwrap_err", "expect", "expect_err"];
+/// Keywords after which a `[` opens an array literal, not an index.
+const KEYWORDS: &[&str] = &[
+    "in", "return", "break", "else", "match", "if", "while", "loop", "move", "ref", "mut", "as",
+];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+pub fn check(file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
+    let scoped = Config::in_scope(&file.path, &config.no_panic_paths);
+    let indexed = Config::in_scope(&file.path, &config.index_paths);
+    if !scoped && !indexed {
+        return;
+    }
+    let toks = file.code_tokens();
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        if scoped {
+            // `.unwrap()` and friends
+            if t.is_punct('.') && i + 2 < toks.len() && toks[i + 2].is_punct('(') {
+                let m = &toks[i + 1];
+                if let TokenKind::Ident = m.kind {
+                    if PANIC_METHODS.contains(&m.text.as_str()) {
+                        super::emit(
+                            out,
+                            file,
+                            RULE,
+                            m.line,
+                            m.col,
+                            format!("`.{}()` can panic on a storage/decode path", m.text),
+                            "return `KvError::Corrupt` with context instead".into(),
+                        );
+                    }
+                }
+            }
+            // `panic!(..)` and friends
+            if matches!(t.kind, TokenKind::Ident)
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && i + 1 < toks.len()
+                && toks[i + 1].is_punct('!')
+            {
+                super::emit(
+                    out,
+                    file,
+                    RULE,
+                    t.line,
+                    t.col,
+                    format!("`{}!` can panic on a storage/decode path", t.text),
+                    "return `KvError::Corrupt` (or use `debug_assert!` for invariants)".into(),
+                );
+            }
+        }
+        if indexed && t.is_punct('[') && i > 0 {
+            let prev = toks[i - 1];
+            // A keyword before `[` means an array literal (`in [..]`,
+            // `return [..]`), not an index expression.
+            let is_index_expr = (matches!(prev.kind, TokenKind::Ident)
+                && !KEYWORDS.contains(&prev.text.as_str()))
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            // `vec![..]`-style macro bodies have `!` before `[`; `#[..]`
+            // attributes have `#`. Neither matches above.
+            if is_index_expr && !index_is_constant(&toks, i) {
+                super::emit(
+                    out,
+                    file,
+                    RULE,
+                    t.line,
+                    t.col,
+                    "data-dependent `[]` indexing on a decode path".into(),
+                    "use `.get(..)` and map a miss to `KvError::Corrupt`".into(),
+                );
+            }
+        }
+    }
+}
+
+/// Is every token between `toks[open]` (a `[`) and its matching `]`
+/// structurally constant? Allowed: integer/float literals, `UPPER_CASE`
+/// identifiers (consts), and the punctuation of ranges and constant
+/// arithmetic (`.` `+` `-` `=` `*` `/`).
+fn index_is_constant(toks: &[&crate::lexer::Token], open: usize) -> bool {
+    let mut depth = 0usize;
+    for t in &toks[open..] {
+        if t.is_punct('[') {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return true;
+            }
+            continue;
+        }
+        let ok = match &t.kind {
+            TokenKind::Number => true,
+            TokenKind::Ident => is_const_ident(&t.text),
+            TokenKind::Punct(c) => matches!(c, '.' | '+' | '-' | '=' | '*' | '/'),
+            _ => false,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true // unterminated bracket: the lexer ran off the file; don't flag
+}
+
+fn is_const_ident(s: &str) -> bool {
+    s.chars()
+        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && s.chars().any(|c| c.is_ascii_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn findings(src: &str) -> Vec<(usize, String)> {
+        let file = SourceFile::parse("crates/kvstore/src/wal.rs", src, FileKind::Production);
+        let config = Config::workspace_defaults();
+        let mut out = Vec::new();
+        check(&file, &config, &mut out);
+        out.into_iter().map(|f| (f.line, f.message)).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let fs = findings(
+            "fn f() {\n\
+             let a = x.unwrap();\n\
+             let b = y.expect(\"msg\");\n\
+             panic!(\"boom\");\n\
+             unreachable!();\n\
+             assert!(a > b);\n\
+             }\n",
+        );
+        assert_eq!(fs.len(), 5, "{fs:?}");
+    }
+
+    #[test]
+    fn debug_assert_and_strings_are_exempt() {
+        let fs = findings(
+            "fn f() {\n\
+             debug_assert!(a > b);\n\
+             debug_assert_eq!(a, b);\n\
+             let s = \"x.unwrap() panic!\";\n\
+             // x.unwrap() in a comment\n\
+             }\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let fs = findings(
+            "fn f() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             fn t() { x.unwrap(); buf[i]; }\n\
+             }\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn indexing_flags_variables_but_not_constants() {
+        let fs = findings(
+            "fn f() {\n\
+             let a = buf[pos];\n\
+             let b = buf[..PAGE_SIZE];\n\
+             let c = buf[0];\n\
+             let d = buf[HDR + 4..HDR + 8];\n\
+             let e = buf[pos..pos + len];\n\
+             let f = vec![0u8; n];\n\
+             for name in [a, b] { g(name); }\n\
+             }\n",
+        );
+        assert_eq!(
+            fs.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![2, 6],
+            "{fs:?}"
+        );
+    }
+
+    #[test]
+    fn suppression_pragma_with_justification_works() {
+        let fs = findings(
+            "fn f() {\n\
+             // xlint::allow(no-panic-paths): index proven in-bounds by the loop guard\n\
+             let a = buf[pos];\n\
+             let b = buf[pos2];\n\
+             }\n",
+        );
+        assert_eq!(fs.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let file = SourceFile::parse(
+            "crates/slca/src/lib.rs",
+            "fn f() { x.unwrap(); }\n",
+            FileKind::Production,
+        );
+        let mut out = Vec::new();
+        check(&file, &Config::workspace_defaults(), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! `no-wallclock-in-hot-paths`: `Instant::now()` / `SystemTime::now()`
+//! are forbidden in the query-evaluation crates (`slca`, `xrefine`).
+//! A clock read is a syscall-adjacent stall on the per-node hot path;
+//! timing belongs in obs-gated spans at phase granularity, where a
+//! disabled collector costs one atomic load. Justified per-query
+//! sites carry an `xlint::allow` pragma.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "no-wallclock-in-hot-paths";
+
+pub fn check(file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
+    if !Config::in_scope(&file.path, &config.wallclock_paths) {
+        return;
+    }
+    let toks = file.code_tokens();
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        if matches!(t.kind, TokenKind::Ident)
+            && (t.text == "Instant" || t.text == "SystemTime")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("now")
+        {
+            super::emit(
+                out,
+                file,
+                RULE,
+                t.line,
+                t.col,
+                format!("`{}::now()` on a query hot path", t.text),
+                "time phases through obs spans; if this is per-query (not per-node), suppress with a justification".into(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    #[test]
+    fn flags_clock_reads_in_scope_only() {
+        let config = Config::workspace_defaults();
+        let src = "fn f() { let t = Instant::now(); let u = SystemTime::now(); }\n";
+        let hot = SourceFile::parse("crates/slca/src/lib.rs", src, FileKind::Production);
+        let mut out = Vec::new();
+        check(&hot, &config, &mut out);
+        assert_eq!(out.len(), 2);
+
+        let cold = SourceFile::parse("crates/obs/src/trace.rs", src, FileKind::Production);
+        let mut out = Vec::new();
+        check(&cold, &config, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pragma_and_test_code_are_exempt() {
+        let config = Config::workspace_defaults();
+        let src = "// xlint::allow(no-wallclock-in-hot-paths): once per query, not per node\n\
+                   fn f() { let t = Instant::now(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn t() { Instant::now(); } }\n";
+        let f = SourceFile::parse("crates/xrefine/src/engine.rs", src, FileKind::Production);
+        let mut out = Vec::new();
+        check(&f, &config, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

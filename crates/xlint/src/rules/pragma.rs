@@ -1,0 +1,65 @@
+//! `pragma`: hygiene for the suppression pragmas themselves. An
+//! `xlint::allow(..)` must name a real rule and must carry a written
+//! justification after a colon — a bare suppression is how exemptions
+//! rot. These findings are not themselves suppressible.
+
+use crate::diag::Finding;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "pragma";
+
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for allow in &file.allows {
+        if !super::RULE_NAMES.contains(&allow.rule.as_str()) {
+            out.push(Finding {
+                rule: RULE,
+                path: file.path.clone(),
+                line: allow.line,
+                col: 1,
+                message: format!("`xlint::allow({})` names an unknown rule", allow.rule),
+                help: format!("known rules: {}", super::RULE_NAMES.join(", ")),
+            });
+        }
+        if allow.justification.is_empty() {
+            out.push(Finding {
+                rule: RULE,
+                path: file.path.clone(),
+                line: allow.line,
+                col: 1,
+                message: format!("`xlint::allow({})` has no justification", allow.rule),
+                help: "write `// xlint::allow(rule): why this site is safe`".into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+
+    #[test]
+    fn bare_and_unknown_pragmas_are_findings() {
+        let src = "// xlint::allow(no-panic-paths)\n\
+                   // xlint::allow(no-such-rule): because\n\
+                   // xlint::allow(lock-order): guard provably dropped above\n";
+        let f = SourceFile::parse("a.rs", src, FileKind::Production);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("no justification"));
+        assert!(out[1].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn pragma_hygiene_applies_to_test_files_too() {
+        let f = SourceFile::parse(
+            "crates/x/tests/t.rs",
+            "// xlint::allow(lock-order)\nfn t() {}\n",
+            FileKind::Test,
+        );
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+// xlint-fixture: path=crates/kvstore/src/pager.rs
+// Corruption errors must carry a non-empty context string in every form:
+// corrupt(..), corrupt_page(.., ..) and struct-literal Corrupt { .. }.
+
+fn fail_empty_str() -> Result<()> {
+    Err(KvError::corrupt(""))
+}
+
+fn fail_string_new(page: u64) -> Result<()> {
+    Err(KvError::corrupt_page(page, String::new()))
+}
+
+fn fail_empty_format() -> Result<()> {
+    Err(KvError::corrupt(format!("")))
+}
+
+fn fail_literal(page: u64) -> KvError {
+    KvError::Corrupt {
+        page: Some(page),
+        context: "".to_string(),
+    }
+}
+
+fn ok_with_context(page: u64) -> Result<()> {
+    Err(KvError::corrupt_page(
+        page,
+        format!("page {page} checksum mismatch"),
+    ))
+}
+
+fn ok_literal(page: u64) -> KvError {
+    KvError::Corrupt {
+        page: Some(page),
+        context: "trailer magic missing".to_string(),
+    }
+}

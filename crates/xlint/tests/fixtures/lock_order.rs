@@ -1,0 +1,46 @@
+// xlint-fixture: path=crates/invindex/src/cache.rs
+// Lock hierarchy under the fixture config: kvindex.store = 10,
+// cache.shard = 20. Ranks must be strictly increasing while held.
+
+fn unannotated(&self) {
+    let g = self.m.lock();
+}
+
+fn unknown_name(&self) {
+    // xlint::lock(no.such.lock)
+    let g = self.m.lock();
+}
+
+fn inverted(&self) {
+    let shard = self.shard.lock(); // xlint::lock(cache.shard)
+    let store = self.store.read(); // xlint::lock(kvindex.store)
+}
+
+fn clean_nesting(&self) {
+    let store = self.store.read(); // xlint::lock(kvindex.store)
+    let shard = self.shard.lock(); // xlint::lock(cache.shard)
+}
+
+fn early_drop(&self) {
+    let shard = self.shard.lock(); // xlint::lock(cache.shard)
+    drop(shard);
+    let store = self.store.read(); // xlint::lock(kvindex.store)
+}
+
+fn scoped_release(&self) {
+    {
+        let shard = self.shard.lock(); // xlint::lock(cache.shard)
+        shard.touch();
+    }
+    let store = self.store.read(); // xlint::lock(kvindex.store)
+}
+
+fn same_rank_reacquire(&self) {
+    let a = self.shard_a.lock(); // xlint::lock(cache.shard)
+    let b = self.shard_b.lock(); // xlint::lock(cache.shard)
+}
+
+fn temporary_expires_at_semicolon(&self) {
+    self.shard.lock().touch(); // xlint::lock(cache.shard)
+    let store = self.store.read(); // xlint::lock(kvindex.store)
+}

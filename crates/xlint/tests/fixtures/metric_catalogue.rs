@@ -1,0 +1,23 @@
+// xlint-fixture: path=crates/invindex/src/cache.rs
+// Fixture catalogue: kvstore_pager_syncs_total, invindex_cache_resident_bytes,
+// query, stack-refine, pages.read. Metric names must also follow the
+// <crate>_<noun>_<unit> convention.
+
+fn metrics(resident: u64) {
+    obs::counter!("kvstore_pager_syncs_total").inc();
+    obs::gauge!("invindex_cache_resident_bytes").set(resident);
+    obs::counter!("invindex_cache_flushes_total").inc();
+    obs::counter!("BadName_total").inc();
+    obs::counter!("kvstore_syncs").inc();
+}
+
+fn spans(algo: Algo) {
+    obs::trace::span("query");
+    obs::trace::count("pages.read", 4);
+    obs::trace::span("no-such-span");
+    obs::trace::span(match algo {
+        Algo::Stack => "stack-refine",
+        Algo::Other => "mystery-span",
+    });
+    obs::trace::event("query", "free-text payload is not a catalogue name");
+}

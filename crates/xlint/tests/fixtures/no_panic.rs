@@ -1,0 +1,41 @@
+// xlint-fixture: path=crates/kvstore/src/wal.rs
+// Seeded violations: every panicking construct no-panic-paths must catch,
+// plus the constructs it must leave alone (debug_assert, const indexing,
+// macros like vec![], and anything inside a test region).
+
+fn decode(buf: &[u8], idx: usize) -> u32 {
+    let a = parse(buf).unwrap();
+    let b = parse(buf).expect("short buffer");
+    let c = parse(buf).unwrap_err();
+    if buf.is_empty() {
+        panic!("empty buffer");
+    }
+    assert!(idx > 0);
+    assert_eq!(idx % 2, 1);
+    let d = buf[idx];
+    let e = buf[0];
+    let f = &buf[..HDR_LEN];
+    let g = vec![0u8; idx];
+    match idx {
+        0 => todo!(),
+        1 => unimplemented!(),
+        _ => unreachable!(),
+    }
+}
+
+fn safe(buf: &[u8]) -> Option<u8> {
+    debug_assert!(!buf.is_empty());
+    debug_assert_eq!(buf.len() % 2, 0);
+    buf.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v = vec![1u8];
+        assert_eq!(v[0], 1);
+        v.get(9).unwrap();
+        panic!("fine inside tests");
+    }
+}

@@ -1,0 +1,23 @@
+// xlint-fixture: path=crates/slca/src/scan.rs
+// Wall-clock reads in hot-path crates are findings unless justified.
+
+fn hot_loop(&mut self) {
+    let started = Instant::now();
+    let stamp = std::time::SystemTime::now();
+    self.advance(started, stamp);
+}
+
+fn justified(&mut self) {
+    // xlint::allow(no-wallclock-in-hot-paths): read once per query at the phase boundary, not per node
+    let started = Instant::now();
+    self.finish(started);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_nanos() < u128::MAX);
+    }
+}

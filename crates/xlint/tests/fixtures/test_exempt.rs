@@ -1,0 +1,27 @@
+// xlint-fixture: path=crates/kvstore/src/btree.rs
+// Test regions — #[cfg(test)] modules and #[test] functions — are
+// exempt from every rule. Expected findings: none.
+
+fn production_code(x: u64) -> u64 {
+    x.saturating_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_freely() {
+        let v = vec![1u8, 2];
+        assert_eq!(v[0], 1);
+        v.get(5).unwrap();
+        let g = lock.lock();
+        let t = Instant::now();
+        panic!("all of this is fine in tests: {t:?} {g:?}");
+    }
+}
+
+#[test]
+fn bare_test_attribute_is_also_exempt() {
+    assert!(make().unwrap().is_empty());
+}

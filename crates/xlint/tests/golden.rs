@@ -1,0 +1,74 @@
+//! Golden-fixture suite: every fixture under `tests/fixtures/` must
+//! produce exactly the findings its `.expected` file lists, and the
+//! suite as a whole must exercise every rule xlint knows about.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn fixture_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn every_fixture_matches_its_golden_file() {
+    let config = xlint::fixtures::fixture_config();
+    let outcomes = xlint::fixtures::run_fixtures(&fixture_dir(), &config)
+        .expect("fixture dir must load cleanly");
+    let failures: Vec<String> = outcomes
+        .iter()
+        .filter(|o| !o.passed)
+        .map(|o| format!("{}:\n{}", o.name, o.details))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "fixtures disagree with their golden files:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn fixtures_cover_every_rule() {
+    let dir = fixture_dir();
+    let mut seen = BTreeSet::new();
+    for entry in std::fs::read_dir(&dir).expect("fixture dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|x| x == "expected") {
+            let text = std::fs::read_to_string(&path).expect("expected file");
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                let (_, rule) = line.split_once(':').expect("line:rule format");
+                seen.insert(rule.trim().to_string());
+            }
+        }
+    }
+    for rule in xlint::rules::RULE_NAMES {
+        assert!(
+            seen.contains(*rule),
+            "no fixture exercises rule `{rule}` — add one under tests/fixtures/"
+        );
+    }
+    // Suppression behaviour (the pragma pseudo-rule) must be covered too.
+    assert!(
+        seen.contains("pragma"),
+        "no fixture exercises pragma diagnostics"
+    );
+}
+
+#[test]
+fn at_least_one_fixture_asserts_cleanliness() {
+    // A fixture with an empty `.expected` proves the runner also passes
+    // when zero findings are expected (the exemption/suppression side).
+    let dir = fixture_dir();
+    let has_clean = std::fs::read_dir(&dir)
+        .expect("fixture dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "expected"))
+        .any(|p| {
+            std::fs::read_to_string(&p)
+                .map(|t| t.lines().all(|l| l.trim().is_empty()))
+                .unwrap_or(false)
+        });
+    assert!(
+        has_clean,
+        "add a fixture whose expected finding set is empty"
+    );
+}

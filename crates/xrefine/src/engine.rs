@@ -230,9 +230,11 @@ impl XRefineEngine {
     }
 
     fn answer_phases(&self, query: Query) -> Result<(RefineOutcome, PhaseTimings), QueryFailure> {
+        // xlint::allow(no-wallclock-in-hot-paths): once per query — whole-query latency histogram, not per-node work
         let started = Instant::now();
         let mut timings = PhaseTimings::default();
 
+        // xlint::allow(no-wallclock-in-hot-paths): once per query, brackets the rules phase
         let t0 = Instant::now();
         let rules = {
             let _span = obs::trace::span("rules");
@@ -242,6 +244,7 @@ impl XRefineEngine {
         timings.rules = t0.elapsed();
         obs::histogram!("xrefine_phase_rules_nanos").observe_duration(timings.rules);
 
+        // xlint::allow(no-wallclock-in-hot-paths): once per query, brackets the session phase
         let t1 = Instant::now();
         let session = {
             let _span = obs::trace::span("session");
@@ -256,6 +259,7 @@ impl XRefineEngine {
         timings.session = t1.elapsed();
         obs::histogram!("xrefine_phase_session_nanos").observe_duration(timings.session);
 
+        // xlint::allow(no-wallclock-in-hot-paths): once per query, brackets the algorithm phase
         let t2 = Instant::now();
         let outcome = {
             let _span = obs::trace::span(match self.config.algorithm {

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# The repo's pre-merge gate: formatting, lints (warnings are errors) and
-# the full test suite. Run from anywhere inside the repo.
+# The repo's pre-merge gate: formatting, lints (warnings are errors),
+# static analysis, and the full test suite. Run from anywhere inside the
+# repo. Suite definitions live in scripts/suites.sh so CI runs exactly
+# the same commands. Set CHECK_TSAN=1 to also run the ThreadSanitizer
+# suite (needs a nightly toolchain with rust-src).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,24 +11,8 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 
-# Optimized builds reorder aggressively; rerun the multi-thread smoke
-# tests in release so a data race has a real chance to surface.
-cargo test --release -q --test concurrent_engine
-cargo test --release -q -p invindex --test cache_prop
+scripts/suites.sh analysis release_smoke torture observability
 
-# Fault-injection and crash-recovery sweeps cover every I/O boundary /
-# byte flip only in release (debug strides them for speed).
-cargo test --release -q -p kvstore --test torture
-cargo test --release -q -p kvstore --test fault_injection
-cargo test --release -q --test storage_bitflips
-
-# Observability: obs invariants, the differential oracles (SLCA
-# stack/eager/multiway vs brute force; DP vs brute-force rule
-# application), tracer well-nestedness under concurrent serving, and a
-# quick metrics-overhead run emitting results/BENCH_obs.json.
-cargo test -q -p obs
-cargo test -q -p slca --test differential
-cargo test -q -p xrefine --test dp_oracle
-cargo test --release -q -p xrefine --test trace_concurrency
-OBS_BENCH_FRACTION=0.02 OBS_BENCH_REPS=2 \
-    cargo run --release -q -p bench --bin bench_obs
+if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
+    scripts/suites.sh tsan
+fi

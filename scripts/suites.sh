@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Canonical test-suite definitions, shared by scripts/check.sh and CI.
+#
+# Each suite is one shell function; the file doubles as a dispatcher:
+#
+#   scripts/suites.sh <suite> [<suite>...]
+#
+# Suites:
+#   release_smoke  multi-thread smoke tests rerun in release, where
+#                  aggressive reordering gives a data race a real chance
+#   torture        fault-injection + crash-recovery sweeps (release —
+#                  debug builds stride the sweeps for speed)
+#   observability  obs invariants, differential oracles, tracer
+#                  well-nestedness, metrics-overhead bench
+#   analysis       xlint over the live workspace + its golden fixtures
+#   tsan           ThreadSanitizer over the thread-heavy suites
+#                  (requires a nightly toolchain with rust-src)
+set -euo pipefail
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+suite_release_smoke() {
+    cargo test --release -q --test concurrent_engine
+    cargo test --release -q -p invindex --test cache_prop
+    cargo test --release -q -p invindex --test lock_rank
+}
+
+suite_torture() {
+    cargo test --release -q -p kvstore --test torture
+    cargo test --release -q -p kvstore --test fault_injection
+    cargo test --release -q --test storage_bitflips
+}
+
+suite_observability() {
+    cargo test -q -p obs
+    cargo test -q -p slca --test differential
+    cargo test -q -p xrefine --test dp_oracle
+    cargo test --release -q -p xrefine --test trace_concurrency
+    OBS_BENCH_FRACTION="${OBS_BENCH_FRACTION:-0.02}" \
+    OBS_BENCH_REPS="${OBS_BENCH_REPS:-2}" \
+        cargo run --release -q -p bench --bin bench_obs
+}
+
+suite_analysis() {
+    cargo run -q -p xlint -- --workspace
+    cargo run -q -p xlint -- --fixtures
+}
+
+# The debug-only lock-rank checker and the tracer both lean on ordering
+# the optimizer is free to break; TSan watches the real interleavings.
+# Needs nightly + rust-src (-Zbuild-std rebuilds std instrumented).
+suite_tsan() {
+    local target="${TSAN_TARGET:-x86_64-unknown-linux-gnu}"
+    local tc="${TSAN_TOOLCHAIN:-nightly}"
+    for t in "--test concurrent_engine" \
+             "-p invindex --test cache_prop" \
+             "-p xrefine --test trace_concurrency"; do
+        # shellcheck disable=SC2086  # $t is a word list on purpose
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo "+${tc}" test -Zbuild-std --target "$target" \
+            --release -q $t
+    done
+}
+
+if [[ "${BASH_SOURCE[0]}" == "$0" ]]; then
+    if [[ $# -eq 0 ]]; then
+        echo "usage: $0 <suite> [<suite>...]" >&2
+        echo "suites: release_smoke torture observability analysis tsan" >&2
+        exit 2
+    fi
+    for suite in "$@"; do
+        if ! declare -F "suite_${suite}" >/dev/null; then
+            echo "unknown suite: ${suite}" >&2
+            exit 2
+        fi
+        echo "==> suite: ${suite}"
+        "suite_${suite}"
+    done
+fi
