@@ -1,0 +1,209 @@
+//! Ingest pipeline benchmark: DOM-first vs streaming structural-index
+//! build over a disk-resident DBLP corpus. Emits
+//! `results/BENCH_ingest.json` with per-configuration throughput
+//! (MB/s), peak-RSS proxy, and the 1–8 thread scaling of the streaming
+//! path. Acceptance (ISSUE): streaming ≥ 4× the DOM single-thread
+//! throughput with near-linear 1→4 thread scaling.
+//!
+//! Each configuration runs in a fresh child process (the binary
+//! re-executes itself), so the peak-RSS reading (`VmHWM` from
+//! `/proc/self/status`) reflects that configuration alone rather than
+//! the high-water mark of whichever ran first.
+//!
+//! Knobs (environment): `INGEST_AUTHORS` scales the corpus (default
+//! 150000, ≈50 MB rendered); `INGEST_REPS` timed repetitions per
+//! configuration (default 3, best-of).
+
+use datagen::{write_dblp_xml, DblpConfig};
+use invindex::{build_streaming, Index};
+use std::hint::black_box;
+use std::io::BufWriter;
+use std::process::Command;
+use std::sync::Arc;
+use std::time::Instant;
+use xmldom::parse_document;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Peak resident set (kB) of this process, from `/proc/self/status`.
+/// Returns 0 where procfs is unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Child entry: run one configuration, print `nanos peak_rss_kb nodes`
+/// on stdout, exit. Invoked with `BENCH_INGEST_CHILD=<mode>:<threads>`
+/// and the corpus path as the sole argument.
+fn run_child(spec: &str, corpus: &str) {
+    let (mode, threads) = spec
+        .split_once(':')
+        .expect("BENCH_INGEST_CHILD must be mode:threads");
+    let threads: usize = threads.parse().expect("thread count");
+    let reps = env_usize("INGEST_REPS", 3);
+    let xml = std::fs::read_to_string(corpus).expect("read corpus");
+
+    let mut best = u128::MAX;
+    let mut nodes = 0usize;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let n = match mode {
+            "dom" => {
+                let doc = Arc::new(parse_document(&xml).expect("parse corpus"));
+                let index = Index::build(doc);
+                black_box(&index);
+                index.document().len()
+            }
+            "stream" => {
+                let index = build_streaming(&xml, threads).expect("streaming build");
+                black_box(&index);
+                index.document().len()
+            }
+            other => panic!("unknown ingest mode {other}"),
+        };
+        best = best.min(start.elapsed().as_nanos());
+        nodes = n;
+    }
+    println!("{best} {} {nodes}", peak_rss_kb());
+}
+
+struct Run {
+    mode: &'static str,
+    threads: usize,
+    mbps: f64,
+    secs: f64,
+    peak_rss_mb: f64,
+    nodes: usize,
+}
+
+/// Parent side: re-execute this binary for one configuration.
+fn measure(mode: &'static str, threads: usize, corpus: &str, bytes: u64) -> Run {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = Command::new(exe)
+        .arg(corpus)
+        .env("BENCH_INGEST_CHILD", format!("{mode}:{threads}"))
+        .output()
+        .expect("spawn child");
+    assert!(
+        out.status.success(),
+        "{mode}:{threads} child failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("child output");
+    let mut parts = text.split_whitespace();
+    let nanos: u128 = parts.next().and_then(|p| p.parse().ok()).expect("nanos");
+    let rss_kb: u64 = parts.next().and_then(|p| p.parse().ok()).expect("rss");
+    let nodes: usize = parts.next().and_then(|p| p.parse().ok()).expect("nodes");
+    let secs = nanos as f64 / 1e9;
+    Run {
+        mode,
+        threads,
+        mbps: bytes as f64 / 1e6 / secs,
+        secs,
+        peak_rss_mb: rss_kb as f64 / 1024.0,
+        nodes,
+    }
+}
+
+fn main() {
+    let corpus_arg = std::env::args().nth(1);
+    if let Ok(spec) = std::env::var("BENCH_INGEST_CHILD") {
+        run_child(&spec, &corpus_arg.expect("child needs corpus path"));
+        return;
+    }
+
+    let authors = env_usize("INGEST_AUTHORS", 150_000);
+    let out_path = corpus_arg.unwrap_or_else(|| "results/BENCH_ingest.json".to_string());
+
+    // Stream the corpus to disk once; every configuration reads the
+    // same file.
+    let dir = std::env::temp_dir().join(format!("bench_ingest_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let corpus = dir.join("corpus.xml");
+    let cfg = DblpConfig {
+        authors,
+        ..Default::default()
+    };
+    let file = std::fs::File::create(&corpus).expect("create corpus");
+    write_dblp_xml(&cfg, BufWriter::new(file)).expect("write corpus");
+    let bytes = std::fs::metadata(&corpus).expect("corpus metadata").len();
+    println!(
+        "corpus: {authors} authors, {:.1} MB at {}",
+        bytes as f64 / 1e6,
+        corpus.display()
+    );
+
+    let corpus_str = corpus.to_str().expect("utf8 path");
+    let configs: &[(&'static str, usize)] = &[
+        ("dom", 1),
+        ("stream", 1),
+        ("stream", 2),
+        ("stream", 4),
+        ("stream", 8),
+    ];
+    let mut runs = Vec::new();
+    for &(mode, threads) in configs {
+        let r = measure(mode, threads, corpus_str, bytes);
+        println!(
+            "{:>6} x{}: {:7.1} MB/s  {:6.2} s  peak {:7.1} MB  ({} nodes)",
+            r.mode, r.threads, r.mbps, r.secs, r.peak_rss_mb, r.nodes
+        );
+        runs.push(r);
+    }
+    let _ = std::fs::remove_file(&corpus);
+    let _ = std::fs::remove_dir(&dir);
+
+    let dom = runs.iter().find(|r| r.mode == "dom").expect("dom run");
+    let s1 = runs
+        .iter()
+        .find(|r| r.mode == "stream" && r.threads == 1)
+        .expect("stream x1");
+    let s4 = runs
+        .iter()
+        .find(|r| r.mode == "stream" && r.threads == 4)
+        .expect("stream x4");
+    let speedup = s1.mbps / dom.mbps;
+    let scaling_4t = s4.mbps / s1.mbps;
+    println!("stream x1 vs dom: {speedup:.2}x; stream 1->4 threads: {scaling_4t:.2}x");
+
+    let mut entries = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"mb_per_s\": {:.2}, \
+             \"seconds\": {:.3}, \"peak_rss_mb\": {:.1}}}",
+            r.mode, r.threads, r.mbps, r.secs, r.peak_rss_mb
+        ));
+    }
+    // Thread-scaling numbers are only meaningful relative to the cores
+    // the host actually grants; record it so a 1-core container's flat
+    // curve isn't mistaken for a pipeline property.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"corpus_authors\": {authors},\n  \"corpus_bytes\": {bytes},\n  \
+         \"corpus_nodes\": {},\n  \"host_cpus\": {host_cpus},\n  \"runs\": [\n{entries}\n  ],\n  \
+         \"stream_vs_dom_single_thread\": {speedup:.3},\n  \
+         \"stream_scaling_1_to_4_threads\": {scaling_4t:.3}\n}}\n",
+        dom.nodes
+    );
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_ingest.json");
+    println!("wrote {out_path}");
+}

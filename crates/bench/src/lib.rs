@@ -47,6 +47,20 @@ pub fn engine(doc: Arc<Document>, algorithm: Algorithm, k: usize) -> XRefineEngi
     )
 }
 
+/// Like [`engine`], over an already-built index (e.g. one produced by
+/// the streaming ingest pipeline).
+pub fn engine_from_index(index: invindex::Index, algorithm: Algorithm, k: usize) -> XRefineEngine {
+    XRefineEngine::from_index(
+        index,
+        EngineConfig {
+            algorithm,
+            k,
+            ranking: RankingConfig::default(),
+            ..Default::default()
+        },
+    )
+}
+
 /// Hot-cache timing: one warm-up run, then the mean over `reps`
 /// measured runs, in milliseconds.
 pub fn time_ms<F: FnMut()>(mut f: F, reps: usize) -> f64 {

@@ -1,0 +1,300 @@
+//! Streaming XML emission.
+//!
+//! The generators historically produced an in-memory
+//! [`Document`](xmldom::Document), which caps corpus size at available
+//! RAM twice over (tree + rendered text). This module splits generation
+//! from materialisation: generators drive an [`XmlSink`], and the caller
+//! picks the backend —
+//!
+//! * [`BuilderSink`] reproduces the old behaviour (an arena
+//!   `Document`);
+//! * [`XmlStreamWriter`] renders straight to any [`io::Write`] with
+//!   only the open-element stack as state, **byte-identical** to
+//!   [`Document::to_xml`](xmldom::Document::to_xml) for the event
+//!   shapes generators emit (attributes and text before any child
+//!   element). That identity is what lets the ingest differential
+//!   oracle compare DOM and streaming builds over disk-resident
+//!   corpora.
+
+use std::io::{self, Write};
+use xmldom::tree::escape_into;
+use xmldom::{Document, DocumentBuilder};
+
+/// Receiver of generator events. The contract mirrors
+/// [`DocumentBuilder`]: elements nest properly, and per element all
+/// attributes and text precede its child elements.
+pub trait XmlSink {
+    fn open_element(&mut self, tag: &str) -> io::Result<()>;
+    fn attribute(&mut self, name: &str, value: &str) -> io::Result<()>;
+    fn text(&mut self, text: &str) -> io::Result<()>;
+    fn close_element(&mut self) -> io::Result<()>;
+
+    /// Convenience: a leaf element with text content.
+    fn leaf(&mut self, tag: &str, text: &str) -> io::Result<()> {
+        self.open_element(tag)?;
+        self.text(text)?;
+        self.close_element()
+    }
+}
+
+/// Sink that materialises the classic in-memory [`Document`].
+#[derive(Debug, Default)]
+pub struct BuilderSink {
+    builder: DocumentBuilder,
+}
+
+impl BuilderSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn finish(self) -> Document {
+        self.builder.finish()
+    }
+}
+
+impl XmlSink for BuilderSink {
+    fn open_element(&mut self, tag: &str) -> io::Result<()> {
+        self.builder.open_element(tag);
+        Ok(())
+    }
+
+    fn attribute(&mut self, name: &str, value: &str) -> io::Result<()> {
+        self.builder.attribute(name, value);
+        Ok(())
+    }
+
+    fn text(&mut self, text: &str) -> io::Result<()> {
+        self.builder.text(text);
+        Ok(())
+    }
+
+    fn close_element(&mut self) -> io::Result<()> {
+        self.builder.close_element();
+        Ok(())
+    }
+}
+
+/// An element that has been opened but whose kind (self-closing leaf,
+/// text leaf, or parent) is not yet known.
+#[derive(Debug)]
+struct Pending {
+    tag: String,
+    attrs: Vec<(String, String)>,
+    text: String,
+    depth: usize,
+}
+
+/// Streams generator events to a writer, producing exactly the bytes of
+/// [`Document::to_xml`](xmldom::Document::to_xml) while holding only
+/// the open-element tag stack.
+///
+/// The pretty-printer needs one element of lookahead (a leaf renders as
+/// `<tag/>` or `<tag>text</tag>`, a parent as an indented block), so an
+/// opened element stays pending until its first child or its close.
+/// Text arriving after a child element cannot be rendered identically
+/// in a stream and returns [`io::ErrorKind::InvalidInput`]; generators
+/// always emit text first.
+pub struct XmlStreamWriter<W: Write> {
+    out: W,
+    /// Tags of materialised (parent) open elements.
+    stack: Vec<String>,
+    pending: Option<Pending>,
+    /// Scratch for entity escaping.
+    buf: String,
+}
+
+impl<W: Write> XmlStreamWriter<W> {
+    pub fn new(out: W) -> Self {
+        XmlStreamWriter {
+            out,
+            stack: Vec::new(),
+            pending: None,
+            buf: String::new(),
+        }
+    }
+
+    /// Checks the document is complete and returns the writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        if self.pending.is_some() || !self.stack.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "unclosed elements at finish",
+            ));
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn indent(&mut self, depth: usize) -> io::Result<()> {
+        for _ in 0..depth {
+            self.out.write_all(b"  ")?;
+        }
+        Ok(())
+    }
+
+    fn escaped(&mut self, text: &str) -> io::Result<()> {
+        self.buf.clear();
+        escape_into(text, &mut self.buf);
+        self.out.write_all(self.buf.as_bytes())
+    }
+
+    fn open_markup(&mut self, p: &Pending) -> io::Result<()> {
+        self.indent(p.depth)?;
+        self.out.write_all(b"<")?;
+        self.out.write_all(p.tag.as_bytes())?;
+        for (k, v) in &p.attrs {
+            self.out.write_all(b" ")?;
+            self.out.write_all(k.as_bytes())?;
+            self.out.write_all(b"=\"")?;
+            self.escaped(v)?;
+            self.out.write_all(b"\"")?;
+        }
+        Ok(())
+    }
+
+    /// The pending element just got a child: render it as a parent
+    /// block opener and push it on the stack.
+    fn materialise_parent(&mut self) -> io::Result<()> {
+        let Some(p) = self.pending.take() else {
+            return Ok(());
+        };
+        self.open_markup(&p)?;
+        self.out.write_all(b">\n")?;
+        if !p.text.is_empty() {
+            self.indent(p.depth + 1)?;
+            self.escaped(&p.text)?;
+            self.out.write_all(b"\n")?;
+        }
+        self.stack.push(p.tag);
+        Ok(())
+    }
+}
+
+impl<W: Write> XmlSink for XmlStreamWriter<W> {
+    fn open_element(&mut self, tag: &str) -> io::Result<()> {
+        self.materialise_parent()?;
+        self.pending = Some(Pending {
+            tag: tag.to_string(),
+            attrs: Vec::new(),
+            text: String::new(),
+            depth: self.stack.len(),
+        });
+        Ok(())
+    }
+
+    fn attribute(&mut self, name: &str, value: &str) -> io::Result<()> {
+        match &mut self.pending {
+            Some(p) => {
+                p.attrs.push((name.to_string(), value.to_string()));
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "attribute after child elements cannot be streamed",
+            )),
+        }
+    }
+
+    fn text(&mut self, text: &str) -> io::Result<()> {
+        if text.is_empty() {
+            return Ok(());
+        }
+        match &mut self.pending {
+            Some(p) => {
+                if !p.text.is_empty() {
+                    p.text.push(' ');
+                }
+                p.text.push_str(text);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "text after child elements cannot be streamed",
+            )),
+        }
+    }
+
+    fn close_element(&mut self) -> io::Result<()> {
+        if let Some(p) = self.pending.take() {
+            // Leaf: `<tag/>` or `<tag>text</tag>`.
+            self.open_markup(&p)?;
+            if p.text.is_empty() {
+                self.out.write_all(b"/>\n")?;
+            } else {
+                self.out.write_all(b">")?;
+                self.escaped(&p.text)?;
+                self.out.write_all(b"</")?;
+                self.out.write_all(p.tag.as_bytes())?;
+                self.out.write_all(b">\n")?;
+            }
+            return Ok(());
+        }
+        match self.stack.pop() {
+            Some(tag) => {
+                self.indent(self.stack.len())?;
+                self.out.write_all(b"</")?;
+                self.out.write_all(tag.as_bytes())?;
+                self.out.write_all(b">\n")?;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "close without open element",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<S: XmlSink>(s: &mut S) -> io::Result<()> {
+        s.open_element("bib")?;
+        s.open_element("author")?;
+        s.attribute("id", "a&1")?;
+        s.text("  ")?; // whitespace text is preserved by both backends
+        s.leaf("name", "Mike <Franklin>")?;
+        s.leaf("empty", "")?;
+        s.close_element()?;
+        s.leaf("note", "plain")?;
+        s.close_element()
+    }
+
+    #[test]
+    fn stream_writer_matches_document_to_xml() {
+        let mut b = BuilderSink::new();
+        drive(&mut b).expect("builder never fails");
+        let doc = b.finish();
+
+        let mut w = XmlStreamWriter::new(Vec::new());
+        drive(&mut w).expect("stream");
+        let bytes = w.finish().expect("complete");
+        assert_eq!(String::from_utf8(bytes).unwrap(), doc.to_xml());
+    }
+
+    #[test]
+    fn text_after_children_is_rejected() {
+        let mut w = XmlStreamWriter::new(Vec::new());
+        w.open_element("a").unwrap();
+        w.leaf("b", "x").unwrap();
+        assert_eq!(
+            w.text("tail").unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+    }
+
+    #[test]
+    fn incomplete_document_is_rejected_at_finish() {
+        let mut w = XmlStreamWriter::new(Vec::new());
+        w.open_element("a").unwrap();
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn close_without_open_is_rejected() {
+        let mut w = XmlStreamWriter::new(Vec::new());
+        assert!(w.close_element().is_err());
+    }
+}

@@ -13,11 +13,15 @@
 //! * [`cooccur`]: memoized co-occurrence frequencies `f^T_{ki,kj}`;
 //! * [`cursor`]: scan-instrumented list cursors (used to *prove* the
 //!   one-scan property of the refinement algorithms in tests);
+//! * [`stream`]: the streaming builder — zero-copy span scan, parallel
+//!   chunked tokenization, deterministic merge (byte-identical stores
+//!   with the DOM path);
 //! * [`persist`]: storage of the whole index in any [`kvstore::KvStore`].
 
 pub mod cache;
 pub mod cooccur;
 pub mod cursor;
+mod dfpass;
 pub mod index;
 pub mod kvindex;
 pub mod parallel;
@@ -25,6 +29,7 @@ pub mod persist;
 pub mod postings;
 pub mod reader;
 pub mod stats;
+pub mod stream;
 
 pub use cache::{CacheStats, ShardedListCache, DEFAULT_CACHE_SHARDS};
 pub use cursor::{ListCursor, ScanStats};
@@ -35,3 +40,4 @@ pub use persist::{verify_store, IntegrityReport, SectionReport, StatDamage};
 pub use postings::{Posting, PostingList};
 pub use reader::{IndexReader, ListHandle};
 pub use stats::{KeywordId, KeywordTable, TypeStats};
+pub use stream::build_streaming;

@@ -20,12 +20,13 @@
 //! `tests/parallel_persist.rs` asserts persisted byte-identity; callers
 //! can switch builders freely.
 
+use crate::dfpass;
 use crate::index::Index;
 use crate::postings::{Posting, PostingList};
-use crate::stats::{KeywordId, KeywordTable, TypeStats};
+use crate::stats::{KeywordTable, TypeStats};
 use std::collections::HashMap;
 use std::sync::Arc;
-use xmldom::{tokenize, Document, NodeTypeId};
+use xmldom::{tokenize, Document};
 
 /// One worker's output for pass 1a: `(node id, token counts in
 /// first-encounter order)`. Encounter order matters: pass 1b interns in
@@ -98,6 +99,7 @@ pub fn build_parallel(doc: Arc<Document>, threads: usize) -> Index {
     // first-encounter order, so `vocab.intern` sees first occurrences in
     // exactly the sequential builder's order: keyword ids (and therefore
     // persisted bytes) are identical regardless of thread count.
+    let prefixes = dfpass::prefix_type_table(&doc);
     let mut vocab = KeywordTable::new();
     let mut lists: Vec<PostingList> = Vec::new();
     let mut stats = TypeStats::new(num_types);
@@ -108,67 +110,23 @@ pub fn build_parallel(doc: Arc<Document>, threads: usize) -> Index {
         for (raw, counts) in chunk {
             let id = xmldom::NodeId(*raw);
             let node = doc.node(id);
-            let type_path = doc.node_types().path(node.node_type).to_vec();
             for (tok, c) in counts {
                 let k = vocab.intern(tok);
                 while lists.len() <= k.0 as usize {
                     lists.push(PostingList::new());
                 }
                 lists[k.0 as usize].push(Posting::new(node.dewey.clone(), node.node_type));
-                for m in 1..=type_path.len() {
-                    let t = doc
-                        .node_types()
-                        .get(&type_path[..m])
-                        .expect("prefix interned");
+                for &t in &prefixes[node.node_type.0 as usize] {
                     stats.add_tf(t, k, *c);
                 }
             }
         }
     }
 
-    // ---- pass 2 (parallel): f^T_k per keyword -------------------------
-    let kw_count = lists.len();
-    let kw_chunk = kw_count.div_ceil(threads).max(1);
-    let mut partials: Vec<HashMap<(NodeTypeId, KeywordId), u64>> = Vec::new();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        let lists_ref = &lists;
-        let doc_ref = &doc;
-        for start in (0..kw_count).step_by(kw_chunk) {
-            let end = (start + kw_chunk).min(kw_count);
-            handles.push(s.spawn(move |_| {
-                let mut df: HashMap<(NodeTypeId, KeywordId), u64> = HashMap::new();
-                for (kid, list) in lists_ref.iter().enumerate().take(end).skip(start) {
-                    let k = KeywordId(kid as u32);
-                    let mut prev: Option<&Posting> = None;
-                    for p in list.iter() {
-                        let shared = prev
-                            .map(|q| q.dewey.common_prefix_len(&p.dewey))
-                            .unwrap_or(0);
-                        let path = doc_ref.node_types().path(p.node_type);
-                        for m in (shared + 1)..=p.dewey.len() {
-                            let t = doc_ref
-                                .node_types()
-                                .get(&path[..m])
-                                .expect("prefix interned");
-                            *df.entry((t, k)).or_insert(0) += 1;
-                        }
-                        prev = Some(p);
-                    }
-                }
-                df
-            }));
-        }
-        for h in handles {
-            partials.push(h.join().expect("df worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-
-    for partial in partials {
-        for ((t, k), v) in partial {
-            stats.add_df(t, k, v);
-        }
+    // ---- pass 2 (parallel): f^T_k per keyword, shared with the
+    // streaming builder ------------------------------------------------
+    for ((t, k), v) in dfpass::compute_df(&doc, &lists, threads) {
+        stats.add_df(t, k, v);
     }
 
     Index::from_parts(doc, vocab, lists, stats)

@@ -1,0 +1,232 @@
+//! Differential oracle: streaming vs DOM ingest.
+//!
+//! Over 200+ seeded corpora — DBLP-shaped, baseball-shaped, and
+//! handcrafted structural edge cases (deep nesting, wide flat fan-out,
+//! CDATA, comments, PIs, entities, attributes, mixed content, Unicode)
+//! — the streaming builder must produce
+//!
+//! 1. byte-identical *persisted stores* to `Index::build` over the
+//!    parsed DOM (the strongest equivalence: keyword interning order,
+//!    posting lists, every statistics table, the embedded document
+//!    blob), at every thread count, and
+//! 2. an identical Dewey label set from the streaming labeller alone
+//!    ([`xmldom::DeweyTracker`], no builder involved).
+
+use datagen::{generate_baseball, generate_dblp, BaseballConfig, DblpConfig};
+use invindex::{build_streaming, persist, Index};
+use kvstore::{DiskKv, KvStore, MemKv};
+use std::path::PathBuf;
+use std::sync::Arc;
+use xmldom::scan::{scan_with, ScanSink, Span};
+use xmldom::{parse_document, DeweyTracker};
+
+/// Every key/value pair of a store, in key order.
+fn dump(store: &dyn KvStore) -> Vec<(Vec<u8>, Vec<u8>)> {
+    store.scan_range(b"", None).unwrap()
+}
+
+fn persisted(index: &Index) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut store = MemKv::new();
+    persist::persist(index, &mut store).unwrap();
+    dump(&store)
+}
+
+/// The full oracle for one document: store byte-identity at several
+/// thread counts plus Dewey-label-set identity.
+fn check(xml: &str, label: &str) {
+    let doc = Arc::new(parse_document(xml).unwrap_or_else(|e| panic!("{label}: parse: {e}")));
+    let dom = persisted(&Index::build(Arc::clone(&doc)));
+    for threads in [1, 3] {
+        let idx = build_streaming(xml, threads)
+            .unwrap_or_else(|e| panic!("{label}: streaming ({threads}t): {e}"));
+        let stream = persisted(&idx);
+        assert_eq!(
+            dom.len(),
+            stream.len(),
+            "{label} ({threads}t): entry count differs"
+        );
+        for ((ka, va), (kb, vb)) in dom.iter().zip(stream.iter()) {
+            assert_eq!(ka, kb, "{label} ({threads}t): key sequence diverges");
+            assert_eq!(
+                va,
+                vb,
+                "{label} ({threads}t): value differs at key {:?}",
+                String::from_utf8_lossy(ka)
+            );
+        }
+    }
+
+    // Streaming Dewey labeller alone reproduces the DOM label set.
+    struct Labels {
+        tracker: DeweyTracker,
+        labels: Vec<Vec<u32>>,
+    }
+    impl ScanSink for Labels {
+        fn start_tag(&mut self, _n: Span, _a: Span) {
+            let l = self.tracker.start_element().to_vec();
+            self.labels.push(l);
+        }
+        fn end_tag(&mut self) {
+            self.tracker.end_element();
+        }
+        fn text(&mut self, _s: Span, _c: bool) {}
+    }
+    let mut sink = Labels {
+        tracker: DeweyTracker::new(),
+        labels: Vec::new(),
+    };
+    scan_with(xml, &mut sink).unwrap_or_else(|e| panic!("{label}: rescan: {e}"));
+    let dom_labels: Vec<Vec<u32>> = doc
+        .nodes()
+        .map(|(_, n)| n.dewey.components().to_vec())
+        .collect();
+    assert_eq!(sink.labels, dom_labels, "{label}: Dewey label sets differ");
+}
+
+#[test]
+fn dblp_corpora_across_seeds() {
+    // 150 structurally distinct documents: the seed drives every random
+    // choice (names, containers, title lengths, optional leaves).
+    for seed in 0..150u64 {
+        let cfg = DblpConfig {
+            authors: 2 + (seed as usize % 5),
+            seed: 0x5EED_0000 + seed,
+            ..Default::default()
+        };
+        let xml = generate_dblp(&cfg).to_xml();
+        check(&xml, &format!("dblp seed {seed}"));
+    }
+}
+
+#[test]
+fn baseball_corpora_across_seeds() {
+    for seed in 0..40u64 {
+        let cfg = BaseballConfig {
+            leagues: 1,
+            divisions_per_league: 1 + (seed as usize % 2),
+            teams_per_division: 2,
+            players_per_team: 3,
+            seed: 0xBA5E_0000 + seed,
+        };
+        let xml = generate_baseball(&cfg).to_xml();
+        check(&xml, &format!("baseball seed {seed}"));
+    }
+}
+
+#[test]
+fn structural_edge_cases() {
+    let mut cases: Vec<(String, String)> = Vec::new();
+
+    // Deep nesting (well under the scanner's depth bound).
+    for depth in [5usize, 120, 600] {
+        let mut xml = String::new();
+        for i in 0..depth {
+            xml.push_str(&format!("<level{}>", i % 7));
+        }
+        xml.push_str("bottom text");
+        for i in (0..depth).rev() {
+            xml.push_str(&format!("</level{}>", i % 7));
+        }
+        cases.push((format!("deep-{depth}"), xml));
+    }
+
+    // Wide flat fan-out.
+    for width in [50usize, 1200] {
+        let mut xml = String::from("<flat>");
+        for i in 0..width {
+            xml.push_str(&format!("<item>value {i}</item>"));
+        }
+        xml.push_str("</flat>");
+        cases.push((format!("wide-{width}"), xml));
+    }
+
+    cases.push((
+        "cdata".into(),
+        "<doc><raw><![CDATA[keep <this> & that]]></raw>\
+         <mix>before <![CDATA[middle]]> after</mix>\
+         <ws><![CDATA[   ]]></ws></doc>"
+            .into(),
+    ));
+    cases.push((
+        "comments-and-pis".into(),
+        "<?xml version=\"1.0\"?><!-- head --><doc><!-- inner --><a>x</a>\
+         <?target data?><b><!-- b --></b></doc><!-- tail -->"
+            .into(),
+    ));
+    cases.push((
+        "entities".into(),
+        "<doc a=\"x &amp; y\"><e>&lt;tag&gt; &quot;q&quot; &apos;a&apos;</e>\
+         <n>&#65;&#x42;&#x6d;</n><sp>&#32;padded&#32;</sp></doc>"
+            .into(),
+    ));
+    cases.push((
+        "attributes".into(),
+        "<doc><node one=\"1\" two='second value' empty=\"\"/>\
+         <node one=\"repeated tokens one\"/></doc>"
+            .into(),
+    ));
+    cases.push((
+        "mixed-content".into(),
+        "<p>lead <b>bold</b> middle <i>ital</i> tail</p>".into(),
+    ));
+    cases.push((
+        "unicode".into(),
+        "<livre><títul attr=\"café\">über straße 北京 données</títul></livre>".into(),
+    ));
+    cases.push((
+        "whitespace-shapes".into(),
+        "<doc>\n  <a>\n    spread\n    over lines\n  </a>\n  <b>  </b>\n</doc>".into(),
+    ));
+    cases.push((
+        "repeated-keywords".into(),
+        "<doc><x>word word word</x><x>word</x><y>word other word</y></doc>".into(),
+    ));
+    cases.push(("single-empty-root".into(), "<root/>".into()));
+
+    assert!(cases.len() >= 12);
+    for (label, xml) in &cases {
+        check(xml, label);
+    }
+}
+
+#[test]
+fn disk_files_are_byte_identical_on_a_medium_corpus() {
+    let dir = std::env::temp_dir().join(format!("ingest_diff_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let tmp = |name: &str| -> PathBuf {
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+
+    let xml = generate_dblp(&DblpConfig {
+        authors: 80,
+        ..Default::default()
+    })
+    .to_xml();
+    let dom = Index::build(Arc::new(parse_document(&xml).unwrap()));
+    let stream = build_streaming(&xml, 4).unwrap();
+
+    let dom_path = tmp("dom.db");
+    let stream_path = tmp("stream.db");
+    {
+        let mut store = DiskKv::open(&dom_path).unwrap();
+        persist::persist(&dom, &mut store).unwrap();
+    }
+    {
+        let mut store = DiskKv::open(&stream_path).unwrap();
+        persist::persist(&stream, &mut store).unwrap();
+    }
+    let a = std::fs::read(&dom_path).unwrap();
+    let b = std::fs::read(&stream_path).unwrap();
+    assert!(
+        a == b,
+        "store files are not byte-identical (first divergence at offset {})",
+        a.iter()
+            .zip(b.iter())
+            .position(|(x, y)| x != y)
+            .unwrap_or(0)
+    );
+    std::fs::remove_file(&dom_path).unwrap();
+    std::fs::remove_file(&stream_path).unwrap();
+}

@@ -58,6 +58,7 @@ impl Config {
                 "crates/invindex/src/persist.rs".into(),
                 "crates/invindex/src/postings.rs".into(),
                 "crates/invindex/src/kvindex.rs".into(),
+                "crates/xmldom/src/scan.rs".into(),
             ],
             index_paths: vec![
                 "crates/kvstore/src/codec.rs".into(),

@@ -11,20 +11,39 @@
 /// separator. Case is folded so queries match regardless of capitalization.
 pub fn tokenize(text: &str) -> Vec<String> {
     let mut out = Vec::new();
-    let mut cur = String::new();
+    let mut scratch = String::new();
+    for_each_token(text, &mut scratch, |tok| out.push(tok.to_string()));
+    out
+}
+
+/// Visits each token of `text` as a borrowed slice of the reused
+/// `scratch` buffer — the exact tokens of [`tokenize`], in order,
+/// without a `String` allocation per token. This is the hot-path
+/// variant the streaming index builder uses; `scratch` is left cleared.
+pub fn for_each_token(text: &str, scratch: &mut String, mut f: impl FnMut(&str)) {
+    scratch.clear();
     for ch in text.chars() {
-        if ch.is_alphanumeric() {
-            for lc in ch.to_lowercase() {
-                cur.push(lc);
+        if ch.is_ascii() {
+            // Fast path: corpora are overwhelmingly ASCII.
+            if ch.is_ascii_alphanumeric() {
+                scratch.push(ch.to_ascii_lowercase());
+                continue;
             }
-        } else if !cur.is_empty() {
-            out.push(std::mem::take(&mut cur));
+        } else if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                scratch.push(lc);
+            }
+            continue;
+        }
+        if !scratch.is_empty() {
+            f(scratch);
+            scratch.clear();
         }
     }
-    if !cur.is_empty() {
-        out.push(cur);
+    if !scratch.is_empty() {
+        f(scratch);
+        scratch.clear();
     }
-    out
 }
 
 /// Normalizes a single keyword the same way [`tokenize`] does, returning

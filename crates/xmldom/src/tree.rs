@@ -268,6 +268,13 @@ impl DocumentBuilder {
             .push((name.to_string(), value.to_string()));
     }
 
+    /// Adds an attribute to the currently open element, taking ownership
+    /// of already-allocated strings (the streaming merge path).
+    pub fn attribute_owned(&mut self, name: String, value: String) {
+        let id = *self.open.last().expect("no open element for attribute");
+        self.nodes[id.0 as usize].attributes.push((name, value));
+    }
+
     /// Appends character data to the currently open element.
     pub fn text(&mut self, text: &str) {
         if text.is_empty() {
@@ -281,10 +288,33 @@ impl DocumentBuilder {
         node.text.push_str(text);
     }
 
+    /// Like [`DocumentBuilder::text`], but moves the string into the
+    /// element when it is the first (usually only) segment.
+    pub fn text_owned(&mut self, text: String) {
+        if text.is_empty() {
+            return;
+        }
+        let id = *self.open.last().expect("no open element for text");
+        let node = &mut self.nodes[id.0 as usize];
+        if node.text.is_empty() {
+            node.text = text;
+        } else {
+            node.text.push(' ');
+            node.text.push_str(&text);
+        }
+    }
+
     /// Closes the currently open element.
     pub fn close_element(&mut self) {
         self.open.pop().expect("close without open element");
         self.path.pop();
+    }
+
+    /// Read access to an already-built node. Streaming index builders
+    /// replay events through the builder and need the Dewey label and
+    /// node type the builder just assigned.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
     }
 
     /// Convenience: a leaf element with text content.

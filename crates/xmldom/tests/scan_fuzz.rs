@@ -1,0 +1,153 @@
+//! Fuzz-style sweep over malformed inputs: the structural scanner must
+//! never panic, and must accept exactly the documents the DOM parser
+//! accepts (below the scanner's depth bound, which no input here
+//! approaches).
+//!
+//! Inputs are seeded deterministic mutations of valid documents — byte
+//! substitutions from a markup-heavy pool, truncations, duplications,
+//! and splices — plus fully random character soup. Every input is run
+//! through both `parse_document` and `check_document` and the verdicts
+//! compared.
+
+use xmldom::{check_document, parse_document};
+
+/// SplitMix64 — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Characters that stress the markup grammar: delimiters, entity
+/// syntax, quote styles, name characters, and some multi-byte text.
+const POOL: &[char] = &[
+    '<', '>', '&', ';', '"', '\'', '!', '?', '/', '=', '[', ']', '-', '.', ':', '_', '#', 'a', 'b',
+    'x', 'Z', '0', '9', ' ', '\n', '\t', 'é', '中',
+];
+
+const SEEDS: &[&str] = &[
+    "<doc><a x=\"1\">hi &amp; bye</a><b/><c>t</c></doc>",
+    "<r><![CDATA[raw <markup> here]]><!-- note --><p>&#65;&#x42;</p></r>",
+    "<?xml version=\"1.0\"?><root attr='v'>mixed <i>in</i> line</root>",
+    "<a><b><c><d>deep</d></c></b></a>",
+    "<only/>",
+];
+
+/// Both implementations must agree on acceptance, and neither may
+/// panic. Returns whether the input was accepted.
+fn verdicts_agree(input: &str) -> bool {
+    let parsed = parse_document(input).is_ok();
+    let scanned = check_document(input).is_ok();
+    assert_eq!(
+        parsed,
+        scanned,
+        "acceptance divergence on input ({} bytes): {:?}",
+        input.len(),
+        input
+    );
+    parsed
+}
+
+fn mutate(rng: &mut Rng, base: &str) -> String {
+    let chars: Vec<char> = base.chars().collect();
+    if chars.is_empty() {
+        return POOL[rng.below(POOL.len())].to_string();
+    }
+    match rng.below(4) {
+        // substitute one character
+        0 => {
+            let mut c = chars.clone();
+            let i = rng.below(c.len());
+            c[i] = POOL[rng.below(POOL.len())];
+            c.into_iter().collect()
+        }
+        // truncate at a random character boundary
+        1 => chars[..rng.below(chars.len() + 1)].iter().collect(),
+        // insert a character
+        2 => {
+            let mut c = chars.clone();
+            let i = rng.below(c.len() + 1);
+            c.insert(i, POOL[rng.below(POOL.len())]);
+            c.into_iter().collect()
+        }
+        // splice: duplicate a random slice somewhere else
+        _ => {
+            let a = rng.below(chars.len());
+            let b = a + rng.below(chars.len() - a + 1);
+            let at = rng.below(chars.len() + 1);
+            let mut c = chars.clone();
+            for (k, &ch) in chars[a..b].iter().enumerate() {
+                c.insert(at + k, ch);
+            }
+            c.into_iter().collect()
+        }
+    }
+}
+
+#[test]
+fn mutated_documents_never_panic_and_verdicts_agree() {
+    let mut rng = Rng(0xF0_55ED);
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for seed in SEEDS {
+        // Walk mutation chains: each round mutates either the pristine
+        // seed or the previous mutant, so damage accumulates.
+        let mut current = (*seed).to_string();
+        for round in 0..600 {
+            let base = if round % 5 == 0 {
+                seed
+            } else {
+                current.as_str()
+            };
+            current = mutate(&mut rng, base);
+            if verdicts_agree(&current) {
+                accepted += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+    }
+    // Sanity: the sweep must actually exercise both outcomes.
+    assert!(accepted > 50, "only {accepted} mutants accepted");
+    assert!(rejected > 500, "only {rejected} mutants rejected");
+}
+
+#[test]
+fn random_character_soup_never_panics() {
+    let mut rng = Rng(0x5011_D00D);
+    for _ in 0..2000 {
+        let len = rng.below(60);
+        let soup: String = (0..len).map(|_| POOL[rng.below(POOL.len())]).collect();
+        verdicts_agree(&soup);
+    }
+}
+
+#[test]
+fn pathological_prefixes_never_panic() {
+    // Truncations of every tricky construct at every byte boundary.
+    let constructs = [
+        "<doc><![CDATA[x]]></doc>",
+        "<doc><!-- c --></doc>",
+        "<!DOCTYPE d [ <!ELEMENT x (y)> ]><d/>",
+        "<doc a=\"&#x1F600;\"/>",
+        "<doc>&#xZZ;</doc>",
+        "<a b='c'></a >",
+    ];
+    for c in constructs {
+        for end in 0..=c.len() {
+            if let Some(prefix) = c.get(..end) {
+                verdicts_agree(prefix);
+            }
+        }
+    }
+}

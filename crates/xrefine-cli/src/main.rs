@@ -3,7 +3,8 @@
 //! ```text
 //! xrefine-cli [--data <file.xml>|dblp|baseball|figure1] \
 //!             [--algorithm partition|sle|stack] [--k N]
-//! xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db>
+//! xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db> \
+//!             [--ingest dom|stream] [--threads N]
 //! xrefine-cli query --store <store.db> [--algorithm ...] [--k N] \
 //!             [--threads N --batch <queries.txt>]
 //! ```
@@ -13,6 +14,11 @@
 //! built index into a kvstore file; `query --store` serves the same REPL
 //! straight from that file — the document is replayed from the embedded
 //! blob and posting lists are decoded lazily, per query.
+//!
+//! `index --ingest stream` builds via the zero-copy scanner
+//! (`invindex::build_streaming`) instead of DOM parsing; `--threads N`
+//! parallelises the tokenize/DF phases (or, with `--ingest dom`, uses
+//! the DOM-parallel builder). Both paths persist byte-identical stores.
 //!
 //! `--batch <file>` switches from the REPL to a concurrent driver: the
 //! file's queries (one per line, `#` comments allowed) are striped
@@ -39,14 +45,28 @@ use xrefine::{Algorithm, EngineConfig, PhaseTimings, XRefineEngine};
 
 const USAGE: &str = "usage: xrefine-cli [--data <file.xml>|dblp|baseball|figure1] \
 [--algorithm partition|sle|stack] [--k N]\n       \
-xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db>\n       \
+xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db> \
+[--ingest dom|stream] [--threads N]\n       \
 xrefine-cli query --store <store.db> [--algorithm partition|sle|stack] [--k N] \
 [--threads N --batch <queries.txt>] [--metrics] [--trace <query>]\n       \
 xrefine-cli scrub --store <store.db>";
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IngestMode {
+    /// Parse a DOM, then walk it (the reference path).
+    Dom,
+    /// Zero-copy span scan with parallel chunked tokenization.
+    Stream,
+}
+
 enum Command {
     /// Build an index for a document and persist it to a kvstore file.
-    Index { data: String, store: String },
+    Index {
+        data: String,
+        store: String,
+        ingest: IngestMode,
+        threads: usize,
+    },
     /// Verify the integrity of a persisted store, section by section.
     Scrub { store: String },
     /// Serve queries, either from a document spec or a persisted store.
@@ -68,12 +88,45 @@ struct Options {
 fn parse_args() -> Result<Command, String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|s| s.as_str()) == Some("index") {
-        if args.len() != 3 {
+        let mut ingest = IngestMode::Dom;
+        let mut threads = 1usize;
+        let mut positional: Vec<String> = Vec::new();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--ingest" => {
+                    ingest = match args.get(i + 1).map(|s| s.as_str()) {
+                        Some("dom") => IngestMode::Dom,
+                        Some("stream") => IngestMode::Stream,
+                        other => {
+                            return Err(format!("--ingest must be dom or stream, got {other:?}"))
+                        }
+                    };
+                    i += 2;
+                }
+                "--threads" => {
+                    threads = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("--threads needs a positive integer")?;
+                    i += 2;
+                }
+                flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+                _ => {
+                    positional.push(args[i].clone());
+                    i += 1;
+                }
+            }
+        }
+        if positional.len() != 2 {
             return Err(USAGE.into());
         }
         return Ok(Command::Index {
-            data: args.remove(1),
-            store: args.remove(1),
+            data: positional.remove(0),
+            store: positional.remove(0),
+            ingest,
+            threads,
         });
     }
     if args.first().map(|s| s.as_str()) == Some("scrub") {
@@ -182,20 +235,50 @@ fn load_document(spec: &str) -> Result<Arc<xmldom::Document>, String> {
     }
 }
 
-/// `xrefine-cli index <data> <db>`: build and persist.
-fn build_store(data: &str, store_path: &str) -> Result<(), String> {
-    let doc = load_document(data)?;
-    let index = invindex::Index::build(Arc::clone(&doc));
+/// The raw XML of a document spec — read from disk for a path,
+/// rendered for the built-in corpora.
+fn load_xml(spec: &str) -> Result<String, String> {
+    match spec {
+        "figure1" | "dblp" | "baseball" => Ok(load_document(spec)?.to_xml()),
+        path => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")),
+    }
+}
+
+/// `xrefine-cli index <data> <db> [--ingest dom|stream] [--threads N]`:
+/// build and persist. Both ingest modes write byte-identical stores.
+fn build_store(
+    data: &str,
+    store_path: &str,
+    ingest: IngestMode,
+    threads: usize,
+) -> Result<(), String> {
+    let index = match ingest {
+        IngestMode::Dom => {
+            let doc = load_document(data)?;
+            if threads > 1 {
+                invindex::build_parallel(doc, threads)
+            } else {
+                invindex::Index::build(doc)
+            }
+        }
+        IngestMode::Stream => {
+            let xml = load_xml(data)?;
+            invindex::build_streaming(&xml, threads)
+                .map_err(|e| format!("scan error in '{data}': {e}"))?
+        }
+    };
     let mut store = kvstore::DiskKv::open(std::path::Path::new(store_path))
         .map_err(|e| format!("cannot open store {store_path}: {e}"))?;
     invindex::persist::persist(&index, &mut store)
         .map_err(|e| format!("cannot persist index: {e}"))?;
     eprintln!(
-        "indexed {} elements ({} keywords) from '{}' into {}",
-        doc.len(),
+        "indexed {} elements ({} keywords) from '{}' into {} ({:?} ingest, {} thread(s))",
+        index.document().len(),
         index.vocabulary().len(),
         data,
-        store_path
+        store_path,
+        ingest,
+        threads.max(1)
     );
     Ok(())
 }
@@ -301,8 +384,13 @@ fn build_engine(opts: &Options) -> Result<XRefineEngine, String> {
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
-        Ok(Command::Index { data, store }) => {
-            return match build_store(&data, &store) {
+        Ok(Command::Index {
+            data,
+            store,
+            ingest,
+            threads,
+        }) => {
+            return match build_store(&data, &store, ingest, threads) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(msg) => {
                     eprintln!("{msg}");
@@ -688,7 +776,7 @@ mod tests {
         let _ = std::fs::remove_file(&store_path);
         let spath = store_path.to_str().unwrap();
 
-        build_store("figure1", spath).unwrap();
+        build_store("figure1", spath, IngestMode::Dom, 1).unwrap();
         assert!(scrub_store(spath).unwrap(), "fresh store must scrub clean");
 
         // At-rest bit rot in the first data page: scrub must fail.
@@ -698,6 +786,31 @@ mod tests {
         assert!(!scrub_store(spath).unwrap(), "damage must be reported");
 
         assert!(scrub_store("/no/such/store.db").is_err());
+    }
+
+    #[test]
+    fn stream_and_dom_ingest_write_identical_stores() {
+        let dir = std::env::temp_dir().join(format!("xref_ingest_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dom_path = dir.join("dom.db");
+        let stream_path = dir.join("stream.db");
+        let _ = std::fs::remove_file(&dom_path);
+        let _ = std::fs::remove_file(&stream_path);
+
+        build_store("figure1", dom_path.to_str().unwrap(), IngestMode::Dom, 1).unwrap();
+        build_store(
+            "figure1",
+            stream_path.to_str().unwrap(),
+            IngestMode::Stream,
+            3,
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&dom_path).unwrap(),
+            std::fs::read(&stream_path).unwrap(),
+            "ingest modes must persist byte-identical stores"
+        );
+        assert!(scrub_store(stream_path.to_str().unwrap()).unwrap());
     }
 
     #[test]

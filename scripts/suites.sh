@@ -12,6 +12,9 @@
 #                  debug builds stride the sweeps for speed)
 #   observability  obs invariants, differential oracles, tracer
 #                  well-nestedness, metrics-overhead bench
+#   ingest         streaming-vs-DOM ingest differential oracle (byte-
+#                  identical stores) + scanner fuzz sweep + a release-
+#                  mode medium-corpus ingest bench smoke
 #   analysis       xlint over the live workspace + its golden fixtures
 #   tsan           ThreadSanitizer over the thread-heavy suites
 #                  (requires a nightly toolchain with rust-src)
@@ -40,6 +43,14 @@ suite_observability() {
         cargo run --release -q -p bench --bin bench_obs
 }
 
+suite_ingest() {
+    cargo test --release -q -p invindex --test ingest_differential
+    cargo test -q -p xmldom --test scan_fuzz
+    INGEST_AUTHORS="${INGEST_AUTHORS:-20000}" \
+    INGEST_REPS="${INGEST_REPS:-1}" \
+        cargo run --release -q -p bench --bin bench_ingest
+}
+
 suite_analysis() {
     cargo run -q -p xlint -- --workspace
     cargo run -q -p xlint -- --fixtures
@@ -64,7 +75,7 @@ suite_tsan() {
 if [[ "${BASH_SOURCE[0]}" == "$0" ]]; then
     if [[ $# -eq 0 ]]; then
         echo "usage: $0 <suite> [<suite>...]" >&2
-        echo "suites: release_smoke torture observability analysis tsan" >&2
+        echo "suites: release_smoke torture observability ingest analysis tsan" >&2
         exit 2
     fi
     for suite in "$@"; do
