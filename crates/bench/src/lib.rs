@@ -4,7 +4,7 @@
 
 use datagen::{generate_baseball, generate_dblp, BaseballConfig, DblpConfig};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xmldom::Document;
 use xrefine::{Algorithm, EngineConfig, Query, RankingConfig, XRefineEngine};
 
@@ -135,6 +135,31 @@ pub fn f3(v: f64) -> String {
     format!("{v:.3}")
 }
 
+/// Nearest-rank percentile of an ascending-sorted latency list: the
+/// smallest value whose rank is at least `q·n`, i.e. `sorted[⌈q·n⌉−1]`
+/// (ranks are 1-based). For `q = 0.5` over `1..=100` ms this is 50 ms —
+/// the 50th of 100 values, not the 51st. Quantiles are clamped to the
+/// list, so `q ≤ 0` yields the minimum and `q ≥ 1` the maximum.
+///
+/// Shared by the CLI batch reporter and the `bench_serve` load
+/// generator so both report identical definitions.
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let n = sorted.len();
+    if n == 0 {
+        return Duration::ZERO;
+    }
+    let rank = (q * n as f64).ceil() as usize; // 1-based nearest rank
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// [`percentile`] over an unsorted list: sorts a scratch copy first.
+/// Convenience for call sites that only need one-shot quantiles.
+pub fn percentile_of(latencies: &[Duration], q: f64) -> Duration {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    percentile(&sorted, q)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +188,37 @@ mod tests {
     fn table_checks_columns() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        // Even length: the 50th percentile of 100 values is rank
+        // ⌈0.5·100⌉ = 50 — the old round((n−1)·q) overshot to 51 ms.
+        assert_eq!(percentile(&ms, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 0.99), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 0.999), Duration::from_millis(100));
+        assert_eq!(percentile(&ms, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&ms, 1.0), Duration::from_millis(100));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+
+        // Odd length: median of 1..=5 is the 3rd value.
+        let odd: Vec<Duration> = (1..=5).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&odd, 0.50), Duration::from_millis(3));
+
+        let one = [Duration::from_millis(7)];
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(percentile(&one, q), one[0]);
+        }
+    }
+
+    #[test]
+    fn percentile_of_sorts_first() {
+        let ms: Vec<Duration> = [30u64, 10, 20]
+            .iter()
+            .map(|&v| Duration::from_millis(v))
+            .collect();
+        assert_eq!(percentile_of(&ms, 1.0), Duration::from_millis(30));
+        assert_eq!(percentile_of(&ms, 0.5), Duration::from_millis(20));
     }
 }

@@ -1,0 +1,115 @@
+//! Property test of `bench::percentile` against a brute-force
+//! nearest-rank reference (hand-rolled xorshift RNG — the offline
+//! toolchain has no proptest; the loop below covers the same ground).
+//!
+//! The reference derives the answer by *counting*, not indexing: the
+//! q-th nearest-rank percentile is the smallest element `v` such that
+//! at least `⌈q·n⌉` elements are ≤ `v`. Quantiles are drawn from the
+//! grid k/1024 so `q·n` is exact in f64 and the integer reference
+//! `⌈k·n/1024⌉` is bit-for-bit the rank the implementation must pick —
+//! no floating-point slack to hide an off-by-one (the bug this guards
+//! against: the old helper computed `round((n−1)·q)`, reporting the
+//! 51st of 100 values as the median).
+
+use bench::{percentile, percentile_of};
+use std::time::Duration;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        // xorshift64* — tiny, seedable, good enough for case generation.
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Counting-based nearest-rank reference for `q = k/1024`.
+fn reference(sorted: &[Duration], k: u64) -> Duration {
+    let n = sorted.len() as u64;
+    if n == 0 {
+        return Duration::ZERO;
+    }
+    for &v in sorted {
+        let at_most_v = sorted.iter().filter(|&&x| x <= v).count() as u64;
+        // rank(v) ≥ ⌈k·n/1024⌉  ⟺  rank(v)·1024 ≥ k·n (integer exact),
+        // with the rank-1 clamp for k = 0.
+        if at_most_v * 1024 >= k * n {
+            return v;
+        }
+    }
+    *sorted.last().expect("n > 0")
+}
+
+#[test]
+fn percentile_matches_counting_reference() {
+    let mut rng = XorShift(0x5eed_cafe_f00d_d00d);
+    for case in 0..2000 {
+        let n = rng.below(200) as usize; // includes n = 0
+        let mut vals: Vec<Duration> = (0..n)
+            // Small value range forces heavy duplication — the regime
+            // where rank definitions actually disagree.
+            .map(|_| Duration::from_millis(rng.below(40)))
+            .collect();
+        vals.sort_unstable();
+        let k = rng.below(1025); // q ∈ {0/1024 … 1024/1024}
+        let q = k as f64 / 1024.0;
+
+        let got = percentile(&vals, q);
+        let want = reference(&vals, k);
+        assert_eq!(
+            got, want,
+            "case {case}: n={n} k={k} q={q}: got {got:?}, reference {want:?}"
+        );
+        // The result is an element of the list (nearest-rank never
+        // interpolates) — vacuous for n = 0 where both are ZERO.
+        if n > 0 {
+            assert!(vals.contains(&got), "case {case}: {got:?} not in input");
+        }
+    }
+}
+
+#[test]
+fn percentile_is_monotone_in_q() {
+    let mut rng = XorShift(0xdead_beef_1234_5678);
+    for _ in 0..200 {
+        let n = 1 + rng.below(100) as usize;
+        let mut vals: Vec<Duration> = (0..n)
+            .map(|_| Duration::from_micros(rng.below(10_000)))
+            .collect();
+        vals.sort_unstable();
+        let mut prev = Duration::ZERO;
+        for k in 0..=64 {
+            let v = percentile(&vals, k as f64 / 64.0);
+            assert!(v >= prev, "percentile decreased between quantiles");
+            prev = v;
+        }
+        assert_eq!(percentile(&vals, 1.0), *vals.last().expect("n > 0"));
+        assert_eq!(percentile(&vals, 0.0), *vals.first().expect("n > 0"));
+    }
+}
+
+#[test]
+fn percentile_of_agrees_with_presorted() {
+    let mut rng = XorShift(0x0123_4567_89ab_cdef);
+    for _ in 0..200 {
+        let n = rng.below(64) as usize;
+        let unsorted: Vec<Duration> = (0..n)
+            .map(|_| Duration::from_millis(rng.below(500)))
+            .collect();
+        let mut sorted = unsorted.clone();
+        sorted.sort_unstable();
+        for k in [0, 13, 512, 1000, 1024] {
+            let q = k as f64 / 1024.0;
+            assert_eq!(percentile_of(&unsorted, q), percentile(&sorted, q));
+        }
+    }
+}

@@ -25,6 +25,7 @@ use std::marker::PhantomData;
 pub mod rank {
     pub const COOCCUR_COUNTS: u16 = 2;
     pub const COOCCUR_ANCESTORS: u16 = 4;
+    pub const SERVE_QUEUE: u16 = 8;
     pub const KVINDEX_STORE: u16 = 10;
     pub const CACHE_SHARD: u16 = 20;
     pub const OBS_REGISTRY_COUNTERS: u16 = 50;
@@ -169,6 +170,7 @@ mod tests {
         for (name, rank) in [
             ("cooccur.counts", rank::COOCCUR_COUNTS),
             ("cooccur.ancestors", rank::COOCCUR_ANCESTORS),
+            ("serve.queue", rank::SERVE_QUEUE),
             ("kvindex.store", rank::KVINDEX_STORE),
             ("cache.shard", rank::CACHE_SHARD),
             ("obs.registry.counters", rank::OBS_REGISTRY_COUNTERS),

@@ -48,6 +48,7 @@ impl Config {
                 "crates/kvstore/src/".into(),
                 "crates/invindex/src/".into(),
                 "crates/obs/src/".into(),
+                "crates/xserve/src/".into(),
             ],
             no_panic_paths: vec![
                 "crates/kvstore/src/codec.rs".into(),
@@ -59,6 +60,9 @@ impl Config {
                 "crates/invindex/src/postings.rs".into(),
                 "crates/invindex/src/kvindex.rs".into(),
                 "crates/xmldom/src/scan.rs".into(),
+                "crates/xserve/src/http.rs".into(),
+                "crates/xserve/src/conn.rs".into(),
+                "crates/xserve/src/queue.rs".into(),
             ],
             index_paths: vec![
                 "crates/kvstore/src/codec.rs".into(),
@@ -66,6 +70,7 @@ impl Config {
                 "crates/kvstore/src/wal.rs".into(),
                 "crates/invindex/src/persist.rs".into(),
                 "crates/invindex/src/postings.rs".into(),
+                "crates/xserve/src/http.rs".into(),
             ],
             wallclock_paths: vec!["crates/slca/src/".into(), "crates/xrefine/src/".into()],
             error_context_paths: vec!["crates/kvstore/src/".into(), "crates/invindex/src/".into()],
@@ -78,12 +83,15 @@ impl Config {
                 "obs".into(),
                 "xmldom".into(),
                 "lexicon".into(),
+                "serve".into(),
             ],
             metric_units: vec![
                 "total".into(),
                 "bytes".into(),
                 "nanos".into(),
                 "seconds".into(),
+                "requests".into(),
+                "connections".into(),
             ],
         }
     }

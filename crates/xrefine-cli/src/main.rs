@@ -37,6 +37,7 @@
 //!   pretty-prints the span tree (phases, per-keyword list loads,
 //!   cursor counters), then exits.
 
+use bench::percentile;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -610,11 +611,13 @@ fn load_batch(path: &str) -> Result<Vec<String>, String> {
         .collect())
 }
 
-/// One worker's tally of a batch run.
+/// One worker's tally of a batch run. Failures are collected (query +
+/// error) rather than printed mid-run: under `--threads N` interleaved
+/// `eprintln!` lines from workers would garble the report.
 #[derive(Default)]
 struct ThreadTally {
     answered: usize,
-    errors: usize,
+    failures: Vec<(String, String)>,
     latencies: Vec<Duration>,
     phases: PhaseTimings,
     advances: u64,
@@ -645,8 +648,7 @@ fn run_batch(engine: &XRefineEngine, queries: &[String], threads: usize) -> Stri
                             tally.random_accesses += outcome.random_accesses;
                         }
                         Err(e) => {
-                            tally.errors += 1;
-                            eprintln!("query \"{q}\" failed: {e}");
+                            tally.failures.push((q.clone(), e.to_string()));
                         }
                     }
                 }
@@ -669,8 +671,15 @@ fn render_batch_report(
 ) -> String {
     use std::fmt::Write as _;
     let answered: usize = tallies.iter().map(|t| t.answered).sum();
-    let errors: usize = tallies.iter().map(|t| t.errors).sum();
-    let mut latencies: Vec<Duration> = tallies.iter().flat_map(|t| t.latencies.clone()).collect();
+    let errors: usize = tallies.iter().map(|t| t.failures.len()).sum();
+    // Failed queries burned the same wall clock as answered ones, so
+    // `answered / wall` alone would overstate a partially-failing run:
+    // report attempted and answered throughput side by side.
+    let attempted = answered + errors;
+    let mut latencies: Vec<Duration> = tallies
+        .iter()
+        .flat_map(|t| t.latencies.iter().copied())
+        .collect();
     latencies.sort_unstable();
     let mut phases = PhaseTimings::default();
     for t in tallies {
@@ -680,28 +689,33 @@ fn render_batch_report(
     let random: u64 = tallies.iter().map(|t| t.random_accesses).sum();
 
     let mut out = String::new();
+    let wall_secs = wall.as_secs_f64().max(1e-9);
     let _ = writeln!(
         out,
-        "batch: {answered} answered, {errors} failed, {} thread(s), wall {:?}, {:.1} q/s",
+        "batch: {attempted} attempted ({answered} answered, {errors} failed), {} thread(s), \
+         wall {:?}, {:.1} q/s attempted, {:.1} q/s answered",
         tallies.len(),
         wall,
-        answered as f64 / wall.as_secs_f64().max(1e-9),
+        attempted as f64 / wall_secs,
+        answered as f64 / wall_secs,
     );
     for (tid, t) in tallies.iter().enumerate() {
         let _ = writeln!(
             out,
-            "  thread {tid}: {} in {:?} ({:.1} q/s)",
+            "  thread {tid}: {} answered, {} failed in {:?} ({:.1} q/s)",
             t.answered,
+            t.failures.len(),
             t.busy,
             t.answered as f64 / t.busy.as_secs_f64().max(1e-9),
         );
     }
     let _ = writeln!(
         out,
-        "latency: p50 {:?}  p90 {:?}  p99 {:?}  max {:?}",
+        "latency: p50 {:?}  p90 {:?}  p99 {:?}  p999 {:?}  max {:?}",
         percentile(&latencies, 0.50),
         percentile(&latencies, 0.90),
         percentile(&latencies, 0.99),
+        percentile(&latencies, 0.999),
         latencies.last().copied().unwrap_or(Duration::ZERO),
     );
     let _ = writeln!(
@@ -720,16 +734,17 @@ fn render_batch_report(
             c.hits, c.misses, c.lists_decoded, c.evictions, c.cached_bytes,
         );
     }
-    out
-}
-
-/// Nearest-rank percentile of an ascending-sorted latency list.
-fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
+    // Failed queries, rendered once after the join so worker output
+    // never interleaves with the report.
+    if errors > 0 {
+        let _ = writeln!(out, "failed queries:");
+        for (tid, t) in tallies.iter().enumerate() {
+            for (query, error) in &t.failures {
+                let _ = writeln!(out, "  thread {tid}: \"{query}\": {error}");
+            }
+        }
     }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    out
 }
 
 #[cfg(test)]
@@ -739,9 +754,13 @@ mod tests {
 
     #[test]
     fn percentile_is_nearest_rank() {
+        // The shared helper (crates/bench) computes true nearest rank:
+        // ⌈q·n⌉, 1-based — so the even-length median of 1..=100 ms is
+        // 50 ms, where the old `round((n−1)·q)` formula said 51 ms.
         let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
-        assert_eq!(percentile(&ms, 0.50), Duration::from_millis(51));
+        assert_eq!(percentile(&ms, 0.50), Duration::from_millis(50));
         assert_eq!(percentile(&ms, 0.99), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 0.999), Duration::from_millis(100));
         assert_eq!(percentile(&[], 0.5), Duration::ZERO);
     }
 

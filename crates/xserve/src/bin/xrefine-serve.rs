@@ -1,0 +1,164 @@
+//! `xrefine-serve` — the long-running XRefine query server.
+//!
+//! ```text
+//! xrefine-serve [--store PATH | --xml PATH | --dblp FRACTION]
+//!               [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!               [--max-conns N] [--read-timeout-ms N]
+//!               [--request-timeout-ms N] [--drain-grace-ms N]
+//! ```
+//!
+//! Endpoints: `GET /query?q=<keywords>`, `GET /metrics` (Prometheus),
+//! `GET /healthz`, `POST /admin/drain`. Shutdown: SIGTERM/SIGINT (raw
+//! rt_sigaction handler; see `xserve::signal`) or `POST /admin/drain`
+//! — both trigger the graceful drain: stop accepting, finish every
+//! in-flight request, exit 0.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use datagen::{generate_dblp, DblpConfig};
+use xrefine::{EngineConfig, XRefineEngine};
+use xserve::{signal, EngineService, ServeConfig};
+
+struct Args {
+    store: Option<String>,
+    xml: Option<String>,
+    dblp_fraction: f64,
+    config: ServeConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        store: None,
+        xml: None,
+        dblp_fraction: 0.05,
+        config: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--store" => args.store = Some(val("--store")?),
+            "--xml" => args.xml = Some(val("--xml")?),
+            "--dblp" => {
+                args.dblp_fraction = val("--dblp")?
+                    .parse()
+                    .map_err(|_| "--dblp takes a fraction, e.g. 0.05".to_string())?
+            }
+            "--addr" => args.config.addr = val("--addr")?,
+            "--workers" => args.config.workers = parse_num(&val("--workers")?, "--workers")?,
+            "--queue-cap" => {
+                args.config.queue_capacity = parse_num(&val("--queue-cap")?, "--queue-cap")?
+            }
+            "--max-conns" => {
+                args.config.max_connections = parse_num(&val("--max-conns")?, "--max-conns")?
+            }
+            "--read-timeout-ms" => {
+                args.config.read_timeout =
+                    parse_ms(&val("--read-timeout-ms")?, "--read-timeout-ms")?
+            }
+            "--write-timeout-ms" => {
+                args.config.write_timeout =
+                    parse_ms(&val("--write-timeout-ms")?, "--write-timeout-ms")?
+            }
+            "--request-timeout-ms" => {
+                args.config.request_timeout =
+                    parse_ms(&val("--request-timeout-ms")?, "--request-timeout-ms")?
+            }
+            "--drain-grace-ms" => {
+                args.config.drain_grace = parse_ms(&val("--drain-grace-ms")?, "--drain-grace-ms")?
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(v: &str, name: &str) -> Result<usize, String> {
+    v.parse().map_err(|_| format!("{name} takes an integer"))
+}
+
+fn parse_ms(v: &str, name: &str) -> Result<Duration, String> {
+    Ok(Duration::from_millis(
+        v.parse()
+            .map_err(|_| format!("{name} takes milliseconds"))?,
+    ))
+}
+
+fn build_engine(args: &Args) -> Result<XRefineEngine, String> {
+    if let Some(path) = &args.store {
+        eprintln!("opening persisted index {path}");
+        return XRefineEngine::from_store(std::path::Path::new(path), EngineConfig::default())
+            .map_err(|e| format!("cannot open store {path}: {e}"));
+    }
+    if let Some(path) = &args.xml {
+        eprintln!("parsing {path}");
+        let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return XRefineEngine::from_xml(&xml, EngineConfig::default())
+            .map_err(|e| format!("cannot parse {path}: {e}"));
+    }
+    eprintln!(
+        "no corpus given; generating synthetic DBLP (fraction {})",
+        args.dblp_fraction
+    );
+    let doc = Arc::new(generate_dblp(
+        &DblpConfig {
+            authors: 2000,
+            ..Default::default()
+        }
+        .scaled(args.dblp_fraction),
+    ));
+    Ok(XRefineEngine::from_document(doc, EngineConfig::default()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg == "help" {
+                eprintln!("usage: see module docs (xrefine-serve --store PATH | --xml PATH | --dblp FRACTION ...)");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("xrefine-serve: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let engine = match build_engine(&args) {
+        Ok(e) => Arc::new(e),
+        Err(msg) => {
+            eprintln!("xrefine-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let signals = signal::install_handlers();
+    if !signals {
+        eprintln!("signal handlers unavailable on this platform; use POST /admin/drain to stop");
+    }
+
+    let handle = match xserve::start(args.config, Arc::new(EngineService::new(engine))) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("xrefine-serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The lifecycle tests (and humans' scripts) wait for this line.
+    println!("xrefine-serve listening on {}", handle.addr());
+
+    while !signal::shutdown_requested() && !handle.drain_requested() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!("drain requested; finishing in-flight requests");
+    handle.begin_drain();
+    let stragglers = handle.join();
+    if stragglers > 0 {
+        eprintln!("drain grace expired with {stragglers} connection(s) still open");
+        return ExitCode::FAILURE;
+    }
+    println!("drained cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,222 @@
+//! Per-connection thread: reads requests, routes them, writes replies.
+//!
+//! This file is in xlint's `no-panic-paths` scope — bytes here come
+//! from the network, and a malformed or malicious peer must never cost
+//! more than its own connection. Reads happen in short slices
+//! (`min(read_timeout, 100ms)`) so the thread observes drain promptly
+//! even while a peer is idle; a request that stays half-received past
+//! its read budget is answered `408` and the connection closed.
+//!
+//! `/query` goes through admission control: the parsed request is
+//! pushed onto the sharded worker queue with a rendezvous reply channel
+//! and the connection thread blocks (bounded by `request_timeout`) for
+//! the worker's answer. A full queue is a `503` + `Retry-After` — the
+//! shed path never blocks. `/metrics`, `/healthz` and `/admin/drain`
+//! are answered inline on this thread, so observability keeps working
+//! when the query queue is saturated.
+
+use std::io::{ErrorKind, Read as _};
+use std::net::TcpStream;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use crate::http::{self, Parse, Request, Response};
+use crate::queue::PushError;
+use crate::server::Shared;
+use crate::service::ServiceReply;
+
+/// One admitted `/query` request, queued for a worker. The reply
+/// channel is a rendezvous with capacity 1: the worker's `try_send`
+/// never blocks, and a reply landing after the connection gave up
+/// (`504` already written) is dropped on the floor harmlessly.
+pub struct Job {
+    pub query: String,
+    /// When admission succeeded (queue-wait and latency base).
+    pub admitted: Instant,
+    /// Workers skip (and conn threads stop waiting for) jobs past this.
+    pub deadline: Instant,
+    pub reply: mpsc::SyncSender<ServiceReply>,
+}
+
+/// Serves one connection to completion. Never panics; any socket error
+/// simply ends the connection.
+pub fn handle(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let cfg = shared.config();
+    let slice = cfg
+        .read_timeout
+        .min(Duration::from_millis(100))
+        .max(Duration::from_millis(1));
+    if stream.set_read_timeout(Some(slice)).is_err() {
+        return;
+    }
+    if stream.set_write_timeout(Some(cfg.write_timeout)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut tmp = [0u8; 4096];
+    // Set when the first byte of a not-yet-complete request arrived;
+    // cleared once the request is dispatched.
+    let mut first_byte: Option<Instant> = None;
+    let mut idle_since = Instant::now();
+    // Drain race closer: a peer may have finished sending a request
+    // microseconds before the drain flag flipped, with the bytes still
+    // in the kernel buffer. Each connection gets exactly one extra read
+    // slice at drain time so such a request is served, not dropped.
+    let mut drain_grace_read = true;
+
+    loop {
+        let ready: Option<Box<Request>> = match http::parse_request(&buf) {
+            Parse::Ready(req) if buf.len() >= req.frame_len() => Some(req),
+            Parse::Ready(_) | Parse::Incomplete => None,
+            Parse::Bad(e) => {
+                obs::counter!("serve_http_errors_total").inc();
+                let resp = Response::error(e.status, e.detail).with_close();
+                let _ = http::write_response(&mut stream, &resp, true);
+                return;
+            }
+        };
+
+        if let Some(req) = ready {
+            let frame = req.frame_len().min(buf.len());
+            let resp = route(shared, &req);
+            // During drain the response is the connection's last: tell
+            // the peer instead of letting its next request race the
+            // close.
+            let close = resp.close || !req.keep_alive || shared.draining();
+            if http::write_response(&mut stream, &resp, close).is_err() {
+                return;
+            }
+            buf.drain(..frame);
+            first_byte = None;
+            idle_since = Instant::now();
+            if close {
+                return;
+            }
+            continue;
+        }
+
+        // Not a full frame yet: an idle (nothing buffered) connection
+        // closes as soon as drain begins — after one final read slice
+        // (see `drain_grace_read`); a partial request keeps its read
+        // budget so drain never truncates bytes already in flight.
+        if shared.draining() && buf.is_empty() {
+            if !drain_grace_read {
+                return;
+            }
+            drain_grace_read = false;
+            match stream.read(&mut tmp) {
+                Ok(n) if n > 0 => {
+                    let Some(chunk) = tmp.get(..n) else { return };
+                    buf.extend_from_slice(chunk);
+                    first_byte = Some(Instant::now());
+                    continue;
+                }
+                _ => return,
+            }
+        }
+
+        match stream.read(&mut tmp) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                let Some(chunk) = tmp.get(..n) else { return };
+                buf.extend_from_slice(chunk);
+                if first_byte.is_none() {
+                    first_byte = Some(Instant::now());
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                // A read slice expired with no bytes. Enforce budgets.
+                if let Some(t0) = first_byte {
+                    if t0.elapsed() >= cfg.read_timeout {
+                        obs::counter!("serve_http_errors_total").inc();
+                        let resp =
+                            Response::error(408, "request not fully received within read_timeout")
+                                .with_close();
+                        let _ = http::write_response(&mut stream, &resp, true);
+                        return;
+                    }
+                } else if idle_since.elapsed() >= cfg.read_timeout {
+                    return; // keep-alive idle expiry; close silently
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Maps a parsed request to its response. Everything except `/query`
+/// is answered inline.
+fn route(shared: &Arc<Shared>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/query") => query(shared, req),
+        ("GET", "/metrics") => {
+            shared.refresh_gauges();
+            Response::text(200, obs::metrics::global().snapshot().render_prometheus())
+        }
+        ("GET", "/healthz") => Response::json(
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"draining\":{}}}",
+                if shared.draining() { "true" } else { "false" }
+            ),
+        ),
+        ("POST", "/admin/drain") => {
+            shared.request_drain();
+            Response::json(200, "{\"draining\":true}".to_string())
+        }
+        ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+/// The `/query` path: admission control, queueing, bounded wait.
+fn query(shared: &Arc<Shared>, req: &Request) -> Response {
+    obs::counter!("serve_requests_total").inc();
+    let Some(q) = req.param("q").map(str::trim).filter(|q| !q.is_empty()) else {
+        obs::counter!("serve_http_errors_total").inc();
+        return Response::error(400, "missing or empty query parameter `q`");
+    };
+
+    let admitted = Instant::now();
+    let deadline = admitted
+        .checked_add(shared.config().request_timeout)
+        .unwrap_or(admitted);
+    let (tx, rx) = mpsc::sync_channel(1);
+    let job = Job {
+        query: q.to_string(),
+        admitted,
+        deadline,
+        reply: tx,
+    };
+    match shared.queue().push(job) {
+        Ok(_shard) => shared.refresh_gauges(),
+        Err(PushError::Full(_)) => {
+            obs::counter!("serve_requests_shed_total").inc();
+            return Response::error(503, "request queue is full").with_retry_after(1);
+        }
+        Err(PushError::Closed(_)) => {
+            return Response::error(503, "server is draining")
+                .with_retry_after(5)
+                .with_close();
+        }
+    }
+
+    match rx.recv_timeout(shared.config().request_timeout) {
+        Ok(reply) => {
+            obs::histogram!("serve_request_nanos").observe_duration(admitted.elapsed());
+            Response::json(reply.status, reply.body)
+        }
+        Err(_) => {
+            // Timed out in queue/execution, or the worker vanished.
+            obs::counter!("serve_request_timeouts_total").inc();
+            Response::error(504, "request did not complete within request_timeout")
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! `xserve` — the long-running serving layer over the XRefine engine.
+//!
+//! The engine has been `Send + Sync` since PR 2; this crate is the
+//! chassis that lets clients actually connect to it: a hand-rolled
+//! HTTP/1.1 server over TCP (zero external dependencies, like every
+//! other substrate in this workspace) with the admission-control
+//! behaviours a server needs before it can face open-loop load:
+//!
+//! * **sharded accept/worker model** — one acceptor thread hands each
+//!   connection to a dedicated connection thread (bounded by
+//!   [`ServeConfig::max_connections`]); parsed requests are pushed onto
+//!   per-worker bounded queues ([`queue::ShardedQueue`], two-choice
+//!   routing) drained by [`ServeConfig::workers`] query workers sharing
+//!   one engine;
+//! * **load shedding** — a request that finds both probed shards full is
+//!   answered `503 Service Unavailable` with a `Retry-After` header
+//!   instead of queueing unboundedly; connections beyond the cap are
+//!   shed the same way;
+//! * **per-connection read/write timeouts** — a slow or idle peer cannot
+//!   pin a connection thread (reads poll in short slices so drain is
+//!   observed promptly; a half-received request past its budget gets
+//!   `408`);
+//! * **graceful drain** — on SIGTERM/SIGINT ([`signal`]), on
+//!   `POST /admin/drain`, or via [`server::ServerHandle::begin_drain`]:
+//!   stop accepting, let every queued ("in-flight") request finish and
+//!   flush, then exit;
+//! * **observability** — `GET /metrics` renders the process-global `obs`
+//!   registry in Prometheus text (answered inline on the connection
+//!   thread, so it works even when the query queue is saturated), and
+//!   the server feeds the `serve_*` counters/gauges/histograms
+//!   catalogued in DESIGN.md §4e.
+//!
+//! Endpoints: `GET /query?q=<keywords>` (JSON refinement outcome),
+//! `GET /metrics`, `GET /healthz`, `POST /admin/drain`.
+//!
+//! The load generator that drives this server to overload lives in
+//! `crates/bench/src/bin/bench_serve.rs` and writes
+//! `results/BENCH_serve.json`.
+
+pub mod conn;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod service;
+pub mod signal;
+
+pub use server::{start, ServerHandle};
+pub use service::{EngineService, QueryService, ServiceReply};
+
+use std::time::Duration;
+
+/// Server tunables. The defaults suit an interactive deployment; the
+/// lifecycle tests and `bench_serve` shrink queues and timeouts to
+/// provoke shedding quickly.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`; port 0 binds an ephemeral
+    /// port (the bound address is reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Query worker threads (= queue shards).
+    pub workers: usize,
+    /// Total queued-request capacity, split across the worker shards.
+    pub queue_capacity: usize,
+    /// Connections beyond this are answered `503` and closed.
+    pub max_connections: usize,
+    /// Budget for reading one request once its first byte arrived; also
+    /// the idle keep-alive timeout.
+    pub read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// Admission-to-response budget: a request still queued when this
+    /// expires is answered `504` and never executed.
+    pub request_timeout: Duration,
+    /// How long drain waits for connection threads after the listener
+    /// closes before giving up on stragglers.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            queue_capacity: 256,
+            max_connections: 256,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(10),
+            drain_grace: Duration::from_secs(30),
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Bounded request queues with load-shedding semantics.
+//!
+//! [`BoundedQueue`] is a hand-rolled MPMC queue (`Mutex<VecDeque>` +
+//! `Condvar` — the workspace owns its substrates) whose `try_push`
+//! *never blocks and never grows past capacity*: admission control is a
+//! property of the queue, not a convention of its callers.
+//! [`ShardedQueue`] splits capacity across one queue per worker and
+//! routes with two-choice placement, probing shard depths through
+//! relaxed atomics so no path ever holds two shard locks at once (the
+//! `serve.queue` rank covers every shard; nesting them would be a
+//! same-rank acquisition, which both xlint's `lock-order` rule and the
+//! runtime rank checker reject).
+//!
+//! Poisoning is deliberately ignored (`unwrap_or_else(into_inner)`): a
+//! panicking worker must not wedge the accept path, and queue state —
+//! lengths and a closed flag — is valid after any partial mutation.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use obs::lockrank::{self, rank};
+
+/// Why a push was refused. The item is handed back so the caller can
+/// answer the client (shedding must not drop the response channel).
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// Queue at capacity — shed the request (`503` upstream).
+    Full(T),
+    /// Queue closed by drain — no new work is admitted.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue. `pop` blocks until an item arrives or the
+/// queue is closed *and* empty — so closing guarantees every admitted
+/// item is still handed to a worker (the drain invariant).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+    capacity: usize,
+    /// Lock-free depth mirror for routing probes; maintained on every
+    /// successful push/pop under the lock.
+    depth: AtomicUsize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current depth, approximately (relaxed read; exact under the lock).
+    pub fn len(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Non-blocking push; refuses rather than waits.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let _rank = lockrank::acquire(rank::SERVE_QUEUE, "serve.queue");
+        let mut state = self
+            .state
+            .lock() // xlint::lock(serve.queue)
+            .unwrap_or_else(PoisonError::into_inner);
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        self.depth.store(state.items.len(), Ordering::Relaxed);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop. Returns `None` only once the queue is closed and
+    /// every admitted item has been popped.
+    pub fn pop(&self) -> Option<T> {
+        let _rank = lockrank::acquire(rank::SERVE_QUEUE, "serve.queue");
+        let mut state = self
+            .state
+            .lock() // xlint::lock(serve.queue)
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.depth.store(state.items.len(), Ordering::Relaxed);
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .cond
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admission and wakes every blocked popper. Items already
+    /// queued remain poppable — close-then-drain, never close-and-drop.
+    pub fn close(&self) {
+        let _rank = lockrank::acquire(rank::SERVE_QUEUE, "serve.queue");
+        let mut state = self
+            .state
+            .lock() // xlint::lock(serve.queue)
+            .unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        self.cond.notify_all();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        let _rank = lockrank::acquire(rank::SERVE_QUEUE, "serve.queue");
+        self.state
+            .lock() // xlint::lock(serve.queue)
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed
+    }
+}
+
+/// One [`BoundedQueue`] per worker with two-choice routing: probe two
+/// shards' depths (relaxed), push to the shallower; on `Full`, try the
+/// other before shedding. Keeps tail latency close to a single shared
+/// queue while letting each worker pop from its own shard uncontended.
+pub struct ShardedQueue<T> {
+    shards: Vec<BoundedQueue<T>>,
+    /// Rotates the probe pair so uniform load spreads over all shards.
+    cursor: AtomicUsize,
+}
+
+impl<T> ShardedQueue<T> {
+    /// `total_capacity` is divided across `shards` queues (each gets at
+    /// least 1 slot).
+    pub fn new(shards: usize, total_capacity: usize) -> ShardedQueue<T> {
+        let shards = shards.max(1);
+        let per_shard = (total_capacity / shards).max(1);
+        ShardedQueue {
+            shards: (0..shards).map(|_| BoundedQueue::new(per_shard)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total queued items across shards (approximate).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(BoundedQueue::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shard handle for worker `i` (workers pop their own shard).
+    pub fn shard(&self, i: usize) -> Option<&BoundedQueue<T>> {
+        self.shards.get(i)
+    }
+
+    /// Two-choice push. `Err(Full)` means both probed shards (and, for
+    /// the 1-shard case, the only shard) refused — shed upstream.
+    pub fn push(&self, item: T) -> Result<usize, PushError<T>> {
+        let n = self.shards.len();
+        let c = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let a = c % n;
+        let b = if n > 1 { (c / n + 1 + a) % n } else { a };
+        let (first, second) = match (self.shards.get(a), self.shards.get(b)) {
+            (Some(qa), Some(qb)) => {
+                if qb.len() < qa.len() {
+                    ((b, qb), (a, qa))
+                } else {
+                    ((a, qa), (b, qb))
+                }
+            }
+            _ => return Err(PushError::Closed(item)), // shards is non-empty; unreachable
+        };
+        match first.1.try_push(item) {
+            Ok(()) => Ok(first.0),
+            Err(PushError::Full(item)) if second.0 != first.0 => {
+                second.1.try_push(item).map(|()| second.0)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Closes every shard (drain entry point).
+    pub fn close(&self) {
+        for q in &self.shards {
+            q.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn push_pop_roundtrip_in_order() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_refuses_and_returns_item() {
+        let q = BoundedQueue::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        match q.try_push("c") {
+            Err(PushError::Full(item)) => assert_eq!(item, "c"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closed_queue_drains_admitted_items_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(10).unwrap();
+        q.try_push(20).unwrap();
+        q.close();
+        match q.try_push(30) {
+            Err(PushError::Closed(item)) => assert_eq!(item, 30),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // Close-then-drain: both admitted items still come out…
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(20));
+        // …and only then does pop report end-of-queue.
+        assert_eq!(q.pop(), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let popper = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+
+    #[test]
+    fn mpmc_under_contention_loses_nothing() {
+        let q = Arc::new(BoundedQueue::<usize>::new(1024));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        while q.try_push(p * 100 + i).is_err() {
+                            thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_routing_spreads_and_sheds() {
+        let sq = ShardedQueue::new(4, 8); // 2 slots per shard
+        let mut admitted = 0;
+        for i in 0..64 {
+            if sq.push(i).is_ok() {
+                admitted += 1;
+            }
+        }
+        // Capacity is a hard ceiling and two-choice fills it fully.
+        assert_eq!(admitted, 8);
+        assert_eq!(sq.len(), 8);
+        for s in 0..sq.num_shards() {
+            assert_eq!(sq.shard(s).unwrap().len(), 2, "shard {s} imbalance");
+        }
+    }
+
+    #[test]
+    fn sharded_close_ends_every_shard() {
+        let sq = ShardedQueue::new(2, 4);
+        sq.push(1).unwrap();
+        sq.close();
+        assert!(matches!(sq.push(2), Err(PushError::Closed(2))));
+        let drained: usize = (0..sq.num_shards())
+            .map(|s| {
+                let mut n = 0;
+                while sq.shard(s).unwrap().pop().is_some() {
+                    n += 1;
+                }
+                n
+            })
+            .sum();
+        assert_eq!(drained, 1);
+    }
+
+    #[test]
+    fn single_shard_degenerates_cleanly() {
+        let sq = ShardedQueue::new(1, 2);
+        assert!(sq.push(1).is_ok());
+        assert!(sq.push(2).is_ok());
+        assert!(matches!(sq.push(3), Err(PushError::Full(3))));
+    }
+}

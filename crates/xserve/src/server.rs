@@ -1,0 +1,374 @@
+//! The server chassis: acceptor thread, worker pool, drain sequencing.
+//!
+//! Thread model (sharded accept/worker):
+//!
+//! ```text
+//! acceptor ── accept ──> conn thread (≤ max_connections, detached)
+//!                            │  push Job (two-choice, bounded)
+//!                            ▼
+//!                   ShardedQueue — one shard per worker
+//!                            │  pop
+//!                            ▼
+//!                    worker 0..N  ── QueryService::answer ──┐
+//!                            ▲                              │
+//!                            └── reply channel (cap 1) <────┘
+//! ```
+//!
+//! Drain ordering is the correctness argument for "zero dropped
+//! in-flight requests": (1) stop accepting and close the listener;
+//! (2) wait for connection threads — idle ones exit on the drain flag,
+//! busy ones finish their request/response exchange (workers are still
+//! running, so every queued job gets answered); (3) close the queue,
+//! which lets workers drain what remains and exit. A job admitted to
+//! the queue is therefore always executed or already answered `504` by
+//! its own connection — never silently dropped.
+
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::conn::{self, Job};
+use crate::http::{self, Response};
+use crate::queue::ShardedQueue;
+use crate::service::QueryService;
+use crate::ServeConfig;
+
+/// State shared by the acceptor, every connection thread and every
+/// worker. Lock-free: coordination is atomics plus the queue's own
+/// (ranked) locks.
+pub struct Shared {
+    config: ServeConfig,
+    queue: ShardedQueue<Job>,
+    service: Arc<dyn QueryService>,
+    /// Set once drain begins; acceptor exits, idle connections close,
+    /// admission answers `503`.
+    draining: AtomicBool,
+    /// Set by `POST /admin/drain`; the acceptor promotes it to
+    /// `draining` so a remote operator can initiate shutdown.
+    drain_requested: AtomicBool,
+    active_conns: AtomicUsize,
+}
+
+impl Shared {
+    fn new(config: ServeConfig, service: Arc<dyn QueryService>) -> Shared {
+        let queue = ShardedQueue::new(config.workers.max(1), config.queue_capacity.max(1));
+        Shared {
+            config,
+            queue,
+            service,
+            draining: AtomicBool::new(false),
+            drain_requested: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    pub fn queue(&self) -> &ShardedQueue<Job> {
+        &self.queue
+    }
+
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Remote drain request (`POST /admin/drain`). Takes effect at the
+    /// acceptor's next poll (≤ ~1ms).
+    pub fn request_drain(&self) {
+        self.drain_requested.store(true, Ordering::SeqCst);
+    }
+
+    pub fn drain_requested(&self) -> bool {
+        self.drain_requested.load(Ordering::SeqCst)
+    }
+
+    pub fn active_connections(&self) -> usize {
+        self.active_conns.load(Ordering::SeqCst)
+    }
+
+    /// Re-publishes the depth gauges (cheap; called on push/pop and on
+    /// `/metrics` render so scrapes always see a fresh value).
+    pub fn refresh_gauges(&self) {
+        obs::gauge!("serve_queued_requests").set(self.queue.len() as i64);
+        obs::gauge!("serve_open_connections").set(self.active_conns.load(Ordering::SeqCst) as i64);
+    }
+
+    fn conn_closed(&self) {
+        self.active_conns.fetch_sub(1, Ordering::SeqCst);
+        self.refresh_gauges();
+    }
+}
+
+/// A running server. Dropping the handle does NOT stop the server;
+/// call [`ServerHandle::begin_drain`] + [`ServerHandle::join`] (or let
+/// the process exit).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Starts the drain sequence: stop accepting, shed new admissions.
+    /// Idempotent; returns immediately — use [`join`](Self::join) to
+    /// wait for completion.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// True once `POST /admin/drain` was received (the embedding binary
+    /// polls this alongside its signal flag).
+    pub fn drain_requested(&self) -> bool {
+        self.shared.drain_requested()
+    }
+
+    /// Drains and waits for the server to finish: acceptor joined,
+    /// connection threads given `drain_grace` to complete their
+    /// exchanges, queue closed, workers joined. Returns the number of
+    /// straggler connections still open when the grace period expired
+    /// (0 on a clean drain).
+    pub fn join(mut self) -> usize {
+        self.begin_drain();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Connection threads finish their in-flight request/response
+        // exchanges while the workers are still alive to answer them.
+        let deadline = Instant::now() + self.shared.config.drain_grace;
+        while self.shared.active_connections() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+        // Close-then-drain: whatever is still queued is executed before
+        // the workers exit (BoundedQueue::pop's contract).
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.refresh_gauges();
+        self.shared.active_connections()
+    }
+}
+
+/// Binds `config.addr` and starts the acceptor and worker threads.
+pub fn start(config: ServeConfig, service: Arc<dyn QueryService>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    // Nonblocking accept + 1ms poll keeps drain latency bounded without
+    // a self-pipe or signalfd (no external crates to provide either).
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared::new(config, service));
+
+    let workers = (0..shared.config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("xserve-worker-{i}"))
+                .spawn(move || worker_loop(&shared, i))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("xserve-accept".to_string())
+            .spawn(move || accept_loop(listener, &shared))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.drain_requested() {
+            shared.draining.store(true, Ordering::SeqCst);
+        }
+        if shared.draining() {
+            break; // listener drops here: no more connections
+        }
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                obs::counter!("serve_connections_accepted_total").inc();
+                let active = shared.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
+                if active > shared.config.max_connections {
+                    // Over the cap: shed on the acceptor thread (one
+                    // small write) rather than spawn.
+                    obs::counter!("serve_connections_shed_total").inc();
+                    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+                    let resp = Response::error(503, "connection limit reached")
+                        .with_retry_after(1)
+                        .with_close();
+                    let _ = http::write_response(&mut stream, &resp, true);
+                    shared.conn_closed();
+                    continue;
+                }
+                shared.refresh_gauges();
+                let sh = Arc::clone(shared);
+                let spawned = thread::Builder::new()
+                    .name("xserve-conn".to_string())
+                    .spawn(move || {
+                        conn::handle(stream, &sh);
+                        sh.conn_closed();
+                    });
+                if spawned.is_err() {
+                    shared.conn_closed();
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                // Transient accept errors (EMFILE, ECONNABORTED):
+                // back off briefly instead of spinning.
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Worker: pops its own shard until the queue closes and is empty.
+fn worker_loop(shared: &Arc<Shared>, shard: usize) {
+    let Some(q) = shared.queue.shard(shard) else {
+        return;
+    };
+    while let Some(job) = q.pop() {
+        shared.refresh_gauges();
+        obs::histogram!("serve_queue_wait_nanos").observe_duration(job.admitted.elapsed());
+        if Instant::now() >= job.deadline {
+            // The connection already answered 504 (it counted the
+            // timeout); executing now would be wasted work.
+            continue;
+        }
+        let reply = shared.service.answer(&job.query);
+        // try_send: capacity-1 channel is empty (first reply) or the
+        // connection gave up — either way this never blocks a worker.
+        let _ = job.reply.try_send(reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceReply;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    struct Echo;
+    impl QueryService for Echo {
+        fn answer(&self, query: &str) -> ServiceReply {
+            ServiceReply {
+                status: 200,
+                body: format!("{{\"echo\":{}}}", obs::metrics::json_string(query)),
+            }
+        }
+    }
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 8,
+            max_connections: 8,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(2),
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        let status = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_queries_and_basic_endpoints() {
+        let h = start(test_config(), Arc::new(Echo)).unwrap();
+        let addr = h.addr();
+        let (st, body) = get(addr, "/query?q=xml+search");
+        assert_eq!(st, 200, "{body}");
+        assert_eq!(body, "{\"echo\":\"xml search\"}");
+        let (st, body) = get(addr, "/healthz");
+        assert_eq!(st, 200);
+        assert!(body.contains("\"draining\":false"), "{body}");
+        let (st, _) = get(addr, "/nope");
+        assert_eq!(st, 404);
+        let (st, _) = get(addr, "/query");
+        assert_eq!(st, 400);
+        assert_eq!(h.join(), 0);
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let h = start(test_config(), Arc::new(Echo)).unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        for i in 0..3 {
+            write!(s, "GET /query?q=k{i} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut chunk = [0u8; 1024];
+            let mut got = String::new();
+            while !got.contains(&format!("{{\"echo\":\"k{i}\"}}")) {
+                let n = s.read(&mut chunk).unwrap();
+                assert!(n > 0, "connection closed early at request {i}: {got}");
+                got.push_str(&String::from_utf8_lossy(&chunk[..n]));
+            }
+            assert!(got.contains("Connection: keep-alive"), "{got}");
+        }
+        drop(s);
+        assert_eq!(h.join(), 0);
+    }
+
+    #[test]
+    fn drain_stops_accepting_and_join_reports_clean() {
+        let h = start(test_config(), Arc::new(Echo)).unwrap();
+        let addr = h.addr();
+        let (st, _) = get(addr, "/query?q=before");
+        assert_eq!(st, 200);
+        h.begin_drain();
+        thread::sleep(Duration::from_millis(50));
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // Accepted by a backlog race: the request itself must fail
+                // or be answered with a draining 503.
+                let (st, _) = get(addr, "/query?q=after");
+                st == 503 || st == 0
+            }
+        );
+        assert_eq!(h.join(), 0);
+    }
+}

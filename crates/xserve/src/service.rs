@@ -1,0 +1,169 @@
+//! The query service behind the HTTP surface.
+//!
+//! [`QueryService`] is the one-method seam between the server chassis
+//! (queues, sockets, drain) and the engine: the lifecycle tests plug in
+//! slow or failing stand-ins to provoke shedding and timeouts without
+//! needing a pathological corpus. [`EngineService`] is the production
+//! implementation over [`XRefineEngine`], applying the degradation
+//! policy from ISSUE-3 at the protocol level: a per-query storage
+//! failure is *that request's* `500` — the connection, the worker and
+//! the engine all keep serving.
+
+use std::sync::Arc;
+
+use obs::metrics::json_string;
+use xrefine::{QueryFailure, RefineOutcome, XRefineEngine};
+
+/// SLCA Dewey labels beyond this many are elided from the JSON (the
+/// count is always exact).
+const MAX_SLCAS_LISTED: usize = 20;
+
+/// A status code plus a JSON body, ready for the HTTP layer to frame.
+#[derive(Debug, Clone)]
+pub struct ServiceReply {
+    pub status: u16,
+    pub body: String,
+}
+
+/// What a worker does with a popped request. Implementations must be
+/// `Send + Sync`: one instance is shared by every worker thread.
+pub trait QueryService: Send + Sync {
+    fn answer(&self, query: &str) -> ServiceReply;
+}
+
+/// Production service: answers queries through the shared engine.
+pub struct EngineService {
+    engine: Arc<XRefineEngine>,
+}
+
+impl EngineService {
+    pub fn new(engine: Arc<XRefineEngine>) -> EngineService {
+        EngineService { engine }
+    }
+
+    pub fn engine(&self) -> &Arc<XRefineEngine> {
+        &self.engine
+    }
+}
+
+impl QueryService for EngineService {
+    fn answer(&self, query: &str) -> ServiceReply {
+        match self.engine.answer_detailed(query) {
+            Ok(outcome) => ServiceReply {
+                status: 200,
+                body: render_outcome(query, &outcome),
+            },
+            Err(failure) => ServiceReply {
+                status: 500,
+                body: render_failure(query, &failure),
+            },
+        }
+    }
+}
+
+/// Renders a successful outcome as JSON. Hand-rolled like every other
+/// emitter in the workspace; strings go through `json_string`.
+pub fn render_outcome(query: &str, outcome: &RefineOutcome) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"query\":");
+    out.push_str(&json_string(query));
+    out.push_str(",\"original_ok\":");
+    out.push_str(if outcome.original_ok { "true" } else { "false" });
+    out.push_str(",\"refinements\":[");
+    for (i, r) in outcome.refinements.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"keywords\":[");
+        for (j, kw) in r.candidate.keywords.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(kw));
+        }
+        out.push_str("],\"dissimilarity\":");
+        out.push_str(&format!("{:.6}", r.candidate.dissimilarity));
+        out.push_str(",\"rank_score\":");
+        out.push_str(&format!("{:.6}", r.rank_score));
+        out.push_str(",\"slca_count\":");
+        out.push_str(&r.slcas.len().to_string());
+        out.push_str(",\"slcas\":[");
+        for (j, d) in r.slcas.iter().take(MAX_SLCAS_LISTED).enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(&d.to_string()));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"advances\":");
+    out.push_str(&outcome.advances.to_string());
+    out.push_str(",\"random_accesses\":");
+    out.push_str(&outcome.random_accesses.to_string());
+    out.push_str(",\"degraded\":[");
+    for (i, d) in outcome.degraded.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"keyword\":");
+        out.push_str(&json_string(&d.keyword));
+        out.push_str(",\"reason\":");
+        out.push_str(&json_string(&d.reason));
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders a per-query failure as the `500` JSON envelope.
+pub fn render_failure(query: &str, failure: &QueryFailure) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"query\":");
+    out.push_str(&json_string(query));
+    out.push_str(",\"error\":");
+    out.push_str(&json_string(&failure.to_string()));
+    out.push_str(",\"keyword\":");
+    match &failure.keyword {
+        Some(kw) => out.push_str(&json_string(kw)),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrefine::EngineConfig;
+
+    fn tiny_engine() -> Arc<XRefineEngine> {
+        let xml = "<bib><paper><title>xml keyword search</title>\
+                   <year>2003</year></paper></bib>";
+        Arc::new(XRefineEngine::from_xml(xml, EngineConfig::default()).unwrap())
+    }
+
+    #[test]
+    fn engine_service_answers_with_json() {
+        let svc = EngineService::new(tiny_engine());
+        let reply = svc.answer("xml keyword");
+        assert_eq!(reply.status, 200);
+        assert!(
+            reply.body.starts_with("{\"query\":\"xml keyword\""),
+            "{}",
+            reply.body
+        );
+        assert!(reply.body.contains("\"refinements\":["), "{}", reply.body);
+        assert!(reply.body.contains("\"degraded\":[]"), "{}", reply.body);
+        // The body must itself be well-formed enough to round-trip the
+        // outer braces (cheap structural sanity check).
+        assert!(reply.body.ends_with('}'), "{}", reply.body);
+    }
+
+    #[test]
+    fn outcome_json_escapes_and_caps_slcas() {
+        let svc = EngineService::new(tiny_engine());
+        let reply = svc.answer("\"quoted\"\\path");
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\\\"quoted\\\""), "{}", reply.body);
+    }
+}

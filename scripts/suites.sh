@@ -15,6 +15,9 @@
 #   ingest         streaming-vs-DOM ingest differential oracle (byte-
 #                  identical stores) + scanner fuzz sweep + a release-
 #                  mode medium-corpus ingest bench smoke
+#   serve          server lifecycle tests (shedding, drain, SIGTERM,
+#                  corruption-over-HTTP) + a short overload run of the
+#                  bench_serve load generator
 #   analysis       xlint over the live workspace + its golden fixtures
 #   tsan           ThreadSanitizer over the thread-heavy suites
 #                  (requires a nightly toolchain with rust-src)
@@ -51,6 +54,15 @@ suite_ingest() {
         cargo run --release -q -p bench --bin bench_ingest
 }
 
+suite_serve() {
+    cargo test -q -p xserve
+    cargo test --release -q -p xserve --test server_lifecycle
+    cargo test --release -q -p bench --test percentile_prop
+    SERVE_BENCH_SECS="${SERVE_BENCH_SECS:-2}" \
+    SERVE_BENCH_FRACTION="${SERVE_BENCH_FRACTION:-0.02}" \
+        cargo run --release -q -p bench --bin bench_serve
+}
+
 suite_analysis() {
     cargo run -q -p xlint -- --workspace
     cargo run -q -p xlint -- --fixtures
@@ -75,7 +87,7 @@ suite_tsan() {
 if [[ "${BASH_SOURCE[0]}" == "$0" ]]; then
     if [[ $# -eq 0 ]]; then
         echo "usage: $0 <suite> [<suite>...]" >&2
-        echo "suites: release_smoke torture observability ingest analysis tsan" >&2
+        echo "suites: release_smoke torture observability ingest serve analysis tsan" >&2
         exit 2
     fi
     for suite in "$@"; do
