@@ -21,10 +21,24 @@
 //! Per-shard budgets sum exactly to the global budget (the remainder of
 //! the division lands on the first shards), so `ShardedListCache::new(b,
 //! s)` holds at most `b` encoded bytes no matter the shard count.
+//!
+//! # Generations
+//!
+//! Since the index became updatable the cache is shared between reader
+//! snapshots of *different* store generations. Every entry is stamped
+//! with the generation that decoded it; a reader pinned at generation
+//! `g` only accepts entries stamped `<= g` ([`ShardedListCache::get_at`])
+//! and its decodes are only admitted while `g` is still the current
+//! generation ([`ShardedListCache::insert_at`] checks under the shard
+//! mutex, so a stale reader racing a publish cannot re-seed an entry the
+//! writer just invalidated). A committing writer bumps the current
+//! generation *first*, then invalidates the keyword ids it changed —
+//! unchanged entries keep serving every generation.
 
 use crate::postings::PostingList;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default shard count: enough to make contention between a handful of
@@ -51,6 +65,8 @@ struct CacheEntry {
     list: Arc<PostingList>,
     cost: usize,
     tick: u64,
+    /// Store generation whose bytes this list was decoded from.
+    gen: u64,
 }
 
 /// One shard: an LRU over decoded posting lists, keyed by keyword id,
@@ -83,10 +99,13 @@ impl Shard {
         }
     }
 
-    /// Looks up `id`, promoting it to most-recently-used on a hit.
-    fn get(&mut self, id: u32) -> Option<Arc<PostingList>> {
+    /// Looks up `id`, promoting it to most-recently-used on a hit. An
+    /// entry stamped with a generation newer than `reader_gen` is a
+    /// miss for this reader — but the entry stays resident, because the
+    /// newer snapshot that decoded it is still serving.
+    fn get(&mut self, id: u32, reader_gen: u64) -> Option<Arc<PostingList>> {
         match self.map.get_mut(&id) {
-            Some(entry) => {
+            Some(entry) if entry.gen <= reader_gen => {
                 self.hits += 1;
                 self.lru.remove(&entry.tick);
                 self.tick += 1;
@@ -94,17 +113,17 @@ impl Shard {
                 self.lru.insert(entry.tick, id);
                 Some(Arc::clone(&entry.list))
             }
-            None => {
+            _ => {
                 self.misses += 1;
                 None
             }
         }
     }
 
-    /// Inserts a freshly decoded list. Oversize lists (cost > budget)
-    /// are not cached at all; otherwise LRU entries are evicted until
-    /// the budget holds.
-    fn insert(&mut self, id: u32, list: Arc<PostingList>, cost: usize) {
+    /// Inserts a freshly decoded list stamped with `gen`. Oversize lists
+    /// (cost > budget) are not cached at all; otherwise LRU entries are
+    /// evicted until the budget holds.
+    fn insert(&mut self, id: u32, list: Arc<PostingList>, cost: usize, gen: u64) {
         self.lists_decoded += 1;
         if cost > self.budget {
             return;
@@ -128,9 +147,28 @@ impl Shard {
                 list,
                 cost,
                 tick: self.tick,
+                gen,
             },
         );
         self.used += cost;
+    }
+
+    /// Drops `id` if resident, returning its cost.
+    fn invalidate(&mut self, id: u32) -> Option<usize> {
+        let entry = self.map.remove(&id)?;
+        self.lru.remove(&entry.tick);
+        self.used -= entry.cost;
+        Some(entry.cost)
+    }
+
+    /// Drops every entry, returning (entries dropped, bytes freed).
+    fn invalidate_all(&mut self) -> (u64, usize) {
+        let dropped = self.map.len() as u64;
+        let freed = self.used;
+        self.map.clear();
+        self.lru.clear();
+        self.used = 0;
+        (dropped, freed)
     }
 
     fn add_to(&self, total: &mut CacheStats) {
@@ -160,6 +198,11 @@ impl Shard {
 pub struct ShardedListCache {
     shards: Vec<Mutex<Shard>>,
     budget: usize,
+    /// The latest published store generation. Bumped by a committing
+    /// writer *before* it invalidates the entries it changed; checked
+    /// under the shard mutex on insert so the bump is visible to any
+    /// reader that locks a shard after the writer's invalidation pass.
+    current_gen: AtomicU64,
 }
 
 impl ShardedListCache {
@@ -173,18 +216,36 @@ impl ShardedListCache {
         let shards = (0..n)
             .map(|i| Mutex::new(Shard::new(base + usize::from(i < remainder))))
             .collect();
-        ShardedListCache { shards, budget }
+        ShardedListCache {
+            shards,
+            budget,
+            current_gen: AtomicU64::new(0),
+        }
     }
 
     fn shard(&self, id: u32) -> &Mutex<Shard> {
         &self.shards[id as usize % self.shards.len()]
     }
 
-    /// Looks up `id`, promoting it to most-recently-used in its shard.
+    /// Looks up `id` at the current generation, promoting it to
+    /// most-recently-used in its shard.
     pub fn get(&self, id: u32) -> Option<Arc<PostingList>> {
+        self.get_at(id, self.current_gen())
+    }
+
+    /// Inserts a freshly decoded list of stored size `cost`, stamped
+    /// with the current generation.
+    pub fn insert(&self, id: u32, list: Arc<PostingList>, cost: usize) {
+        self.insert_at(id, list, cost, self.current_gen());
+    }
+
+    /// Looks up `id` on behalf of a reader pinned at `reader_gen`.
+    /// Entries stamped with a newer generation miss (without being
+    /// evicted — the newer snapshot still wants them).
+    pub fn get_at(&self, id: u32, reader_gen: u64) -> Option<Arc<PostingList>> {
         let got = {
             let _rank = obs::lockrank::acquire(obs::lockrank::rank::CACHE_SHARD, "cache.shard");
-            self.shard(id).lock().get(id) // xlint::lock(cache.shard)
+            self.shard(id).lock().get(id, reader_gen) // xlint::lock(cache.shard)
         };
         if got.is_some() {
             obs::counter!("invindex_cache_hits_total").inc();
@@ -194,23 +255,79 @@ impl ShardedListCache {
         got
     }
 
-    /// Inserts a freshly decoded list of stored size `cost`.
-    pub fn insert(&self, id: u32, list: Arc<PostingList>, cost: usize) {
+    /// Inserts a list decoded by a reader pinned at `gen`. The insert is
+    /// admitted only while `gen` is still the current generation; the
+    /// check runs under the shard mutex, so a stale reader that lost a
+    /// race with a publish cannot re-seed an entry the writer already
+    /// invalidated. A rejected insert still counts as a decode.
+    pub fn insert_at(&self, id: u32, list: Arc<PostingList>, cost: usize, gen: u64) {
         // Block scope: the metric updates below must happen outside the
         // shard lock (registration takes the registry mutex).
         let (used_delta, evicted) = {
             let _rank = obs::lockrank::acquire(obs::lockrank::rank::CACHE_SHARD, "cache.shard");
             let mut shard = self.shard(id).lock(); // xlint::lock(cache.shard)
-            let (used_before, evictions_before) = (shard.used, shard.evictions);
-            shard.insert(id, list, cost);
-            let evicted = shard.evictions - evictions_before;
-            (shard.used as i64 - used_before as i64, evicted)
+            if gen != self.current_gen.load(Ordering::SeqCst) {
+                shard.lists_decoded += 1;
+                (0, 0)
+            } else {
+                let (used_before, evictions_before) = (shard.used, shard.evictions);
+                shard.insert(id, list, cost, gen);
+                let evicted = shard.evictions - evictions_before;
+                (shard.used as i64 - used_before as i64, evicted)
+            }
         };
         obs::counter!("invindex_cache_lists_decoded_total").inc();
         if evicted > 0 {
             obs::counter!("invindex_cache_evictions_total").add(evicted);
         }
         obs::gauge!("invindex_cache_resident_bytes").add(used_delta);
+    }
+
+    /// Drops the entry for `id` if resident. Returns whether an entry
+    /// was dropped.
+    pub fn invalidate(&self, id: u32) -> bool {
+        let freed = {
+            let _rank = obs::lockrank::acquire(obs::lockrank::rank::CACHE_SHARD, "cache.shard");
+            self.shard(id).lock().invalidate(id) // xlint::lock(cache.shard)
+        };
+        match freed {
+            Some(cost) => {
+                obs::counter!("invindex_cache_invalidations_total").inc();
+                obs::gauge!("invindex_cache_resident_bytes").add(-(cost as i64));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Flushes every shard. Returns the number of entries dropped.
+    pub fn invalidate_all(&self) -> u64 {
+        let mut dropped = 0u64;
+        let mut freed = 0usize;
+        for shard in &self.shards {
+            let (d, f) = {
+                let _rank = obs::lockrank::acquire(obs::lockrank::rank::CACHE_SHARD, "cache.shard");
+                shard.lock().invalidate_all() // xlint::lock(cache.shard)
+            };
+            dropped += d;
+            freed += f;
+        }
+        if dropped > 0 {
+            obs::counter!("invindex_cache_invalidations_total").add(dropped);
+            obs::gauge!("invindex_cache_resident_bytes").add(-(freed as i64));
+        }
+        dropped
+    }
+
+    /// Publishes `gen` as the current generation. Called by the writer
+    /// *before* it invalidates the ids the new generation changed.
+    pub fn set_current_gen(&self, gen: u64) {
+        self.current_gen.store(gen, Ordering::SeqCst);
+    }
+
+    /// The latest published store generation.
+    pub fn current_gen(&self) -> u64 {
+        self.current_gen.load(Ordering::SeqCst)
     }
 
     /// Aggregated counters across all shards. The snapshot is *per
@@ -322,6 +439,61 @@ mod tests {
         assert!(cache.get(0).is_none());
         assert!(cache.get(1).is_some());
         assert!(cache.get(8).is_some());
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn newer_generation_entry_misses_for_pinned_reader_without_eviction() {
+        let cache = ShardedListCache::new(1 << 20, 4);
+        cache.set_current_gen(3);
+        cache.insert(7, list_of(1), 10); // stamped gen 3
+                                         // A reader pinned at gen 2 must not see it; the entry survives.
+        assert!(cache.get_at(7, 2).is_none());
+        assert!(cache.get_at(7, 3).is_some());
+        assert!(cache.get_at(7, 9).is_some(), "old entries serve new gens");
+        assert_eq!(cache.stats().cached_bytes, 10);
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn stale_generation_insert_is_rejected_but_counts_the_decode() {
+        let cache = ShardedListCache::new(1 << 20, 4);
+        cache.set_current_gen(5);
+        cache.insert_at(7, list_of(1), 10, 4); // decoded under gen 4: stale
+        assert!(cache.get_at(7, 5).is_none());
+        let s = cache.stats();
+        assert_eq!(s.lists_decoded, 1, "rejected insert still decoded");
+        assert_eq!(s.cached_bytes, 0);
+        cache.insert_at(7, list_of(1), 10, 5);
+        assert!(cache.get_at(7, 5).is_some());
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn invalidate_drops_one_entry_and_frees_its_bytes() {
+        let cache = ShardedListCache::new(1 << 20, 4);
+        cache.insert(1, list_of(1), 30);
+        cache.insert(2, list_of(1), 40);
+        assert!(cache.invalidate(1));
+        assert!(!cache.invalidate(1), "second invalidation is a no-op");
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(2).is_some());
+        assert_eq!(cache.stats().cached_bytes, 40);
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn invalidate_all_flushes_every_shard() {
+        let cache = ShardedListCache::new(1 << 20, 4);
+        for id in 0..9u32 {
+            cache.insert(id, list_of(1), 10);
+        }
+        assert_eq!(cache.invalidate_all(), 9);
+        assert_eq!(cache.invalidate_all(), 0);
+        assert_eq!(cache.stats().cached_bytes, 0);
+        for id in 0..9u32 {
+            assert!(cache.get(id).is_none());
+        }
         cache.check_invariants();
     }
 

@@ -12,16 +12,20 @@
 //! Concurrency: the reader is `Send + Sync` and designed to be shared
 //! across serving threads behind one `Arc`. A cache hit locks exactly one
 //! cache shard (see [`crate::cache`]) and never touches the store; a miss
-//! takes the store's *read* lock, so concurrent misses on a `KvStore`
-//! whose `get` is `&self` (all of them) proceed in parallel and decoding
-//! always happens outside every lock. The write lock exists only for
-//! store mutation, which this reader never performs.
+//! reads the reader's pinned [`StoreGen`] snapshot directly — the
+//! snapshot is immutable, so misses take **no lock at all** and decoding
+//! happens outside every lock. Writers never block readers: a committing
+//! [`crate::maint::MaintIndex`] publishes a *new* `StoreGen` (epoch
+//! handoff) while existing readers keep serving the generation they
+//! pinned at open.
 //!
 //! Cache policy lives in [`crate::cache`]: cost of an entry is its
 //! *stored* (encoded) size; eviction never invalidates handles already
 //! given out (entries are `Arc`-shared); a list larger than its shard's
 //! budget is returned uncached and simply re-decoded on its next touch —
-//! degraded speed, never degraded answers.
+//! degraded speed, never degraded answers. Entries are stamped with the
+//! generation that decoded them, so readers of different epochs can
+//! share one cache without ever serving a stale list.
 
 use crate::cache::ShardedListCache;
 pub use crate::cache::{CacheStats, DEFAULT_CACHE_SHARDS};
@@ -30,12 +34,151 @@ use crate::persist;
 use crate::reader::{IndexReader, ListHandle};
 use crate::stats::{KeywordId, KeywordTable, TypeStats};
 use kvstore::{KvError, KvStore, Result};
-use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use std::sync::Arc;
 use xmldom::{Document, NodeTypeId};
 
 /// Default list-cache budget: 64 MiB of encoded list bytes.
 pub const DEFAULT_CACHE_BUDGET: usize = 64 << 20;
+
+/// An immutable, generation-tagged snapshot of a persisted index store:
+/// a shared base store plus a frozen overlay of not-yet-compacted
+/// updates, merged overlay-over-base on every read. This is what a
+/// reader pins at open — a committing writer builds a *new* `StoreGen`
+/// and never mutates a published one, so readers are never blocked.
+///
+/// The mutating half of [`KvStore`] is refused: a snapshot is read-only
+/// by construction.
+pub struct StoreGen {
+    gen: u64,
+    base: Arc<dyn KvStore>,
+    /// Frozen copy of the writer's WAL overlay at publish time; `None`
+    /// marks a deletion shadowing the base.
+    overlay: Arc<BTreeMap<Vec<u8>, Option<Vec<u8>>>>,
+    len: u64,
+}
+
+impl StoreGen {
+    /// Wraps a store that will never be written again (the static
+    /// serving path) as generation 0 with an empty overlay.
+    pub fn read_only(store: Box<dyn KvStore>) -> Self {
+        let len = store.len();
+        StoreGen {
+            gen: 0,
+            base: Arc::from(store),
+            overlay: Arc::new(BTreeMap::new()),
+            len,
+        }
+    }
+
+    /// A snapshot of `base` shadowed by `overlay`, published as
+    /// generation `gen`. Computes the merged live-entry count (an
+    /// overlay put over a missing base key adds one, a delete over a
+    /// present key removes one).
+    pub fn new(
+        gen: u64,
+        base: Arc<dyn KvStore>,
+        overlay: Arc<BTreeMap<Vec<u8>, Option<Vec<u8>>>>,
+    ) -> Result<Self> {
+        let mut len = base.len();
+        for (key, value) in overlay.iter() {
+            let in_base = base.contains(key)?;
+            match (in_base, value.is_some()) {
+                (false, true) => len += 1,
+                (true, false) => len = len.saturating_sub(1),
+                _ => {}
+            }
+        }
+        Ok(StoreGen {
+            gen,
+            base,
+            overlay,
+            len,
+        })
+    }
+
+    /// The generation this snapshot was published as.
+    pub fn gen(&self) -> u64 {
+        self.gen
+    }
+
+    /// The shared base store under the overlay.
+    pub fn base(&self) -> &Arc<dyn KvStore> {
+        &self.base
+    }
+
+    /// Number of frozen overlay entries (puts and deletes).
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
+    }
+}
+
+impl KvStore for StoreGen {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.overlay.get(key) {
+            Some(Some(v)) => Ok(Some(v.clone())),
+            Some(None) => Ok(None),
+            None => self.base.get(key),
+        }
+    }
+
+    fn put(&mut self, _key: &[u8], _value: &[u8]) -> Result<()> {
+        Err(KvError::corrupt(
+            "put on a read-only snapshot: mutate through MaintIndex, not a pinned StoreGen",
+        ))
+    }
+
+    fn delete(&mut self, _key: &[u8]) -> Result<bool> {
+        Err(KvError::corrupt(
+            "delete on a read-only snapshot: mutate through MaintIndex, not a pinned StoreGen",
+        ))
+    }
+
+    fn contains(&self, key: &[u8]) -> Result<bool> {
+        match self.overlay.get(key) {
+            Some(v) => Ok(v.is_some()),
+            None => self.base.contains(key),
+        }
+    }
+
+    fn scan_range(&self, start: &[u8], end: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for (k, v) in self.base.scan_range(start, end)? {
+            merged.insert(k, Some(v));
+        }
+        let upper = match end {
+            Some(e) if e <= start => return Ok(Vec::new()),
+            Some(e) => Bound::Excluded(e.to_vec()),
+            None => Bound::Unbounded,
+        };
+        for (k, v) in self.overlay.range((Bound::Included(start.to_vec()), upper)) {
+            merged.insert(k.clone(), v.clone());
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let all = self.scan_range(prefix, None)?;
+        Ok(all
+            .into_iter()
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .collect())
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Err(KvError::corrupt(
+            "sync on a read-only snapshot: mutate through MaintIndex, not a pinned StoreGen",
+        ))
+    }
+}
 
 /// An [`IndexReader`] over a persisted index: posting lists decode
 /// lazily from kvstore pages on first touch.
@@ -45,8 +188,11 @@ pub struct KvBackedIndex {
     stats: TypeStats,
     cooccur: CoOccurrence,
     version: u64,
-    store: RwLock<Box<dyn KvStore>>,
-    cache: ShardedListCache,
+    store: Arc<StoreGen>,
+    cache: Arc<ShardedListCache>,
+    /// The generation this reader pinned at open; list-cache lookups
+    /// and inserts carry it so epochs never cross-contaminate.
+    gen: u64,
     /// Keywords whose statistics entries failed validation at open:
     /// their lists still answer, their ranking inputs are incomplete.
     /// See [`crate::persist::load_stats_lenient`].
@@ -74,11 +220,31 @@ impl KvBackedIndex {
     /// supplied document (the version-1 path, where the document was
     /// never embedded).
     pub fn open_with_document(doc: Arc<Document>, store: Box<dyn KvStore>) -> Result<Self> {
-        let version = persist::read_version(store.as_ref())?;
-        let vocab = persist::load_vocab(store.as_ref(), version)?;
+        Self::open_snapshot_with_document(
+            doc,
+            Arc::new(StoreGen::read_only(store)),
+            Arc::new(ShardedListCache::new(
+                DEFAULT_CACHE_BUDGET,
+                DEFAULT_CACHE_SHARDS,
+            )),
+        )
+    }
+
+    /// Opens a reader over an already-pinned [`StoreGen`] snapshot,
+    /// sharing `cache` with readers of other generations. This is the
+    /// epoch-handoff constructor [`crate::maint::MaintIndex`] uses to
+    /// publish each commit.
+    pub fn open_snapshot_with_document(
+        doc: Arc<Document>,
+        snap: Arc<StoreGen>,
+        cache: Arc<ShardedListCache>,
+    ) -> Result<Self> {
+        let store: &dyn KvStore = &*snap;
+        let version = persist::read_version(store)?;
+        let vocab = persist::load_vocab(store, version)?;
         // Statistics load leniently: a damaged tf/df entry degrades one
         // keyword's ranking, it does not take the whole index down.
-        let (stats, stat_damage) = persist::load_stats_lenient(store.as_ref(), version)?;
+        let (stats, stat_damage) = persist::load_stats_lenient(store, version)?;
         let mut damaged: HashMap<u32, String> = HashMap::new();
         for d in stat_damage {
             let slot = damaged.entry(d.keyword.0).or_default();
@@ -92,23 +258,27 @@ impl KvBackedIndex {
                 "document does not match persisted index (type count)",
             ));
         }
+        let gen = snap.gen();
         Ok(KvBackedIndex {
             doc,
             vocab,
             stats,
             cooccur: CoOccurrence::new(),
             version,
-            store: RwLock::new(store),
-            cache: ShardedListCache::new(DEFAULT_CACHE_BUDGET, DEFAULT_CACHE_SHARDS),
+            store: snap,
+            cache,
+            gen,
             damaged,
         })
     }
 
     /// Sets the list-cache byte budget (encoded bytes), keeping the shard
     /// count. A budget of 0 disables caching entirely — every touch
-    /// re-decodes.
+    /// re-decodes. Allocates a private cache: builder-style callers are
+    /// single-reader, not epoch-sharing.
     pub fn with_cache_budget(mut self, bytes: usize) -> Self {
-        self.cache = ShardedListCache::new(bytes, self.cache.shard_count());
+        self.cache = Arc::new(ShardedListCache::new(bytes, self.cache.shard_count()));
+        self.cache.set_current_gen(self.gen);
         self
     }
 
@@ -116,8 +286,22 @@ impl KvBackedIndex {
     /// reproduces the monolithic LRU (global eviction order); more shards
     /// trade eviction precision for lower lock contention.
     pub fn with_cache_shards(mut self, shards: usize) -> Self {
-        self.cache = ShardedListCache::new(self.cache.budget(), shards);
+        self.cache = Arc::new(ShardedListCache::new(self.cache.budget(), shards));
+        self.cache.set_current_gen(self.gen);
         self
+    }
+
+    /// The store generation this reader pinned at open.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Every key/value pair of the pinned snapshot, in key order. Pure
+    /// reads against the immutable snapshot (no locks, no writes); the
+    /// maintenance torture and differential suites use it to compare
+    /// whole store states.
+    pub fn store_dump(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.store.scan_range(b"", None)
     }
 
     /// Current cache counters, aggregated over all shards.
@@ -160,8 +344,9 @@ impl IndexReader for KvBackedIndex {
         if k.0 as usize >= self.vocab.len() {
             return Ok(ListHandle::empty());
         }
-        // Hit path: one shard lock, no store access.
-        if let Some(list) = self.cache.get(k.0) {
+        // Hit path: one shard lock, no store access. Lookups carry the
+        // pinned generation so a newer epoch's entry never serves here.
+        if let Some(list) = self.cache.get_at(k.0, self.gen) {
             obs::trace::event(
                 "list_load",
                 &[
@@ -174,17 +359,9 @@ impl IndexReader for KvBackedIndex {
             return Ok(ListHandle::new(list));
         }
         obs::trace::count("cache.misses", 1);
-        // Miss path: the store's read lock is shared, so concurrent
-        // misses read in parallel; decoding happens outside every lock.
-        let value = {
-            let _rank = obs::lockrank::acquire(obs::lockrank::rank::KVINDEX_STORE, "kvindex.store");
-            let store = self
-                .store
-                // xlint::lock(kvindex.store)
-                .read()
-                .map_err(|_| KvError::corrupt("store lock poisoned by a panicked writer"))?;
-            store.get(&persist::list_key(k.0))?
-        };
+        // Miss path: the pinned snapshot is immutable, so the read takes
+        // no lock at all and decoding happens outside every lock.
+        let value = self.store.get(&persist::list_key(k.0))?;
         let Some(value) = value else {
             return Err(KvError::corrupt(format!(
                 "posting list {} missing from store",
@@ -201,7 +378,8 @@ impl IndexReader for KvBackedIndex {
                 ("cache", &"miss"),
             ],
         );
-        self.cache.insert(k.0, Arc::clone(&list), value.len());
+        self.cache
+            .insert_at(k.0, Arc::clone(&list), value.len(), self.gen);
         Ok(ListHandle::new(list))
     }
 

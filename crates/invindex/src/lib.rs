@@ -16,7 +16,9 @@
 //! * [`stream`]: the streaming builder — zero-copy span scan, parallel
 //!   chunked tokenization, deterministic merge (byte-identical stores
 //!   with the DOM path);
-//! * [`persist`]: storage of the whole index in any [`kvstore::KvStore`].
+//! * [`persist`]: storage of the whole index in any [`kvstore::KvStore`];
+//! * [`maint`]: online maintenance — WAL-backed document insert/delete
+//!   with epoch/snapshot reader handoff ([`MaintIndex`]).
 
 pub mod cache;
 pub mod cooccur;
@@ -24,6 +26,7 @@ pub mod cursor;
 mod dfpass;
 pub mod index;
 pub mod kvindex;
+pub mod maint;
 pub mod parallel;
 pub mod persist;
 pub mod postings;
@@ -34,7 +37,8 @@ pub mod stream;
 pub use cache::{CacheStats, ShardedListCache, DEFAULT_CACHE_SHARDS};
 pub use cursor::{ListCursor, ScanStats};
 pub use index::{InMemoryIndex, Index};
-pub use kvindex::KvBackedIndex;
+pub use kvindex::{KvBackedIndex, StoreGen};
+pub use maint::{MaintIndex, MaintOp, MaintReport};
 pub use parallel::build_parallel;
 pub use persist::{verify_store, IntegrityReport, SectionReport, StatDamage};
 pub use postings::{Posting, PostingList};

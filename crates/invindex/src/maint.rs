@@ -1,0 +1,698 @@
+//! Online index maintenance: WAL-backed document insert/delete with
+//! epoch/snapshot reader handoff.
+//!
+//! [`MaintIndex`] owns a [`kvstore::DurableKv`] and keeps a published
+//! [`KvBackedIndex`] *epoch* that readers pin via [`MaintIndex::snapshot`].
+//! The corpus model is a root element containing *records* (its direct
+//! children, kept as canonical XML fragments); a maintenance transaction
+//! ([`MaintTxn`]) appends and/or removes records, commits the resulting
+//! store delta as **one atomic WAL transaction group**, and publishes a
+//! fresh generation.
+//!
+//! # Commit protocol (rebuild-diff)
+//!
+//! A commit reconstructs the post-transaction corpus, rebuilds the full
+//! index in memory, persists it to a scratch store, and diffs that
+//! against the live store; only the differing keys ship as the WAL
+//! batch. This is deliberately the *strongest* maintenance discipline:
+//! after every commit the durable store is byte-identical to a
+//! from-scratch rebuild of the same corpus (the differential oracle in
+//! `tests/maint_differential.rs` holds by construction), and crash
+//! recovery is exactly [`kvstore::DurableKv`]'s committed-prefix replay.
+//! The cost is a rebuild per transaction — acceptable for the paper's
+//! corpus scale, and an explicit trade the DESIGN.md section records.
+//!
+//! # Epoch lifecycle
+//!
+//! ```text
+//! commit:  writer lock → apply_batch (WAL) → gen+1
+//!            → cache.set_current_gen(gen+1)   (stale inserts now refused)
+//!            → cache.invalidate(changed ids)  (stale entries dropped)
+//!            → StoreGen{gen+1, base, frozen overlay} → new KvBackedIndex
+//!            → epoch pointer swap
+//! ```
+//!
+//! Readers holding the previous epoch keep serving from their pinned
+//! [`StoreGen`] — they are never blocked and never see mixed state;
+//! their re-decodes of invalidated lists are admitted to the cache only
+//! if their generation is still current (see [`crate::cache`]).
+//!
+//! # Compaction
+//!
+//! [`MaintIndex::compact`] folds the WAL overlay into the base store via
+//! [`kvstore::DurableKv::checkpoint`] (write `.db.new`, fsync, rename
+//! over `.db`, fsync dir, then reset the WAL), reopens a fresh read
+//! handle on the new base, and publishes it as a new generation with an
+//! empty overlay and **no cache invalidation** — the merged bytes are
+//! identical, so entries stamped by older generations keep hitting.
+//! Prior epochs still read the old inode through their pinned handle.
+
+use crate::cache::ShardedListCache;
+use crate::index::Index;
+use crate::kvindex::{KvBackedIndex, StoreGen, DEFAULT_CACHE_BUDGET, DEFAULT_CACHE_SHARDS};
+use crate::persist;
+use crate::postings::{read_varint, write_varint};
+use kvstore::{BatchOp, DiskKv, DurableKv, KvError, KvStore, MemKv, Result, StdVfs, Vfs};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+use xmldom::{parse_document, Document, NodeId};
+
+/// The store key holding maintenance metadata (committed transaction
+/// sequence number and record count), framed like every other persisted
+/// value.
+pub const MAINT_KEY: &[u8] = b"M/maint";
+
+/// One staged corpus mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintOp {
+    /// Append a record (an XML fragment that parses as one element) to
+    /// the corpus.
+    Add { fragment: String },
+    /// Remove the record at this root-child ordinal (0-based, evaluated
+    /// against the corpus state *within* the transaction, in op order).
+    Remove { slot: usize },
+}
+
+/// What a committed maintenance transaction did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintReport {
+    /// Maintenance sequence number of this commit (1-based, monotonic
+    /// across compactions and restarts).
+    pub seq: u64,
+    /// Generation the commit published (process-local, restarts at 0).
+    pub generation: u64,
+    /// Records in the corpus after the commit.
+    pub records: usize,
+    /// Store keys the WAL transaction touched.
+    pub batch_ops: usize,
+    /// Records added / removed by the transaction.
+    pub added: usize,
+    pub removed: usize,
+}
+
+/// The single-writer state behind the writer mutex.
+struct Writer {
+    vfs: Arc<dyn Vfs>,
+    durable: DurableKv,
+    /// Independent read handle on the base `.db` file, shared by every
+    /// snapshot published since the last compaction. Checkpoint renames
+    /// a new file over the path, so old handles keep reading the old
+    /// inode and this handle is reopened after each compaction.
+    base_handle: Arc<dyn KvStore>,
+    /// Current corpus document (reparsed on every commit).
+    doc: Arc<Document>,
+    /// Canonical record fragments — `doc`'s root children rendered back
+    /// to XML. Invariant: reopening the store re-derives exactly this.
+    records: Vec<String>,
+    root_tag: String,
+    root_attrs: Vec<(String, String)>,
+    root_text: String,
+    seq: u64,
+    gen: u64,
+}
+
+/// A live, updatable index: a durable store plus the epoch pointer
+/// readers pin snapshots from. All methods take `&self`; commits are
+/// serialized by the writer mutex, reads are never blocked.
+pub struct MaintIndex {
+    writer: Mutex<Writer>,
+    epoch: Mutex<Arc<KvBackedIndex>>,
+    cache: Arc<ShardedListCache>,
+}
+
+/// A staged maintenance transaction: accumulate ops, then
+/// [`MaintTxn::commit`] them as one atomic WAL transaction.
+pub struct MaintTxn<'a> {
+    maint: &'a MaintIndex,
+    ops: Vec<MaintOp>,
+}
+
+impl MaintTxn<'_> {
+    /// Stages a record append.
+    pub fn add(&mut self, fragment: &str) -> &mut Self {
+        self.ops.push(MaintOp::Add {
+            fragment: fragment.to_string(),
+        });
+        self
+    }
+
+    /// Stages a record removal by root-child ordinal.
+    pub fn remove(&mut self, slot: usize) -> &mut Self {
+        self.ops.push(MaintOp::Remove { slot });
+        self
+    }
+
+    /// Commits the staged ops atomically.
+    pub fn commit(self) -> Result<MaintReport> {
+        self.maint.commit(&self.ops)
+    }
+}
+
+impl MaintIndex {
+    /// Opens (or creates the WAL beside) a durable store at `base` for
+    /// online maintenance, replaying any committed-but-uncheckpointed
+    /// transactions.
+    pub fn open(base: &Path) -> Result<Self> {
+        Self::open_with_vfs(StdVfs::arc(), base)
+    }
+
+    /// [`Self::open`] through an explicit [`Vfs`] (fault injection,
+    /// crash-recovery testing).
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, base: &Path) -> Result<Self> {
+        let durable = DurableKv::open_with_vfs(Arc::clone(&vfs), base)?;
+        let version = persist::read_version(&durable)?;
+        let blob = durable.get(b"D/doc")?.ok_or_else(|| {
+            KvError::corrupt(format!(
+                "store (version {version}) has no embedded document; \
+                 online maintenance needs a version 2+ store"
+            ))
+        })?;
+        let doc = Arc::new(persist::decode_document(persist::decode_value(
+            version, &blob, "D/doc",
+        )?)?);
+        let (records, root_tag, root_attrs, root_text) = derive_records(&doc);
+        let seq = match durable.get(MAINT_KEY)? {
+            Some(value) => {
+                let (seq, count) = decode_maint_meta(version, &value)?;
+                if count != records.len() as u64 {
+                    return Err(KvError::corrupt(format!(
+                        "maintenance metadata claims {count} records but the \
+                         embedded document has {}",
+                        records.len()
+                    )));
+                }
+                seq
+            }
+            None => 0,
+        };
+        let db_path = base.with_extension("db");
+        let base_handle: Arc<dyn KvStore> = Arc::new(DiskKv::open_with_vfs(&vfs, &db_path)?);
+        let cache = Arc::new(ShardedListCache::new(
+            DEFAULT_CACHE_BUDGET,
+            DEFAULT_CACHE_SHARDS,
+        ));
+        let snap = Arc::new(StoreGen::new(
+            0,
+            Arc::clone(&base_handle),
+            Arc::new(durable.overlay_snapshot()),
+        )?);
+        let reader = Arc::new(KvBackedIndex::open_snapshot_with_document(
+            Arc::clone(&doc),
+            snap,
+            Arc::clone(&cache),
+        )?);
+        obs::gauge!("maint_overlay_entries").set(durable.overlay_len() as i64);
+        Ok(MaintIndex {
+            writer: Mutex::new(Writer {
+                vfs,
+                durable,
+                base_handle,
+                doc,
+                records,
+                root_tag,
+                root_attrs,
+                root_text,
+                seq,
+                gen: 0,
+            }),
+            epoch: Mutex::new(reader),
+            cache,
+        })
+    }
+
+    /// Begins a staged transaction.
+    pub fn txn(&self) -> MaintTxn<'_> {
+        MaintTxn {
+            maint: self,
+            ops: Vec::new(),
+        }
+    }
+
+    /// The epoch readers currently pin. Cheap: one mutex, one
+    /// `Arc` clone; the returned reader stays valid (served from its
+    /// pinned snapshot) across any number of later commits.
+    pub fn snapshot(&self) -> Arc<KvBackedIndex> {
+        let _rank = obs::lockrank::acquire(obs::lockrank::rank::MAINT_EPOCH, "maint.epoch");
+        Arc::clone(&self.epoch.lock()) // xlint::lock(maint.epoch)
+    }
+
+    /// Commits `ops` as one atomic WAL transaction and publishes the
+    /// new generation. On any error the store and the published epoch
+    /// are unchanged (a failed WAL append is rolled back by recovery).
+    pub fn commit(&self, ops: &[MaintOp]) -> Result<MaintReport> {
+        let started = Instant::now();
+        let report = {
+            let _rank = obs::lockrank::acquire(obs::lockrank::rank::MAINT_WRITER, "maint.writer");
+            let mut w = self.writer.lock(); // xlint::lock(maint.writer)
+            self.commit_locked(&mut w, ops)
+        };
+        match &report {
+            Ok(r) => {
+                obs::counter!("maint_txns_total").inc();
+                obs::counter!("maint_batch_ops_total").add(r.batch_ops as u64);
+                if r.added > 0 {
+                    obs::counter!("maint_records_added_total").add(r.added as u64);
+                }
+                if r.removed > 0 {
+                    obs::counter!("maint_records_removed_total").add(r.removed as u64);
+                }
+                obs::counter!("maint_epochs_total").inc();
+                obs::histogram!("maint_commit_nanos").observe_duration(started.elapsed());
+            }
+            Err(_) => {
+                obs::counter!("maint_txn_failures_total").inc();
+            }
+        }
+        report
+    }
+
+    fn commit_locked(&self, w: &mut Writer, ops: &[MaintOp]) -> Result<MaintReport> {
+        // 1. Apply the ops to a working copy of the record list.
+        let mut records = w.records.clone();
+        let (mut added, mut removed) = (0usize, 0usize);
+        for op in ops {
+            match op {
+                MaintOp::Add { fragment } => {
+                    let frag_doc = parse_document(fragment).map_err(|e| {
+                        KvError::corrupt(format!("maintenance fragment does not parse: {e}"))
+                    })?;
+                    records.push(frag_doc.to_xml());
+                    added += 1;
+                }
+                MaintOp::Remove { slot } => {
+                    if *slot >= records.len() {
+                        return Err(KvError::corrupt(format!(
+                            "maintenance remove slot {slot} out of range \
+                             ({} records at that point in the transaction)",
+                            records.len()
+                        )));
+                    }
+                    records.remove(*slot);
+                    removed += 1;
+                }
+            }
+        }
+
+        // 2. Rebuild the post-transaction index in memory.
+        let xml = compose_corpus(&w.root_tag, &w.root_attrs, &w.root_text, &records);
+        let doc =
+            Arc::new(parse_document(&xml).map_err(|e| {
+                KvError::corrupt(format!("reconstructed corpus does not parse: {e}"))
+            })?);
+        let built = Index::build(Arc::clone(&doc));
+        let mut target = MemKv::new();
+        persist::persist(&built, &mut target)?;
+        let version = persist::read_version(&target)?;
+        let seq = w.seq + 1;
+        // Re-derive the canonical records from the parsed corpus so the
+        // in-memory list always matches what a reopen would derive.
+        let (canonical, root_tag, root_attrs, root_text) = derive_records(&doc);
+        target.put(
+            MAINT_KEY,
+            &encode_maint_meta(version, seq, canonical.len() as u64),
+        )?;
+
+        // 3. Diff against the live store; ship only the delta.
+        let batch = diff_stores(&w.durable, &target)?;
+        let changed_lists = changed_list_ids(&batch);
+        w.durable.apply_batch(&batch)?;
+
+        // 4. Commit the in-memory state and publish the new epoch.
+        w.records = canonical;
+        w.root_tag = root_tag;
+        w.root_attrs = root_attrs;
+        w.root_text = root_text;
+        w.doc = Arc::clone(&doc);
+        w.seq = seq;
+        self.publish(w, &changed_lists)?;
+        obs::gauge!("maint_overlay_entries").set(w.durable.overlay_len() as i64);
+        Ok(MaintReport {
+            seq,
+            generation: w.gen,
+            records: w.records.len(),
+            batch_ops: batch.len(),
+            added,
+            removed,
+        })
+    }
+
+    /// Bumps the generation, invalidates the changed posting lists, and
+    /// swaps the epoch pointer to a reader over the new snapshot.
+    /// Ordering matters: the generation bump is published to the cache
+    /// *before* invalidation, so a stale reader that races the sweep
+    /// cannot re-seed an entry we just dropped (its insert carries the
+    /// old generation and is refused under the shard mutex).
+    fn publish(&self, w: &mut Writer, changed_lists: &[u32]) -> Result<()> {
+        w.gen += 1;
+        self.cache.set_current_gen(w.gen);
+        for &id in changed_lists {
+            self.cache.invalidate(id);
+        }
+        let snap = Arc::new(StoreGen::new(
+            w.gen,
+            Arc::clone(&w.base_handle),
+            Arc::new(w.durable.overlay_snapshot()),
+        )?);
+        let reader = Arc::new(KvBackedIndex::open_snapshot_with_document(
+            Arc::clone(&w.doc),
+            snap,
+            Arc::clone(&self.cache),
+        )?);
+        let _rank = obs::lockrank::acquire(obs::lockrank::rank::MAINT_EPOCH, "maint.epoch");
+        *self.epoch.lock() = reader; // xlint::lock(maint.epoch)
+        Ok(())
+    }
+
+    /// Folds the WAL overlay into the base store and publishes the
+    /// compacted state as a new generation (no cache invalidation: the
+    /// merged bytes are identical). Returns whether anything was folded.
+    pub fn compact(&self) -> Result<bool> {
+        let _rank = obs::lockrank::acquire(obs::lockrank::rank::MAINT_WRITER, "maint.writer");
+        let mut w = self.writer.lock(); // xlint::lock(maint.writer)
+        if w.durable.overlay_len() == 0 {
+            return Ok(false);
+        }
+        w.durable.checkpoint()?;
+        // The checkpoint renamed a fresh tree over the `.db` path; prior
+        // snapshots keep reading the old inode through their pinned
+        // handle, new snapshots need a handle on the new file.
+        let db_path = w.durable.base_path().with_extension("db");
+        w.base_handle = Arc::new(DiskKv::open_with_vfs(&w.vfs, &db_path)?);
+        self.publish(&mut w, &[])?;
+        obs::counter!("maint_compactions_total").inc();
+        obs::counter!("maint_epochs_total").inc();
+        obs::gauge!("maint_overlay_entries").set(0);
+        Ok(true)
+    }
+
+    /// Compacts once the overlay holds at least `threshold` entries.
+    pub fn compact_if_needed(&self, threshold: usize) -> Result<bool> {
+        if threshold == 0 || self.overlay_len() >= threshold {
+            self.compact()
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Committed maintenance transactions so far (monotonic across
+    /// compactions and restarts).
+    pub fn seq(&self) -> u64 {
+        let _rank = obs::lockrank::acquire(obs::lockrank::rank::MAINT_WRITER, "maint.writer");
+        self.writer.lock().seq // xlint::lock(maint.writer)
+    }
+
+    /// Records currently in the corpus.
+    pub fn record_count(&self) -> usize {
+        let _rank = obs::lockrank::acquire(obs::lockrank::rank::MAINT_WRITER, "maint.writer");
+        self.writer.lock().records.len() // xlint::lock(maint.writer)
+    }
+
+    /// Canonical record fragments, in slot order.
+    pub fn records(&self) -> Vec<String> {
+        let _rank = obs::lockrank::acquire(obs::lockrank::rank::MAINT_WRITER, "maint.writer");
+        self.writer.lock().records.clone() // xlint::lock(maint.writer)
+    }
+
+    /// The full corpus as one XML document (what a from-scratch build
+    /// of the current state would ingest).
+    pub fn full_xml(&self) -> String {
+        let _rank = obs::lockrank::acquire(obs::lockrank::rank::MAINT_WRITER, "maint.writer");
+        let w = self.writer.lock(); // xlint::lock(maint.writer)
+        compose_corpus(&w.root_tag, &w.root_attrs, &w.root_text, &w.records)
+    }
+
+    /// Entries (puts and deletes) accumulated in the WAL overlay since
+    /// the last compaction.
+    pub fn overlay_len(&self) -> usize {
+        let _rank = obs::lockrank::acquire(obs::lockrank::rank::MAINT_WRITER, "maint.writer");
+        self.writer.lock().durable.overlay_len() // xlint::lock(maint.writer)
+    }
+
+    /// The shared list cache (one instance across all epochs).
+    pub fn cache(&self) -> &Arc<ShardedListCache> {
+        &self.cache
+    }
+}
+
+/// Renders `doc`'s root children back to canonical XML fragments,
+/// returning them with the root element's tag, attributes and direct
+/// text (everything needed to recompose the corpus).
+fn derive_records(doc: &Document) -> (Vec<String>, String, Vec<(String, String)>, String) {
+    let root = doc.root();
+    let node = doc.node(root);
+    let records: Vec<String> = node
+        .children
+        .iter()
+        .map(|&c: &NodeId| doc.subtree_to_xml(c))
+        .collect();
+    (
+        records,
+        doc.tag_name(root).to_string(),
+        node.attributes.clone(),
+        node.text.clone(),
+    )
+}
+
+/// Recomposes the corpus document from its root envelope and records.
+fn compose_corpus(
+    root_tag: &str,
+    root_attrs: &[(String, String)],
+    root_text: &str,
+    records: &[String],
+) -> String {
+    let mut xml = String::with_capacity(64 + records.iter().map(String::len).sum::<usize>());
+    xml.push('<');
+    xml.push_str(root_tag);
+    for (k, v) in root_attrs {
+        xml.push(' ');
+        xml.push_str(k);
+        xml.push_str("=\"");
+        xmldom::tree::escape_into(v, &mut xml);
+        xml.push('"');
+    }
+    xml.push('>');
+    if !root_text.is_empty() {
+        xml.push('\n');
+        xmldom::tree::escape_into(root_text, &mut xml);
+    }
+    xml.push('\n');
+    for r in records {
+        xml.push_str(r);
+    }
+    xml.push_str("</");
+    xml.push_str(root_tag);
+    xml.push('>');
+    xml
+}
+
+/// Minimal batch turning the live store's contents into `target`'s.
+fn diff_stores(live: &dyn KvStore, target: &dyn KvStore) -> Result<Vec<BatchOp>> {
+    let mut ops = Vec::new();
+    let current: BTreeMap<Vec<u8>, Vec<u8>> = live.scan_range(b"", None)?.into_iter().collect();
+    let desired: BTreeMap<Vec<u8>, Vec<u8>> = target.scan_range(b"", None)?.into_iter().collect();
+    for (key, value) in &desired {
+        if current.get(key) != Some(value) {
+            ops.push(BatchOp::Put(key.clone(), value.clone()));
+        }
+    }
+    for key in current.keys() {
+        if !desired.contains_key(key) {
+            ops.push(BatchOp::Delete(key.clone()));
+        }
+    }
+    Ok(ops)
+}
+
+/// Keyword ids of the posting lists a batch touches (the entries the
+/// cache must drop at publish).
+fn changed_list_ids(batch: &[BatchOp]) -> Vec<u32> {
+    let mut ids = Vec::new();
+    for op in batch {
+        let key = match op {
+            BatchOp::Put(k, _) => k,
+            BatchOp::Delete(k) => k,
+        };
+        if key.starts_with(b"L/") {
+            if let Some(raw) = key.get(2..6) {
+                if let Ok(be) = <[u8; 4]>::try_from(raw) {
+                    ids.push(u32::from_be_bytes(be));
+                }
+            }
+        }
+    }
+    ids
+}
+
+/// `M/maint` value: persist-framed `varint(seq) ‖ varint(record_count)`.
+fn encode_maint_meta(version: u64, seq: u64, records: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8);
+    write_varint(&mut payload, seq);
+    write_varint(&mut payload, records);
+    persist::encode_value(version, payload)
+}
+
+/// Decodes an `M/maint` value into (seq, record_count). Public to the
+/// crate so the CLI `scrub` path can report maintenance state.
+pub fn decode_maint_meta(version: u64, value: &[u8]) -> Result<(u64, u64)> {
+    let raw = persist::decode_value(version, value, "M/maint")?;
+    let mut pos = 0;
+    let seq = read_varint(raw, &mut pos)
+        .ok_or_else(|| KvError::corrupt("M/maint: bad sequence varint"))?;
+    let records = read_varint(raw, &mut pos)
+        .ok_or_else(|| KvError::corrupt("M/maint: bad record-count varint"))?;
+    if pos != raw.len() {
+        return Err(KvError::corrupt("M/maint: trailing bytes"));
+    }
+    Ok((seq, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::IndexReader;
+    use crate::stream::build_streaming;
+    use kvstore::{FaultVfs, MemTreeKv};
+    use std::path::PathBuf;
+
+    const CORPUS: &str = "<bib>\
+        <paper><title>xml keyword search</title><year>2003</year></paper>\
+        <paper><title>query refinement</title><year>2009</year></paper>\
+        </bib>";
+
+    /// Builds a version-2 store for CORPUS at `base` (vfs-backed).
+    fn seed_store(vfs: &Arc<dyn Vfs>, base: &Path) -> PathBuf {
+        let built = build_streaming(CORPUS, 1).unwrap();
+        let db = base.with_extension("db");
+        let mut disk = DiskKv::open_with_vfs(vfs, &db).unwrap();
+        persist::persist(&built, &mut disk).unwrap();
+        disk.sync().unwrap();
+        base.to_path_buf()
+    }
+
+    fn fresh() -> (FaultVfs, PathBuf) {
+        let vfs = FaultVfs::new();
+        let base = PathBuf::from("/maint/store.db");
+        seed_store(&vfs.as_dyn(), &base);
+        (vfs, base)
+    }
+
+    #[test]
+    fn add_and_remove_round_trip_through_commits() {
+        let (vfs, base) = fresh();
+        let maint = MaintIndex::open_with_vfs(vfs.as_dyn(), &base).unwrap();
+        assert_eq!(maint.record_count(), 2);
+        assert_eq!(maint.seq(), 0);
+
+        let mut txn = maint.txn();
+        txn.add("<paper><title>stack algorithms</title></paper>");
+        let r = txn.commit().unwrap();
+        assert_eq!((r.seq, r.records, r.added, r.removed), (1, 3, 1, 0));
+        assert!(r.batch_ops > 0);
+
+        let snap = maint.snapshot();
+        assert!(!snap.list_handle("stack").unwrap().is_empty());
+        assert_eq!(snap.generation(), 1);
+
+        let mut txn = maint.txn();
+        txn.remove(2);
+        let r = txn.commit().unwrap();
+        assert_eq!((r.seq, r.records, r.removed), (2, 2, 1));
+        let snap = maint.snapshot();
+        assert!(snap.list_handle("stack").unwrap().is_empty());
+    }
+
+    #[test]
+    fn committed_store_is_byte_identical_to_a_fresh_build() {
+        let (vfs, base) = fresh();
+        let maint = MaintIndex::open_with_vfs(vfs.as_dyn(), &base).unwrap();
+        let mut txn = maint.txn();
+        txn.add("<paper><title>stack algorithms</title><year>2004</year></paper>");
+        txn.remove(0);
+        txn.commit().unwrap();
+
+        let final_xml = maint.full_xml();
+        let rebuilt = build_streaming(&final_xml, 1).unwrap();
+        let mut scratch = MemTreeKv::new().unwrap();
+        persist::persist(&rebuilt, &mut scratch).unwrap();
+
+        let reopened = DurableKv::open_with_vfs(vfs.as_dyn(), &base).unwrap();
+        let mut live: BTreeMap<Vec<u8>, Vec<u8>> = reopened
+            .scan_range(b"", None)
+            .unwrap()
+            .into_iter()
+            .collect();
+        assert!(live.remove(MAINT_KEY).is_some());
+        let fresh: BTreeMap<Vec<u8>, Vec<u8>> =
+            scratch.scan_range(b"", None).unwrap().into_iter().collect();
+        assert_eq!(live, fresh, "maintained store diverged from rebuild");
+    }
+
+    #[test]
+    fn old_snapshot_keeps_answering_across_commits_and_compaction() {
+        let (vfs, base) = fresh();
+        let maint = MaintIndex::open_with_vfs(vfs.as_dyn(), &base).unwrap();
+        let old = maint.snapshot();
+        let old_refinement = old.list_handle("refinement").unwrap().len();
+        assert!(old_refinement > 0);
+
+        let mut txn = maint.txn();
+        txn.remove(1); // drops the "query refinement" paper
+        txn.commit().unwrap();
+        assert!(maint.compact().unwrap());
+
+        // New epoch: the keyword is gone.
+        let new = maint.snapshot();
+        assert!(new.list_handle("refinement").unwrap().is_empty());
+        // Old epoch: still pinned to its generation, still answering.
+        assert_eq!(old.list_handle("refinement").unwrap().len(), old_refinement);
+    }
+
+    #[test]
+    fn reopen_after_commits_restores_seq_and_records() {
+        let (vfs, base) = fresh();
+        {
+            let maint = MaintIndex::open_with_vfs(vfs.as_dyn(), &base).unwrap();
+            let mut txn = maint.txn();
+            txn.add("<paper><title>third</title></paper>");
+            txn.commit().unwrap();
+        }
+        let maint = MaintIndex::open_with_vfs(vfs.as_dyn(), &base).unwrap();
+        assert_eq!(maint.seq(), 1);
+        assert_eq!(maint.record_count(), 3);
+        // seq survives a compaction + reopen too.
+        assert!(maint.compact().unwrap());
+        drop(maint);
+        let maint = MaintIndex::open_with_vfs(vfs.as_dyn(), &base).unwrap();
+        assert_eq!(maint.seq(), 1);
+        assert_eq!(maint.record_count(), 3);
+        assert_eq!(maint.overlay_len(), 0, "compaction folded the overlay");
+    }
+
+    #[test]
+    fn failed_ops_leave_store_and_epoch_untouched() {
+        let (vfs, base) = fresh();
+        let maint = MaintIndex::open_with_vfs(vfs.as_dyn(), &base).unwrap();
+        let before = maint.snapshot();
+        let mut txn = maint.txn();
+        txn.add("<unclosed>");
+        assert!(txn.commit().is_err());
+        let mut txn = maint.txn();
+        txn.remove(7);
+        assert!(txn.commit().is_err());
+        assert_eq!(maint.seq(), 0);
+        assert!(Arc::ptr_eq(&before, &maint.snapshot()));
+    }
+
+    #[test]
+    fn maint_meta_codec_round_trips_and_rejects_garbage() {
+        let v = persist::FORMAT_VERSION;
+        let enc = encode_maint_meta(v, 42, 7);
+        assert_eq!(decode_maint_meta(v, &enc).unwrap(), (42, 7));
+        let mut bad = enc.clone();
+        *bad.last_mut().unwrap() ^= 0xFF;
+        assert!(decode_maint_meta(v, &bad).is_err());
+    }
+}

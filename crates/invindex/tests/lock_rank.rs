@@ -1,17 +1,17 @@
-//! Deadlock regression tests for the store-lock / shard-lock nesting.
+//! Deadlock regression tests for the maintenance lock hierarchy.
 //!
 //! The static half of the lock-order story is xlint's `lock-order` rule;
 //! this is the runtime half: `obs::lockrank` keeps a thread-local stack
 //! of held ranks and `debug_assert`s that acquisitions are strictly
 //! increasing. Eight threads hammer the real sharded cache (whose
 //! instrumented sites acquire `cache.shard` under the runtime checker)
-//! while nesting a modelled `kvindex.store` read outside it — the order
-//! the production `KvBackedIndex` read path uses. The inverted order
-//! must panic, in debug builds only.
+//! while nesting modelled `maint.writer` → `maint.epoch` acquisitions
+//! outside it — the order a committing `MaintIndex` writer uses. The
+//! inverted order must panic, in debug builds only.
 
 use invindex::{Posting, PostingList, ShardedListCache};
 use obs::lockrank;
-use std::sync::{Arc, Barrier, RwLock};
+use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 use xmldom::{Dewey, NodeTypeId};
 
@@ -24,35 +24,41 @@ fn list(n: u32) -> Arc<PostingList> {
     Arc::new(l)
 }
 
-/// Store-before-shard (the production order) from eight threads at once:
-/// every acquisition is strictly increasing, so the checker stays quiet
-/// and nothing deadlocks.
+/// Writer-before-epoch-before-shard (the production commit order) from
+/// eight threads at once: every acquisition is strictly increasing, so
+/// the checker stays quiet and nothing deadlocks.
 #[test]
-fn eight_threads_nest_store_then_shard_cleanly() {
+fn eight_threads_nest_writer_epoch_then_shard_cleanly() {
     const THREADS: usize = 8;
     const ROUNDS: u32 = 200;
-    let store = Arc::new(RwLock::new(0u64));
+    let writer = Arc::new(Mutex::new(0u64));
+    let epoch = Arc::new(Mutex::new(0u64));
     let cache = Arc::new(ShardedListCache::new(1 << 16, 4));
     let barrier = Arc::new(Barrier::new(THREADS));
     let handles: Vec<_> = (0..THREADS)
         .map(|t| {
-            let store = Arc::clone(&store);
+            let writer = Arc::clone(&writer);
+            let epoch = Arc::clone(&epoch);
             let cache = Arc::clone(&cache);
             let barrier = Arc::clone(&barrier);
             thread::spawn(move || {
                 barrier.wait();
                 for round in 0..ROUNDS {
                     let id = (t as u32) * ROUNDS + round;
-                    // The read path's shape: hold the store lock, then
-                    // dip into a cache shard. `cache.get`/`insert`
-                    // acquire CACHE_SHARD through their own
-                    // instrumentation, nested inside this guard.
-                    let _store_rank =
-                        lockrank::acquire(lockrank::rank::KVINDEX_STORE, "kvindex.store");
-                    let _store_guard = store.read().expect("store lock");
+                    // The commit path's shape: hold the writer mutex,
+                    // invalidate/seed cache shards (CACHE_SHARD via the
+                    // cache's own instrumentation), then swap the epoch
+                    // pointer. Shard guards release before the epoch
+                    // acquisition, exactly like `MaintIndex::publish`.
+                    let _writer_rank =
+                        lockrank::acquire(lockrank::rank::MAINT_WRITER, "maint.writer");
+                    let _writer_guard = writer.lock().expect("writer lock");
                     if cache.get(id).is_none() {
                         cache.insert(id, list(id), 64);
                     }
+                    cache.invalidate(id.wrapping_add(1));
+                    let _epoch_rank = lockrank::acquire(lockrank::rank::MAINT_EPOCH, "maint.epoch");
+                    let _epoch_guard = epoch.lock().expect("epoch lock");
                 }
                 cache.check_invariants();
             })
@@ -67,30 +73,42 @@ fn eight_threads_nest_store_then_shard_cleanly() {
     );
 }
 
-/// The inverted nesting — shard held, then the store lock — is exactly
-/// the shape that deadlocks against the clean order above. The runtime
-/// checker must refuse it before any scheduler interleaving gets a say.
+/// The inverted nesting — a shard held, then the epoch pointer — is
+/// exactly the shape that deadlocks against the clean order above. The
+/// runtime checker must refuse it before any scheduler interleaving
+/// gets a say.
 #[cfg(debug_assertions)]
 #[test]
 #[should_panic(expected = "lock-rank violation")]
-fn shard_then_store_nesting_panics_in_debug() {
+fn shard_then_epoch_nesting_panics_in_debug() {
     let cache = ShardedListCache::new(1 << 12, 4);
     // Entering the shard via the instrumented `insert` is fine on its
-    // own; the violation is taking the store rank while a same-thread
+    // own; the violation is taking the epoch rank while a same-thread
     // shard guard would still be live.
     cache.insert(1, list(1), 64);
     let _shard_rank = lockrank::acquire(lockrank::rank::CACHE_SHARD, "cache.shard");
-    let _store_rank = lockrank::acquire(lockrank::rank::KVINDEX_STORE, "kvindex.store");
+    let _epoch_rank = lockrank::acquire(lockrank::rank::MAINT_EPOCH, "maint.epoch");
+}
+
+/// Same inversion one level up: the epoch pointer must never be held
+/// when the writer mutex is requested (a reader pinning a snapshot
+/// cannot block a committer into a cycle).
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "lock-rank violation")]
+fn epoch_then_writer_nesting_panics_in_debug() {
+    let _epoch_rank = lockrank::acquire(lockrank::rank::MAINT_EPOCH, "maint.epoch");
+    let _writer_rank = lockrank::acquire(lockrank::rank::MAINT_WRITER, "maint.writer");
 }
 
 /// In release builds the checker compiles down to nothing: the guard is
 /// a ZST and inverted acquisition is (dangerously) silent — that's the
-/// zero-overhead contract, and why debug CI runs the test above.
+/// zero-overhead contract, and why debug CI runs the tests above.
 #[cfg(not(debug_assertions))]
 #[test]
 fn release_checker_is_zero_cost_and_silent() {
     assert_eq!(std::mem::size_of::<lockrank::RankGuard>(), 0);
     let _shard = lockrank::acquire(lockrank::rank::CACHE_SHARD, "cache.shard");
-    let _store = lockrank::acquire(lockrank::rank::KVINDEX_STORE, "kvindex.store");
+    let _epoch = lockrank::acquire(lockrank::rank::MAINT_EPOCH, "maint.epoch");
     assert!(lockrank::held_ranks().is_empty());
 }

@@ -27,7 +27,7 @@ pub mod vfs;
 pub mod wal;
 
 pub use btree::{BTree, MAX_KEY_LEN};
-pub use durable::DurableKv;
+pub use durable::{BatchOp, DurableKv};
 pub use error::{KvError, Result};
 pub use pager::{
     FilePager, MemPager, PageId, PageVerifyReport, Pager, PAGE_SIZE, PAGE_TRAILER_MAGIC,

@@ -18,10 +18,20 @@
 //!
 //! ```text
 //! [len: u32][crc32: u32][kind: u8][payload: len-5 bytes]
-//! kind 1 = Put    payload = [klen: u32][key][value]
-//! kind 2 = Delete payload = [klen: u32][key]
+//! kind 1 = Put       payload = [klen: u32][key][value]
+//! kind 2 = Delete    payload = [klen: u32][key]
 //! kind 3 = Checkpoint (no payload)
+//! kind 4 = TxnBegin  payload = [seq: u64]
+//! kind 5 = TxnCommit payload = [seq: u64]
 //! ```
+//!
+//! Records between a `TxnBegin` and its matching `TxnCommit` form one
+//! atomic transaction: [`Wal::append_txn`] writes the whole group with a
+//! single positional write and a single fsync, so a crash either keeps
+//! the entire group or tears it. Replay drops an unterminated group at
+//! the tail (it was never acknowledged) and truncates the file back to
+//! the group's `TxnBegin`; an unterminated group *followed by* intact
+//! records cannot be a crash artifact and is reported as corruption.
 
 use crate::codec;
 use crate::error::{KvError, Result};
@@ -42,6 +52,16 @@ pub enum WalRecord {
     /// Marks that all preceding records are reflected in a checkpointed
     /// base state; replay may start after the *last* checkpoint.
     Checkpoint,
+    /// Opens an atomic group; `seq` must match the closing
+    /// [`WalRecord::TxnCommit`].
+    TxnBegin {
+        seq: u64,
+    },
+    /// Closes the atomic group opened by the [`WalRecord::TxnBegin`]
+    /// with the same `seq`.
+    TxnCommit {
+        seq: u64,
+    },
 }
 
 /// CRC-32 (IEEE 802.3, reflected) — implemented locally; the workspace
@@ -84,6 +104,13 @@ pub struct Wal {
     /// Byte offset where the next frame is appended. Maintained
     /// explicitly because the [`VfsFile`] interface is positional.
     tail: u64,
+    /// When set, [`Self::reset_with_vfs`] refuses to run unless
+    /// [`Self::note_base_durable`] was called since the last reset —
+    /// the durability-ordering audit for checkpointing stores.
+    audit_reset: bool,
+    /// Set by the owner once the checkpointed base state is durable;
+    /// consumed (cleared) by the next reset.
+    base_durable_noted: bool,
 }
 
 impl Wal {
@@ -110,7 +137,26 @@ impl Wal {
             path: path.to_path_buf(),
             file,
             tail,
+            audit_reset: false,
+            base_durable_noted: false,
         })
+    }
+
+    /// Arms the durability-ordering audit: every subsequent
+    /// [`Self::reset_with_vfs`] fails unless [`Self::note_base_durable`]
+    /// was called first. Owners that truncate the log only after
+    /// checkpointing (i.e. `DurableKv`) arm this at open so an ordering
+    /// regression — truncating the log while recovery still depends on
+    /// it — surfaces as a hard error instead of silent data loss.
+    pub fn require_reset_audit(&mut self) {
+        self.audit_reset = true;
+    }
+
+    /// Records that the checkpointed base state the log protects has
+    /// been made durable (fsynced and, where relevant, its rename
+    /// fsynced too), so the log may now be truncated.
+    pub fn note_base_durable(&mut self) {
+        self.base_durable_noted = true;
     }
 
     pub fn path(&self) -> &Path {
@@ -139,6 +185,44 @@ impl Wal {
         Ok(())
     }
 
+    /// Appends `ops` as one atomic group — `TxnBegin(seq)`, the ops,
+    /// `TxnCommit(seq)` — with a single positional write and a single
+    /// fsync. A crash mid-write leaves at worst an unterminated group,
+    /// which replay rolls back wholesale; there is no interleaving in
+    /// which a proper subset of `ops` survives.
+    pub fn append_txn(&mut self, seq: u64, ops: &[WalRecord]) -> Result<()> {
+        let mut frames = Vec::new();
+        let push = |record: &WalRecord, frames: &mut Vec<u8>| {
+            let body = encode_body(record);
+            frames.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            frames.extend_from_slice(&crc32(&body).to_le_bytes());
+            frames.extend_from_slice(&body);
+        };
+        push(&WalRecord::TxnBegin { seq }, &mut frames);
+        for op in ops {
+            debug_assert!(
+                matches!(op, WalRecord::Put { .. } | WalRecord::Delete { .. }),
+                "only Put/Delete may appear inside a transaction"
+            );
+            push(op, &mut frames);
+        }
+        push(&WalRecord::TxnCommit { seq }, &mut frames);
+        if let Err(e) = self.file.write_all_at(self.tail, &frames) {
+            // Best-effort rollback of a short write; the group was never
+            // acknowledged (and even unrolled, replay drops it).
+            let _ = self.file.set_len(self.tail);
+            return Err(e);
+        }
+        self.file.sync_data()?;
+        obs::counter!("kvstore_wal_appends_total").add(ops.len() as u64 + 2);
+        obs::counter!("kvstore_wal_appended_bytes_total").add(frames.len() as u64);
+        obs::counter!("kvstore_wal_syncs_total").inc();
+        obs::counter!("kvstore_wal_txns_total").inc();
+        obs::trace::count("wal.syncs", 1);
+        self.tail += frames.len() as u64;
+        Ok(())
+    }
+
     /// Reads every intact record from the start of the log. A torn or
     /// corrupt *tail* ends replay silently (those records were never
     /// acknowledged as committed) and is truncated away; a damaged
@@ -150,6 +234,9 @@ impl Wal {
         self.file.read_exact_at(0, &mut buf)?;
         let mut records = Vec::new();
         let mut pos = 0usize;
+        // Open transaction: (index into `records` of its TxnBegin, byte
+        // offset of that frame, its seq).
+        let mut txn: Option<(usize, usize, u64)> = None;
         while pos < buf.len() {
             if pos + 8 > buf.len() {
                 ensure_tail_only(&buf, pos)?;
@@ -167,7 +254,40 @@ impl Wal {
                 break; // torn final record
             }
             match decode_body(body) {
-                Some(r) => records.push(r),
+                Some(r) => {
+                    match &r {
+                        WalRecord::TxnBegin { seq } => {
+                            if txn.is_some() {
+                                return Err(KvError::corrupt(format!(
+                                    "WAL transaction at byte {pos} begins inside an \
+                                     unterminated transaction"
+                                )));
+                            }
+                            txn = Some((records.len(), pos, *seq));
+                        }
+                        WalRecord::TxnCommit { seq } => match txn.take() {
+                            Some((_, _, begin_seq)) if begin_seq == *seq => {}
+                            Some((_, at, begin_seq)) => {
+                                return Err(KvError::corrupt(format!(
+                                    "WAL commit at byte {pos} (seq {seq}) does not match \
+                                     the open transaction at byte {at} (seq {begin_seq})"
+                                )));
+                            }
+                            None => {
+                                return Err(KvError::corrupt(format!(
+                                    "WAL commit at byte {pos} has no matching begin"
+                                )));
+                            }
+                        },
+                        WalRecord::Checkpoint if txn.is_some() => {
+                            return Err(KvError::corrupt(format!(
+                                "WAL checkpoint at byte {pos} inside an open transaction"
+                            )));
+                        }
+                        _ => {}
+                    }
+                    records.push(r);
+                }
                 None => {
                     // A fully written, CRC-valid frame that does not
                     // decode was never a torn write.
@@ -177,6 +297,13 @@ impl Wal {
                 }
             }
             pos += 8 + len;
+        }
+        // An unterminated transaction at the tail was torn mid-group
+        // (the group is written with one write + one fsync, so nothing
+        // in it was ever acknowledged): roll the whole group back.
+        if let Some((idx, at, _)) = txn {
+            records.truncate(idx);
+            pos = at;
         }
         // Truncate any torn tail so appends resume at the intact prefix.
         if (pos as u64) < self.file.len()? {
@@ -197,6 +324,14 @@ impl Wal {
     /// [`Self::reset`] through an explicit `vfs` (must be the one the
     /// log was opened with).
     pub fn reset_with_vfs(&mut self, vfs: &Arc<dyn Vfs>) -> Result<()> {
+        if self.audit_reset && !self.base_durable_noted {
+            return Err(KvError::corrupt(
+                "WAL reset ordered before the checkpointed base was durable: truncating \
+                 here could drop committed records"
+                    .to_string(),
+            ));
+        }
+        self.base_durable_noted = false;
         self.file.set_len(0)?;
         // Track the truncation immediately: if one of the syncs below
         // fails, the file *is* empty and a stale tail would make the next
@@ -251,6 +386,14 @@ fn encode_body(record: &WalRecord) -> Vec<u8> {
             out.extend_from_slice(key);
         }
         WalRecord::Checkpoint => out.push(3),
+        WalRecord::TxnBegin { seq } => {
+            out.push(4);
+            out.extend_from_slice(&seq.to_le_bytes());
+        }
+        WalRecord::TxnCommit { seq } => {
+            out.push(5);
+            out.extend_from_slice(&seq.to_le_bytes());
+        }
     }
     out
 }
@@ -272,6 +415,14 @@ fn decode_body(body: &[u8]) -> Option<WalRecord> {
             Some(WalRecord::Delete { key })
         }
         3 => (body.len() == 1).then_some(WalRecord::Checkpoint),
+        4 => {
+            let seq = u64::from_le_bytes(body.get(1..9)?.try_into().ok()?);
+            (body.len() == 9).then_some(WalRecord::TxnBegin { seq })
+        }
+        5 => {
+            let seq = u64::from_le_bytes(body.get(1..9)?.try_into().ok()?);
+            (body.len() == 9).then_some(WalRecord::TxnCommit { seq })
+        }
         _ => None,
     }
 }
@@ -529,6 +680,109 @@ mod tests {
         }
         let mut wal = Wal::open(&path).unwrap();
         assert_eq!(wal.replay().unwrap(), vec![WalRecord::Checkpoint]);
+    }
+
+    #[test]
+    fn txn_roundtrip_and_tail_rollback() {
+        let path = tmp("txn.wal");
+        let ops = vec![
+            WalRecord::Put {
+                key: b"x".to_vec(),
+                value: b"1".to_vec(),
+            },
+            WalRecord::Delete { key: b"y".to_vec() },
+        ];
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&WalRecord::Put {
+                key: b"pre".to_vec(),
+                value: b"0".to_vec(),
+            })
+            .unwrap();
+            wal.append_txn(7, &ops).unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            let records = wal.replay().unwrap();
+            assert_eq!(records.len(), 5); // pre + begin + 2 ops + commit
+            assert_eq!(records[1], WalRecord::TxnBegin { seq: 7 });
+            assert_eq!(records[4], WalRecord::TxnCommit { seq: 7 });
+        }
+        // Tear the commit off: the whole group must roll back, and the
+        // file must truncate to before the TxnBegin so later appends do
+        // not strand a dangling group mid-log.
+        let full = std::fs::read(&path).unwrap();
+        for cut in 1..40 {
+            std::fs::write(&path, &full[..full.len() - cut]).unwrap();
+            let mut wal = Wal::open(&path).unwrap();
+            let records = wal.replay().unwrap();
+            if records.len() > 1 {
+                // the cut spared the commit frame: all-or-nothing
+                assert_eq!(records.len(), 5);
+            } else {
+                assert_eq!(records.len(), 1);
+                // appending after the rollback keeps the log clean
+                wal.append_txn(8, &ops).unwrap();
+                drop(wal);
+                let mut wal = Wal::open(&path).unwrap();
+                let records = wal.replay().unwrap();
+                assert_eq!(records.len(), 5);
+                assert_eq!(records[1], WalRecord::TxnBegin { seq: 8 });
+            }
+        }
+    }
+
+    #[test]
+    fn dangling_txn_mid_log_is_corruption() {
+        let path = tmp("txn_midlog.wal");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            // Forge an unterminated group followed by an intact record
+            // (a writer never produces this; only in-place damage can).
+            wal.append(&WalRecord::TxnBegin { seq: 1 }).unwrap();
+            wal.append(&WalRecord::Put {
+                key: b"in".to_vec(),
+                value: b"txn".to_vec(),
+            })
+            .unwrap();
+            wal.append(&WalRecord::TxnBegin { seq: 2 }).unwrap();
+        }
+        let mut wal = Wal::open(&path).unwrap();
+        match wal.replay() {
+            Err(KvError::Corrupt { context, .. }) => {
+                assert!(context.contains("unterminated"), "context: {context}");
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn commit_without_begin_is_corruption() {
+        let path = tmp("txn_orphan_commit.wal");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&WalRecord::TxnCommit { seq: 3 }).unwrap();
+        }
+        let mut wal = Wal::open(&path).unwrap();
+        assert!(matches!(wal.replay(), Err(KvError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn reset_audit_orders_base_sync_before_truncate() {
+        let path = tmp("audit.wal");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::Checkpoint).unwrap();
+        wal.require_reset_audit();
+        // Truncating before the base is durable must fail loudly…
+        assert!(matches!(wal.reset(), Err(KvError::Corrupt { .. })));
+        assert!(!wal.is_empty().unwrap(), "audit failure must not truncate");
+        // …and succeed once the durability note is recorded.
+        wal.note_base_durable();
+        wal.reset().unwrap();
+        assert!(wal.is_empty().unwrap());
+        // The note is consumed: the next reset needs a fresh note.
+        wal.append(&WalRecord::Checkpoint).unwrap();
+        assert!(matches!(wal.reset(), Err(KvError::Corrupt { .. })));
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod rank {
     pub const COOCCUR_COUNTS: u16 = 2;
     pub const COOCCUR_ANCESTORS: u16 = 4;
     pub const SERVE_QUEUE: u16 = 8;
-    pub const KVINDEX_STORE: u16 = 10;
+    pub const MAINT_WRITER: u16 = 9;
+    pub const MAINT_EPOCH: u16 = 10;
+    pub const ENGINE_EPOCH: u16 = 11;
     pub const CACHE_SHARD: u16 = 20;
     pub const OBS_REGISTRY_COUNTERS: u16 = 50;
     pub const OBS_REGISTRY_GAUGES: u16 = 51;
@@ -115,10 +117,12 @@ mod tests {
     #[test]
     #[cfg(debug_assertions)]
     fn increasing_ranks_nest_cleanly() {
-        let a = acquire(rank::KVINDEX_STORE, "kvindex.store");
-        let b = acquire(rank::CACHE_SHARD, "cache.shard");
-        let c = acquire(rank::OBS_REGISTRY_COUNTERS, "obs.registry.counters");
-        assert_eq!(held_ranks(), vec![10, 20, 50]);
+        let a = acquire(rank::MAINT_WRITER, "maint.writer");
+        let b = acquire(rank::MAINT_EPOCH, "maint.epoch");
+        let c = acquire(rank::CACHE_SHARD, "cache.shard");
+        let d = acquire(rank::OBS_REGISTRY_COUNTERS, "obs.registry.counters");
+        assert_eq!(held_ranks(), vec![9, 10, 20, 50]);
+        drop(d);
         drop(c);
         drop(b);
         drop(a);
@@ -130,13 +134,13 @@ mod tests {
     #[should_panic(expected = "lock-rank violation")]
     fn inverted_acquisition_panics_in_debug() {
         let _shard = acquire(rank::CACHE_SHARD, "cache.shard");
-        let _store = acquire(rank::KVINDEX_STORE, "kvindex.store");
+        let _epoch = acquire(rank::MAINT_EPOCH, "maint.epoch");
     }
 
     #[test]
     #[cfg(debug_assertions)]
     fn out_of_order_release_is_tolerated() {
-        let a = acquire(rank::KVINDEX_STORE, "kvindex.store");
+        let a = acquire(rank::MAINT_EPOCH, "maint.epoch");
         let b = acquire(rank::CACHE_SHARD, "cache.shard");
         drop(a); // explicit early drop of the outer guard
         assert_eq!(held_ranks(), vec![20]);
@@ -152,7 +156,7 @@ mod tests {
         assert_eq!(std::mem::size_of::<RankGuard>(), 0);
         // Inverted order must be free and silent in release.
         let _shard = acquire(rank::CACHE_SHARD, "cache.shard");
-        let _store = acquire(rank::KVINDEX_STORE, "kvindex.store");
+        let _epoch = acquire(rank::MAINT_EPOCH, "maint.epoch");
     }
 
     #[test]
@@ -171,7 +175,9 @@ mod tests {
             ("cooccur.counts", rank::COOCCUR_COUNTS),
             ("cooccur.ancestors", rank::COOCCUR_ANCESTORS),
             ("serve.queue", rank::SERVE_QUEUE),
-            ("kvindex.store", rank::KVINDEX_STORE),
+            ("maint.writer", rank::MAINT_WRITER),
+            ("maint.epoch", rank::MAINT_EPOCH),
+            ("engine.epoch", rank::ENGINE_EPOCH),
             ("cache.shard", rank::CACHE_SHARD),
             ("obs.registry.counters", rank::OBS_REGISTRY_COUNTERS),
             ("obs.registry.gauges", rank::OBS_REGISTRY_GAUGES),

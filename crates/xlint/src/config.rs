@@ -84,6 +84,7 @@ impl Config {
                 "xmldom".into(),
                 "lexicon".into(),
                 "serve".into(),
+                "maint".into(),
             ],
             metric_units: vec![
                 "total".into(),
@@ -92,6 +93,7 @@ impl Config {
                 "seconds".into(),
                 "requests".into(),
                 "connections".into(),
+                "entries".into(),
             ],
         }
     }

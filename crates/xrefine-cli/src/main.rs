@@ -50,7 +50,8 @@ xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db> \
 [--ingest dom|stream] [--threads N]\n       \
 xrefine-cli query --store <store.db> [--algorithm partition|sle|stack] [--k N] \
 [--threads N --batch <queries.txt>] [--metrics] [--trace <query>]\n       \
-xrefine-cli scrub --store <store.db>";
+xrefine-cli update --store <store.db> [--add <fragment.xml>]... [--remove SLOT]... [--compact]
+       xrefine-cli scrub --store <store.db>";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum IngestMode {
@@ -70,8 +71,23 @@ enum Command {
     },
     /// Verify the integrity of a persisted store, section by section.
     Scrub { store: String },
+    /// Apply one maintenance transaction (adds/removes in argument
+    /// order) to a maintained store, optionally compacting after.
+    Update {
+        store: String,
+        ops: Vec<UpdateOp>,
+        compact: bool,
+    },
     /// Serve queries, either from a document spec or a persisted store.
     Repl(Options),
+}
+
+/// One `--add`/`--remove` argument, in command-line order.
+enum UpdateOp {
+    /// Path of an XML fragment file to insert as a new record.
+    AddFile(String),
+    /// Record slot to delete.
+    Remove(usize),
 }
 
 struct Options {
@@ -128,6 +144,50 @@ fn parse_args() -> Result<Command, String> {
             store: positional.remove(0),
             ingest,
             threads,
+        });
+    }
+    if args.first().map(|s| s.as_str()) == Some("update") {
+        let mut store = None;
+        let mut ops = Vec::new();
+        let mut compact = false;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--store" => {
+                    store = Some(args.get(i + 1).ok_or("--store needs a value")?.clone());
+                    i += 2;
+                }
+                "--add" => {
+                    ops.push(UpdateOp::AddFile(
+                        args.get(i + 1)
+                            .ok_or("--add needs a fragment file")?
+                            .clone(),
+                    ));
+                    i += 2;
+                }
+                "--remove" => {
+                    let slot = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--remove needs a record slot (a non-negative integer)")?;
+                    ops.push(UpdateOp::Remove(slot));
+                    i += 2;
+                }
+                "--compact" => {
+                    compact = true;
+                    i += 1;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        let store = store.ok_or("update requires --store")?;
+        if ops.is_empty() && !compact {
+            return Err("update needs at least one --add/--remove, or --compact".to_string());
+        }
+        return Ok(Command::Update {
+            store,
+            ops,
+            compact,
         });
     }
     if args.first().map(|s| s.as_str()) == Some("scrub") {
@@ -284,6 +344,46 @@ fn build_store(
     Ok(())
 }
 
+/// `xrefine-cli update --store <db> ...`: one atomic maintenance
+/// transaction through the WAL, with an optional compaction after.
+fn update_store(store_path: &str, ops: &[UpdateOp], compact: bool) -> Result<(), String> {
+    use invindex::MaintOp;
+    let maint = invindex::MaintIndex::open(std::path::Path::new(store_path))
+        .map_err(|e| format!("cannot open maintained store {store_path}: {e}"))?;
+    if !ops.is_empty() {
+        let ops: Vec<MaintOp> = ops
+            .iter()
+            .map(|op| match op {
+                UpdateOp::AddFile(path) => std::fs::read_to_string(path)
+                    .map(|fragment| MaintOp::Add { fragment })
+                    .map_err(|e| format!("cannot read fragment {path}: {e}")),
+                UpdateOp::Remove(slot) => Ok(MaintOp::Remove { slot: *slot }),
+            })
+            .collect::<Result<_, _>>()?;
+        let report = maint
+            .commit(&ops)
+            .map_err(|e| format!("update rejected: {e}"))?;
+        println!(
+            "committed txn {}: {} record(s) ({} added, {} removed, {} store op(s))",
+            report.seq, report.records, report.added, report.removed, report.batch_ops
+        );
+    }
+    if compact {
+        let ran = maint
+            .compact()
+            .map_err(|e| format!("compaction failed: {e}"))?;
+        println!(
+            "compaction: {}",
+            if ran {
+                "folded WAL overlay into base store"
+            } else {
+                "overlay empty, nothing to do"
+            }
+        );
+    }
+    Ok(())
+}
+
 /// `xrefine-cli scrub --store <db>`: per-section integrity report.
 /// Returns `Ok(true)` when every page and every entry verified.
 fn scrub_store(store_path: &str) -> Result<bool, String> {
@@ -334,7 +434,67 @@ fn scrub_store(store_path: &str) -> Result<bool, String> {
         }
     }
 
-    let clean = pages.is_clean() && report.is_clean();
+    // Layer 3: online-maintenance artifacts. A WAL next to the store
+    // means it is maintained: verify the *merged* (base + replayed
+    // overlay) view too, since that is what readers are served.
+    use kvstore::KvStore as _;
+    let mut maint_clean = true;
+    let base = std::path::Path::new(store_path);
+    let tmp_path = base.with_extension("db.new");
+    if tmp_path.exists() {
+        println!(
+            "maintenance: half-compacted checkpoint {} left by a crash;              recoverable (next open discards it and replays the WAL)",
+            tmp_path.display()
+        );
+    }
+    let wal_present = base
+        .with_extension("wal")
+        .metadata()
+        .map(|m| m.len() > 0)
+        .unwrap_or(false);
+    if wal_present || tmp_path.exists() {
+        match kvstore::DurableKv::open(base) {
+            Ok(durable) => {
+                println!(
+                    "maintenance: WAL replayed, txn seq {}, {} overlay entr(ies)",
+                    durable.txn_seq(),
+                    durable.overlay_len()
+                );
+                let merged = invindex::verify_store(&durable);
+                for section in &merged.sections {
+                    println!(
+                        "merged  {:<10} {:>6} entries, {} damaged",
+                        section.name,
+                        section.entries,
+                        section.damaged.len()
+                    );
+                    for (entry, detail) in &section.damaged {
+                        println!("  {entry}: {detail}");
+                    }
+                }
+                if let (Some(version), Ok(Some(value))) =
+                    (merged.version, durable.get(invindex::maint::MAINT_KEY))
+                {
+                    match invindex::maint::decode_maint_meta(version, &value) {
+                        Ok((seq, records)) => println!(
+                            "maintenance: seq {seq}, {records} record(s) under maintenance"
+                        ),
+                        Err(e) => {
+                            maint_clean = false;
+                            println!("maintenance: damaged M/maint record: {e}");
+                        }
+                    }
+                }
+                maint_clean &= merged.is_clean();
+            }
+            Err(e) => {
+                maint_clean = false;
+                println!("maintenance: WAL replay failed: {e}");
+            }
+        }
+    }
+
+    let clean = pages.is_clean() && report.is_clean() && maint_clean;
     if clean {
         println!(
             "{store_path}: clean ({} entries verified)",
@@ -392,6 +552,19 @@ fn main() -> ExitCode {
             threads,
         }) => {
             return match build_store(&data, &store, ingest, threads) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Ok(Command::Update {
+            store,
+            ops,
+            compact,
+        }) => {
+            return match update_store(&store, &ops, compact) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(msg) => {
                     eprintln!("{msg}");

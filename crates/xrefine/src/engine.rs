@@ -133,10 +133,22 @@ impl XRefineEngine {
     /// Opens a persisted index (written by `invindex::persist`) straight
     /// from its on-disk kv store: the document is replayed from the
     /// embedded blob and posting lists are decoded lazily, per query —
-    /// no XML re-parse, no full index load.
+    /// no XML re-parse, no full index load. A store with a non-empty
+    /// WAL sidecar (online maintenance committed but not yet compacted)
+    /// is opened through the durable merged view, so readers see every
+    /// committed update.
     pub fn from_store(path: &Path, config: EngineConfig) -> kvstore::Result<Self> {
-        let store = kvstore::DiskKv::open(path)?;
-        let index = KvBackedIndex::open(Box::new(store))?;
+        let wal = path.with_extension("wal");
+        let has_overlay = std::fs::metadata(&wal)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false)
+            || path.with_extension("db.new").exists();
+        let store: Box<dyn kvstore::KvStore> = if has_overlay {
+            Box::new(kvstore::DurableKv::open(path)?)
+        } else {
+            Box::new(kvstore::DiskKv::open(path)?)
+        };
+        let index = KvBackedIndex::open(store)?;
         Ok(Self::from_reader(Arc::new(index), config))
     }
 

@@ -15,10 +15,12 @@
 //! * [`mod@stack_refine`]: Algorithm 1;
 //! * [`partition`]: Algorithm 2 (partition-based Top-K);
 //! * [`sle`]: Algorithm 3 (short-list eager Top-K);
-//! * [`engine`]: the XRefine prototype facade.
+//! * [`engine`]: the XRefine prototype facade;
+//! * [`live`]: the updatable engine over an online-maintained store.
 
 pub mod dp;
 pub mod engine;
+pub mod live;
 pub mod narrow;
 pub mod partition;
 pub mod query;
@@ -34,6 +36,7 @@ pub use dp::{
     brute_force_rqs, explain_rq, get_optimal_rq, get_top_optimal_rqs, AppliedOp, DpResult,
 };
 pub use engine::{Algorithm, EngineConfig, PhaseTimings, XRefineEngine};
+pub use live::LiveEngine;
 pub use narrow::{narrow_refine, NarrowOptions, Narrowing};
 pub use partition::{partition_refine, PartitionOptions, SlcaMethod};
 pub use query::{Query, RqCandidate};

@@ -1,0 +1,181 @@
+//! Live (updatable) engine: an [`XRefineEngine`] kept current over an
+//! online-maintained store.
+//!
+//! [`LiveEngine`] pairs a [`MaintIndex`] — the WAL-backed updating store
+//! with epoch/snapshot reader handoff — with a republished query engine.
+//! Readers call [`LiveEngine::engine`] and get an `Arc` to an engine
+//! pinned to one index generation; they are never blocked by a
+//! committing writer. After each committed transaction the writer
+//! rebuilds the engine façade from the fresh snapshot (the vocabulary
+//! trigram index is the only derived state) and swaps the shared
+//! pointer.
+//!
+//! Lock order: `MaintIndex` internals take `maint.writer` (9) and
+//! `maint.epoch` (10) and release both before this module touches
+//! `engine.epoch` (11), so the hierarchy stays strictly increasing. The
+//! generation guard on the swap makes concurrent `update` calls safe:
+//! a commit that loses the race to republish cannot roll the engine
+//! back to an older snapshot.
+
+use crate::engine::{EngineConfig, XRefineEngine};
+use invindex::maint::{MaintIndex, MaintOp, MaintReport};
+use kvstore::{Result, Vfs};
+use obs::lockrank;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// An updatable engine over a maintained store.
+pub struct LiveEngine {
+    maint: MaintIndex,
+    config: EngineConfig,
+    /// Generation-stamped published engine. A plain `std` mutex held
+    /// only for pointer reads and guarded swaps; poisoning is harmless
+    /// (the protected state is a complete, immutable snapshot pair) so
+    /// a poisoned lock is recovered, not propagated.
+    engine: Mutex<(u64, Arc<XRefineEngine>)>,
+}
+
+impl LiveEngine {
+    /// Opens (or recovers) the maintained store at `base` and builds the
+    /// initial engine from its current snapshot.
+    pub fn open(base: &Path, config: EngineConfig) -> Result<Self> {
+        Self::from_maint(MaintIndex::open(base)?, config)
+    }
+
+    /// As [`LiveEngine::open`], on an explicit VFS (tests, fault
+    /// injection).
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, base: &Path, config: EngineConfig) -> Result<Self> {
+        Self::from_maint(MaintIndex::open_with_vfs(vfs, base)?, config)
+    }
+
+    fn from_maint(maint: MaintIndex, config: EngineConfig) -> Result<Self> {
+        let snap = maint.snapshot();
+        let gen = snap.generation();
+        let engine = Arc::new(XRefineEngine::from_reader(snap, config.clone()));
+        Ok(LiveEngine {
+            maint,
+            config,
+            engine: Mutex::new((gen, engine)),
+        })
+    }
+
+    /// The currently published engine. The returned `Arc` stays valid —
+    /// and keeps answering from its pinned generation — across any
+    /// number of subsequent commits.
+    pub fn engine(&self) -> Arc<XRefineEngine> {
+        let _rank = lockrank::acquire(lockrank::rank::ENGINE_EPOCH, "engine.epoch");
+        let slot = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(&slot.1)
+    }
+
+    /// Generation of the currently published engine.
+    pub fn generation(&self) -> u64 {
+        let _rank = lockrank::acquire(lockrank::rank::ENGINE_EPOCH, "engine.epoch");
+        self.engine.lock().unwrap_or_else(|e| e.into_inner()).0
+    }
+
+    /// Commits a maintenance transaction and republishes the engine.
+    pub fn update(&self, ops: &[MaintOp]) -> Result<MaintReport> {
+        let report = self.maint.commit(ops)?;
+        self.republish();
+        Ok(report)
+    }
+
+    /// Folds the WAL overlay into the base store; republishes only if a
+    /// compaction actually ran.
+    pub fn compact(&self) -> Result<bool> {
+        let ran = self.maint.compact()?;
+        if ran {
+            self.republish();
+        }
+        Ok(ran)
+    }
+
+    /// Compacts once the overlay holds at least `threshold` entries.
+    pub fn compact_if_needed(&self, threshold: usize) -> Result<bool> {
+        let ran = self.maint.compact_if_needed(threshold)?;
+        if ran {
+            self.republish();
+        }
+        Ok(ran)
+    }
+
+    /// The underlying maintained index (sequence, records, metrics).
+    pub fn maint(&self) -> &MaintIndex {
+        &self.maint
+    }
+
+    /// Rebuilds the engine façade from the latest snapshot and swaps it
+    /// in, unless a racing caller already published something newer.
+    fn republish(&self) {
+        let snap = self.maint.snapshot();
+        let gen = snap.generation();
+        let fresh = Arc::new(XRefineEngine::from_reader(snap, self.config.clone()));
+        let _rank = lockrank::acquire(lockrank::rank::ENGINE_EPOCH, "engine.epoch");
+        let mut slot = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        if gen > slot.0 {
+            *slot = (gen, fresh);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invindex::{build_streaming, persist};
+    use kvstore::{DiskKv, FaultVfs, KvStore};
+    use std::path::PathBuf;
+
+    const CORPUS: &str = "<bib>\
+        <paper><title>xml keyword search</title></paper>\
+        <paper><title>query refinement</title></paper>\
+        </bib>";
+
+    fn fresh() -> (Arc<dyn Vfs>, PathBuf) {
+        let vfs = FaultVfs::new().as_dyn();
+        let base = PathBuf::from("/live/store.db");
+        let built = build_streaming(CORPUS, 1).unwrap();
+        let mut disk = DiskKv::open_with_vfs(&vfs, &base.with_extension("db")).unwrap();
+        persist::persist(&built, &mut disk).unwrap();
+        disk.sync().unwrap();
+        (vfs, base)
+    }
+
+    #[test]
+    fn update_republishes_while_pinned_readers_keep_their_generation() {
+        let (vfs, base) = fresh();
+        let live = LiveEngine::open_with_vfs(vfs, &base, EngineConfig::default()).unwrap();
+        let pinned = live.engine();
+        let before = live.generation();
+
+        let report = live
+            .update(&[MaintOp::Add {
+                fragment: "<paper><title>epoch handoff</title></paper>".into(),
+            }])
+            .unwrap();
+        assert_eq!(report.added, 1);
+        assert!(live.generation() > before, "engine generation must advance");
+
+        // The pinned engine still answers from the pre-update corpus,
+        // where "epoch" has no meaningful result…
+        assert!(pinned.answer("epoch").unwrap().needs_refinement());
+        // …while a fresh handle sees the new record directly.
+        assert!(live.engine().answer("epoch").unwrap().original_ok);
+    }
+
+    #[test]
+    fn compaction_republishes_without_changing_answers() {
+        let (vfs, base) = fresh();
+        let live = LiveEngine::open_with_vfs(vfs, &base, EngineConfig::default()).unwrap();
+        live.update(&[MaintOp::Add {
+            fragment: "<paper><title>compaction test</title></paper>".into(),
+        }])
+        .unwrap();
+        assert!(live.maint().overlay_len() > 0);
+        assert!(live.compact().unwrap());
+        assert_eq!(live.maint().overlay_len(), 0);
+        assert!(live.engine().answer("compaction").unwrap().original_ok);
+        // A second compact with an empty overlay is a no-op.
+        assert!(!live.compact().unwrap());
+    }
+}

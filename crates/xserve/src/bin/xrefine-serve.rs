@@ -1,14 +1,17 @@
 //! `xrefine-serve` — the long-running XRefine query server.
 //!
 //! ```text
-//! xrefine-serve [--store PATH | --xml PATH | --dblp FRACTION]
+//! xrefine-serve [--store PATH [--live] | --xml PATH | --dblp FRACTION]
 //!               [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!               [--max-conns N] [--read-timeout-ms N]
 //!               [--request-timeout-ms N] [--drain-grace-ms N]
 //! ```
 //!
 //! Endpoints: `GET /query?q=<keywords>`, `GET /metrics` (Prometheus),
-//! `GET /healthz`, `POST /admin/drain`. Shutdown: SIGTERM/SIGINT (raw
+//! `GET /healthz`, `POST /admin/drain`, and — with `--live` — `POST
+//! /admin/update?op=add|remove|compact[&slot=N]` (the XML fragment for
+//! `add` travels as the request body; reads keep serving from their
+//! pinned snapshot while a commit is in flight). Shutdown: SIGTERM/SIGINT (raw
 //! rt_sigaction handler; see `xserve::signal`) or `POST /admin/drain`
 //! — both trigger the graceful drain: stop accepting, finish every
 //! in-flight request, exit 0.
@@ -18,11 +21,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use datagen::{generate_dblp, DblpConfig};
-use xrefine::{EngineConfig, XRefineEngine};
-use xserve::{signal, EngineService, ServeConfig};
+use xrefine::{EngineConfig, LiveEngine, XRefineEngine};
+use xserve::{signal, EngineService, LiveEngineService, QueryService, ServeConfig};
 
 struct Args {
     store: Option<String>,
+    live: bool,
     xml: Option<String>,
     dblp_fraction: f64,
     config: ServeConfig,
@@ -31,6 +35,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         store: None,
+        live: false,
         xml: None,
         dblp_fraction: 0.05,
         config: ServeConfig::default(),
@@ -40,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--store" => args.store = Some(val("--store")?),
+            "--live" => args.live = true,
             "--xml" => args.xml = Some(val("--xml")?),
             "--dblp" => {
                 args.dblp_fraction = val("--dblp")?
@@ -73,6 +79,9 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag: {other}")),
         }
     }
+    if args.live && args.store.is_none() {
+        return Err("--live requires --store (updates need a durable store)".to_string());
+    }
     Ok(args)
 }
 
@@ -85,6 +94,17 @@ fn parse_ms(v: &str, name: &str) -> Result<Duration, String> {
         v.parse()
             .map_err(|_| format!("{name} takes milliseconds"))?,
     ))
+}
+
+fn build_service(args: &Args) -> Result<Arc<dyn QueryService>, String> {
+    if args.live {
+        let path = args.store.as_deref().unwrap_or_default();
+        eprintln!("opening maintained store {path} (live updates enabled)");
+        let live = LiveEngine::open(std::path::Path::new(path), EngineConfig::default())
+            .map_err(|e| format!("cannot open maintained store {path}: {e}"))?;
+        return Ok(Arc::new(LiveEngineService::new(Arc::new(live))));
+    }
+    Ok(Arc::new(EngineService::new(Arc::new(build_engine(args)?))))
 }
 
 fn build_engine(args: &Args) -> Result<XRefineEngine, String> {
@@ -118,7 +138,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(msg) => {
             if msg == "help" {
-                eprintln!("usage: see module docs (xrefine-serve --store PATH | --xml PATH | --dblp FRACTION ...)");
+                eprintln!("usage: see module docs (xrefine-serve --store PATH [--live] | --xml PATH | --dblp FRACTION ...)");
                 return ExitCode::SUCCESS;
             }
             eprintln!("xrefine-serve: {msg}");
@@ -126,8 +146,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let engine = match build_engine(&args) {
-        Ok(e) => Arc::new(e),
+    let service = match build_service(&args) {
+        Ok(s) => s,
         Err(msg) => {
             eprintln!("xrefine-serve: {msg}");
             return ExitCode::FAILURE;
@@ -139,7 +159,7 @@ fn main() -> ExitCode {
         eprintln!("signal handlers unavailable on this platform; use POST /admin/drain to stop");
     }
 
-    let handle = match xserve::start(args.config, Arc::new(EngineService::new(engine))) {
+    let handle = match xserve::start(args.config, service) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("xrefine-serve: cannot bind: {e}");

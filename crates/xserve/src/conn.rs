@@ -80,7 +80,8 @@ pub fn handle(mut stream: TcpStream, shared: &Arc<Shared>) {
 
         if let Some(req) = ready {
             let frame = req.frame_len().min(buf.len());
-            let resp = route(shared, &req);
+            let body = buf.get(req.head_len..frame).unwrap_or(&[]);
+            let resp = route(shared, &req, body);
             // During drain the response is the connection's last: tell
             // the peer instead of letting its next request race the
             // close.
@@ -152,10 +153,13 @@ pub fn handle(mut stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 /// Maps a parsed request to its response. Everything except `/query`
-/// is answered inline.
-fn route(shared: &Arc<Shared>, req: &Request) -> Response {
+/// is answered inline — including `/admin/update`: maintenance commits
+/// are serialized by the store's writer lock anyway, and keeping them
+/// off the query queue means a saturated queue can't starve operators.
+fn route(shared: &Arc<Shared>, req: &Request, body: &[u8]) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/query") => query(shared, req),
+        ("POST", "/admin/update") => update(shared, req, body),
         ("GET", "/metrics") => {
             shared.refresh_gauges();
             Response::text(200, obs::metrics::global().snapshot().render_prometheus())
@@ -174,6 +178,35 @@ fn route(shared: &Arc<Shared>, req: &Request) -> Response {
         ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
         _ => Response::error(405, "method not allowed"),
     }
+}
+
+/// The `/admin/update` path: decodes op/slot/body and hands the request
+/// to the service. Read-only services answer `501` via the trait's
+/// default implementation.
+fn update(shared: &Arc<Shared>, req: &Request, body: &[u8]) -> Response {
+    obs::counter!("serve_update_requests_total").inc();
+    let Some(op) = req.param("op").map(str::trim).filter(|o| !o.is_empty()) else {
+        obs::counter!("serve_http_errors_total").inc();
+        return Response::error(400, "missing `op` parameter (add, remove or compact)");
+    };
+    let slot = match req.param("slot") {
+        None => None,
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                obs::counter!("serve_http_errors_total").inc();
+                return Response::error(400, "`slot` must be a non-negative integer");
+            }
+        },
+    };
+    let Ok(body) = std::str::from_utf8(body) else {
+        obs::counter!("serve_http_errors_total").inc();
+        return Response::error(400, "request body must be UTF-8 XML");
+    };
+    let reply = shared
+        .service()
+        .update(&crate::service::UpdateRequest { op, slot, body });
+    Response::json(reply.status, reply.body)
 }
 
 /// The `/query` path: admission control, queueing, bounded wait.

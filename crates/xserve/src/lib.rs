@@ -45,7 +45,7 @@ pub mod service;
 pub mod signal;
 
 pub use server::{start, ServerHandle};
-pub use service::{EngineService, QueryService, ServiceReply};
+pub use service::{EngineService, LiveEngineService, QueryService, ServiceReply, UpdateRequest};
 
 use std::time::Duration;
 

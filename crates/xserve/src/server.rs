@@ -69,6 +69,10 @@ impl Shared {
         &self.config
     }
 
+    pub fn service(&self) -> &Arc<dyn QueryService> {
+        &self.service
+    }
+
     pub fn queue(&self) -> &ShardedQueue<Job> {
         &self.queue
     }

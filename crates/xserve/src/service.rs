@@ -12,7 +12,9 @@
 use std::sync::Arc;
 
 use obs::metrics::json_string;
-use xrefine::{QueryFailure, RefineOutcome, XRefineEngine};
+use xrefine::{LiveEngine, QueryFailure, RefineOutcome, XRefineEngine};
+
+use invindex::maint::{MaintOp, MaintReport};
 
 /// SLCA Dewey labels beyond this many are elided from the JSON (the
 /// count is always exact).
@@ -25,10 +27,34 @@ pub struct ServiceReply {
     pub body: String,
 }
 
+/// One `POST /admin/update` request, decoded by the HTTP layer: the
+/// operation and slot come from query parameters, the XML fragment (for
+/// `add`) is the raw request body.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateRequest<'a> {
+    /// `add`, `remove` or `compact`.
+    pub op: &'a str,
+    /// Record slot to delete (required for `remove`).
+    pub slot: Option<usize>,
+    /// Request body: the XML fragment to insert (required for `add`).
+    pub body: &'a str,
+}
+
 /// What a worker does with a popped request. Implementations must be
 /// `Send + Sync`: one instance is shared by every worker thread.
 pub trait QueryService: Send + Sync {
     fn answer(&self, query: &str) -> ServiceReply;
+
+    /// Applies a maintenance update. Read-only services keep the
+    /// default: a `501` telling the operator the store is not live.
+    fn update(&self, _req: &UpdateRequest<'_>) -> ServiceReply {
+        ServiceReply {
+            status: 501,
+            body: "{\"error\":\"this server was started without --live: \
+                    the store is read-only\"}"
+                .to_string(),
+        }
+    }
 }
 
 /// Production service: answers queries through the shared engine.
@@ -59,6 +85,112 @@ impl QueryService for EngineService {
             },
         }
     }
+}
+
+/// Live service: answers through the currently published engine of a
+/// [`LiveEngine`] and applies `POST /admin/update` maintenance
+/// transactions. Queries in flight keep the generation they pinned at
+/// dispatch; a committing writer never blocks them.
+pub struct LiveEngineService {
+    live: Arc<LiveEngine>,
+}
+
+impl LiveEngineService {
+    pub fn new(live: Arc<LiveEngine>) -> LiveEngineService {
+        LiveEngineService { live }
+    }
+
+    pub fn live(&self) -> &Arc<LiveEngine> {
+        &self.live
+    }
+}
+
+impl QueryService for LiveEngineService {
+    fn answer(&self, query: &str) -> ServiceReply {
+        match self.live.engine().answer_detailed(query) {
+            Ok(outcome) => ServiceReply {
+                status: 200,
+                body: render_outcome(query, &outcome),
+            },
+            Err(failure) => ServiceReply {
+                status: 500,
+                body: render_failure(query, &failure),
+            },
+        }
+    }
+
+    fn update(&self, req: &UpdateRequest<'_>) -> ServiceReply {
+        let bad = |detail: &str| ServiceReply {
+            status: 400,
+            body: format!("{{\"error\":{}}}", json_string(detail)),
+        };
+        let committed = match req.op {
+            "add" => {
+                let fragment = req.body.trim();
+                if fragment.is_empty() {
+                    return bad("op=add requires the XML fragment as the request body");
+                }
+                self.live.update(&[MaintOp::Add {
+                    fragment: fragment.to_string(),
+                }])
+            }
+            "remove" => {
+                let Some(slot) = req.slot else {
+                    return bad("op=remove requires a `slot` parameter");
+                };
+                self.live.update(&[MaintOp::Remove { slot }])
+            }
+            "compact" => {
+                return match self.live.compact() {
+                    Ok(ran) => ServiceReply {
+                        status: 200,
+                        body: format!(
+                            "{{\"compacted\":{},\"generation\":{}}}",
+                            ran,
+                            self.live.generation()
+                        ),
+                    },
+                    Err(e) => ServiceReply {
+                        status: 500,
+                        body: format!("{{\"error\":{}}}", json_string(&e.to_string())),
+                    },
+                };
+            }
+            other => {
+                return bad(&format!(
+                    "unknown op {other:?} (expected add, remove or compact)"
+                ));
+            }
+        };
+        match committed {
+            Ok(report) => ServiceReply {
+                status: 200,
+                body: render_report(&report),
+            },
+            // A rejected transaction (unparseable fragment, slot out of
+            // range) never touched the WAL: the client's input was bad.
+            // Anything else is the store failing underneath us.
+            Err(e) if e.is_corrupt() => bad(&e.to_string()),
+            Err(e) => ServiceReply {
+                status: 500,
+                body: format!("{{\"error\":{}}}", json_string(&e.to_string())),
+            },
+        }
+    }
+}
+
+/// Renders a committed maintenance transaction as JSON.
+pub fn render_report(report: &MaintReport) -> String {
+    format!(
+        "{{\"seq\":{},\"generation\":{},\"records\":{},\"batch_ops\":{},\
+         \"added\":{},\"removed\":{}}}",
+        report.seq,
+        report.generation,
+        report.records,
+        report.batch_ops,
+        report.added,
+        report.removed
+    )
 }
 
 /// Renders a successful outcome as JSON. Hand-rolled like every other
@@ -165,5 +297,118 @@ mod tests {
         let reply = svc.answer("\"quoted\"\\path");
         assert_eq!(reply.status, 200);
         assert!(reply.body.contains("\\\"quoted\\\""), "{}", reply.body);
+    }
+
+    #[test]
+    fn read_only_services_refuse_updates_with_501() {
+        let svc = EngineService::new(tiny_engine());
+        let reply = svc.update(&UpdateRequest {
+            op: "add",
+            slot: None,
+            body: "<paper><title>x</title></paper>",
+        });
+        assert_eq!(reply.status, 501);
+        assert!(reply.body.contains("--live"), "{}", reply.body);
+    }
+
+    fn tiny_live() -> LiveEngineService {
+        use invindex::{build_streaming, persist};
+        use kvstore::{DiskKv, FaultVfs, KvStore};
+        let vfs = FaultVfs::new().as_dyn();
+        let base = std::path::PathBuf::from("/svc/store.db");
+        let built = build_streaming(
+            "<bib><paper><title>xml keyword search</title></paper></bib>",
+            1,
+        )
+        .unwrap();
+        let mut disk = DiskKv::open_with_vfs(&vfs, &base.with_extension("db")).unwrap();
+        persist::persist(&built, &mut disk).unwrap();
+        disk.sync().unwrap();
+        let live = LiveEngine::open_with_vfs(vfs, &base, EngineConfig::default()).unwrap();
+        LiveEngineService::new(Arc::new(live))
+    }
+
+    #[test]
+    fn live_service_applies_adds_removes_and_compactions() {
+        let svc = tiny_live();
+        let reply = svc.update(&UpdateRequest {
+            op: "add",
+            slot: None,
+            body: "<paper><title>epoch snapshot</title></paper>",
+        });
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(reply.body.contains("\"seq\":1"), "{}", reply.body);
+        assert!(reply.body.contains("\"records\":2"), "{}", reply.body);
+        assert_eq!(svc.answer("epoch snapshot").status, 200);
+
+        let reply = svc.update(&UpdateRequest {
+            op: "remove",
+            slot: Some(0),
+            body: "",
+        });
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(reply.body.contains("\"records\":1"), "{}", reply.body);
+
+        let reply = svc.update(&UpdateRequest {
+            op: "compact",
+            slot: None,
+            body: "",
+        });
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(reply.body.contains("\"compacted\":true"), "{}", reply.body);
+    }
+
+    #[test]
+    fn live_service_maps_client_mistakes_to_400() {
+        let svc = tiny_live();
+        // Unknown op, missing slot, empty body, unparseable fragment,
+        // slot out of range: all client errors, none touch the WAL.
+        for (req, expect) in [
+            (
+                UpdateRequest {
+                    op: "explode",
+                    slot: None,
+                    body: "",
+                },
+                "unknown op",
+            ),
+            (
+                UpdateRequest {
+                    op: "remove",
+                    slot: None,
+                    body: "",
+                },
+                "slot",
+            ),
+            (
+                UpdateRequest {
+                    op: "add",
+                    slot: None,
+                    body: "   ",
+                },
+                "request body",
+            ),
+            (
+                UpdateRequest {
+                    op: "add",
+                    slot: None,
+                    body: "<unclosed>",
+                },
+                "error",
+            ),
+            (
+                UpdateRequest {
+                    op: "remove",
+                    slot: Some(99),
+                    body: "",
+                },
+                "error",
+            ),
+        ] {
+            let reply = svc.update(&req);
+            assert_eq!(reply.status, 400, "{:?}: {}", req.op, reply.body);
+            assert!(reply.body.contains(expect), "{:?}: {}", req.op, reply.body);
+        }
+        assert_eq!(svc.live().maint().seq(), 0, "rejects must not commit");
     }
 }

@@ -18,6 +18,10 @@
 #   serve          server lifecycle tests (shedding, drain, SIGTERM,
 #                  corruption-over-HTTP) + a short overload run of the
 #                  bench_serve load generator
+#   maintenance    online-maintenance guarantees: differential oracle
+#                  (incremental == from-scratch), full stride-1 power-
+#                  cut sweep of the updating store (release), live
+#                  updates over HTTP, and the update/read-tail bench
 #   analysis       xlint over the live workspace + its golden fixtures
 #   tsan           ThreadSanitizer over the thread-heavy suites
 #                  (requires a nightly toolchain with rust-src)
@@ -63,6 +67,17 @@ suite_serve() {
         cargo run --release -q -p bench --bin bench_serve
 }
 
+suite_maintenance() {
+    cargo test --release -q -p invindex --test maint_differential
+    cargo test --release -q -p xrefine --test live_differential
+    MAINT_TORTURE_STRIDE="${MAINT_TORTURE_STRIDE:-1}" \
+        cargo test --release -q -p invindex --test maint_torture
+    cargo test --release -q -p xserve --test live_updates
+    UPDATE_BENCH_SECS="${UPDATE_BENCH_SECS:-2}" \
+    UPDATE_BENCH_RECORDS="${UPDATE_BENCH_RECORDS:-150}" \
+        cargo run --release -q -p bench --bin bench_update
+}
+
 suite_analysis() {
     cargo run -q -p xlint -- --workspace
     cargo run -q -p xlint -- --fixtures
@@ -87,7 +102,7 @@ suite_tsan() {
 if [[ "${BASH_SOURCE[0]}" == "$0" ]]; then
     if [[ $# -eq 0 ]]; then
         echo "usage: $0 <suite> [<suite>...]" >&2
-        echo "suites: release_smoke torture observability ingest serve analysis tsan" >&2
+        echo "suites: release_smoke torture observability ingest serve maintenance analysis tsan" >&2
         exit 2
     fi
     for suite in "$@"; do
