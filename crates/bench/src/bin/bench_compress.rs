@@ -1,0 +1,288 @@
+//! Compressed-store bench: format v4 (blocked compressed lists, DAG
+//! document, packed stats) against v3 (flat) on the DBLP-style corpus.
+//!
+//! Builds one index, persists it at both format versions, and drives an
+//! identical query workload through a [`KvBackedIndex`] over each store
+//! with the same fixed cache byte budget. Emits
+//! `results/BENCH_compress.json` and exits non-zero when any acceptance
+//! gate fails:
+//!
+//! 1. **size**: the v4 store is at least 2x smaller than the v3 store;
+//! 2. **scan neutrality**: `invindex_scan_advances_total` is *equal*
+//!    across the two runs — compression must not change what the
+//!    algorithms read, only how it is stored;
+//! 3. **latency**: the algorithm-phase (scan) p99 over the v4 store is
+//!    within 5% of v3, plus a 2 ms scheduler-noise floor.
+//!
+//! The `ShardedListCache` hit rate at the shared byte budget is
+//! reported (compressed entries cost fewer cache bytes, so more lists
+//! stay resident) along with the `compress_*` counter deltas.
+//!
+//! Knobs (environment): `COMPRESS_BENCH_FRACTION` of the standard DBLP
+//! corpus (default 0.1), `COMPRESS_BENCH_ROUNDS` workload repetitions
+//! (default 3), `COMPRESS_BENCH_CACHE_BYTES` cache budget (default
+//! 32768).
+
+use bench::{dblp_config, percentile_of};
+use datagen::{generate_workload, write_dblp_xml, WorkloadConfig};
+use invindex::reader::IndexReader;
+use invindex::{build_streaming, persist, CacheStats, Index, KvBackedIndex};
+use kvstore::{KvStore, MemKv};
+use std::sync::Arc;
+use std::time::Duration;
+use xrefine::{EngineConfig, Query, XRefineEngine};
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Logical store size: every key and value byte, which is what any
+/// page-packed backend stores and caches.
+fn store_bytes(store: &dyn KvStore) -> usize {
+    store
+        .scan_range(b"", None)
+        .expect("dump store")
+        .iter()
+        .map(|(k, v)| k.len() + v.len())
+        .sum()
+}
+
+struct Run {
+    advances: u64,
+    random_accesses: u64,
+    scan_total: u64,
+    algo_lat: Vec<Duration>,
+    total_lat: Vec<Duration>,
+    cache: CacheStats,
+    metrics: obs::MetricsSnapshot,
+}
+
+/// Persists `built` at `version`, then answers `rounds` passes of the
+/// workload over a cache-budgeted [`KvBackedIndex`] on that store.
+fn run(built: &Index, version: u64, workload: &[Vec<String>], rounds: usize, budget: usize) -> Run {
+    let mut store = MemKv::new();
+    persist::persist_versioned(built, &mut store, version).expect("persist");
+    let index = Arc::new(
+        KvBackedIndex::open(Box::new(store))
+            .expect("open store")
+            .with_cache_budget(budget),
+    );
+    let engine = XRefineEngine::from_reader(
+        Arc::clone(&index) as Arc<dyn IndexReader>,
+        EngineConfig::default(),
+    );
+
+    let before = obs::global().snapshot();
+    let mut advances = 0u64;
+    let mut random_accesses = 0u64;
+    let mut algo_lat = Vec::new();
+    let mut total_lat = Vec::new();
+    for _ in 0..rounds {
+        for keywords in workload {
+            let (outcome, timings) = engine
+                .answer_query_timed(Query::from_keywords(keywords.iter().cloned()))
+                .expect("bench query");
+            advances += outcome.advances;
+            random_accesses += outcome.random_accesses;
+            algo_lat.push(timings.algorithm);
+            total_lat.push(timings.total());
+        }
+    }
+    let metrics = obs::global().snapshot().delta_since(&before);
+    let scan_total = metrics
+        .counters
+        .get("invindex_scan_advances_total")
+        .copied()
+        .unwrap_or(0);
+    Run {
+        advances,
+        random_accesses,
+        scan_total,
+        algo_lat,
+        total_lat,
+        cache: index.cache_stats(),
+        metrics,
+    }
+}
+
+fn hit_rate(c: &CacheStats) -> f64 {
+    let total = c.hits + c.misses;
+    if total == 0 {
+        0.0
+    } else {
+        c.hits as f64 / total as f64
+    }
+}
+
+fn latency_json(lat: &[Duration]) -> String {
+    format!(
+        "{{\"samples\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+        lat.len(),
+        ms(percentile_of(lat, 0.50)),
+        ms(percentile_of(lat, 0.99)),
+    )
+}
+
+fn cache_json(c: &CacheStats) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"lists_decoded\": {}, \
+         \"evictions\": {}, \"resident_bytes\": {}}}",
+        c.hits,
+        c.misses,
+        hit_rate(c),
+        c.lists_decoded,
+        c.evictions,
+        c.cached_bytes,
+    )
+}
+
+fn main() {
+    let fraction = env_f64("COMPRESS_BENCH_FRACTION", 0.1);
+    let rounds = env_usize("COMPRESS_BENCH_ROUNDS", 3).max(1);
+    let budget = env_usize("COMPRESS_BENCH_CACHE_BYTES", 32 * 1024);
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_compress.json".to_string());
+
+    let cfg = dblp_config().scaled(fraction);
+    let xml = String::from_utf8(write_dblp_xml(&cfg, Vec::new()).expect("render corpus"))
+        .expect("utf8 corpus");
+    let built = build_streaming(&xml, 4).expect("streaming ingest");
+    let workload: Vec<Vec<String>> = generate_workload(
+        built.document(),
+        &WorkloadConfig {
+            per_kind: 6,
+            ..Default::default()
+        },
+    )
+    .into_iter()
+    .map(|q| q.keywords)
+    .collect();
+    println!(
+        "corpus: {} authors ({} nodes); workload: {} queries x {rounds} round(s); \
+         cache budget {budget} B",
+        cfg.authors,
+        built.document().len(),
+        workload.len()
+    );
+
+    // Store sizes at both versions.
+    let sized = |version: u64| -> usize {
+        let mut store = MemKv::new();
+        persist::persist_versioned(&built, &mut store, version).expect("persist");
+        store_bytes(&store)
+    };
+    let v3_bytes = sized(persist::V3_FORMAT_VERSION);
+    let v4_bytes = sized(persist::FORMAT_VERSION);
+    let size_ratio = v3_bytes as f64 / v4_bytes.max(1) as f64;
+    println!("store size: v3 {v3_bytes} B, v4 {v4_bytes} B ({size_ratio:.2}x smaller)");
+
+    let r3 = run(
+        &built,
+        persist::V3_FORMAT_VERSION,
+        &workload,
+        rounds,
+        budget,
+    );
+    let r4 = run(&built, persist::FORMAT_VERSION, &workload, rounds, budget);
+    let p99_v3 = percentile_of(&r3.algo_lat, 0.99);
+    let p99_v4 = percentile_of(&r4.algo_lat, 0.99);
+    println!(
+        "scan advances: v3 {} v4 {} (counter delta v3 {} v4 {}); \
+         algorithm-phase p99: v3 {:.3} ms, v4 {:.3} ms",
+        r3.advances,
+        r4.advances,
+        r3.scan_total,
+        r4.scan_total,
+        ms(p99_v3),
+        ms(p99_v4),
+    );
+    println!(
+        "cache @ {budget} B: v3 hit rate {:.3} ({} B resident), v4 hit rate {:.3} ({} B resident)",
+        hit_rate(&r3.cache),
+        r3.cache.cached_bytes,
+        hit_rate(&r4.cache),
+        r4.cache.cached_bytes,
+    );
+    let compress_counters: Vec<String> = r4
+        .metrics
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("compress_"))
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+
+    let version_json = |r: &Run, bytes: usize, p99: Duration| -> String {
+        format!(
+            "{{\"store_bytes\": {bytes}, \"advances\": {}, \"random_accesses\": {}, \
+             \"scan_advances_total\": {}, \"algorithm_phase\": {}, \"algorithm_phase_p99_ms\": {:.3}, \
+             \"query_total\": {}, \"cache\": {}}}",
+            r.advances,
+            r.random_accesses,
+            r.scan_total,
+            latency_json(&r.algo_lat),
+            ms(p99),
+            latency_json(&r.total_lat),
+            cache_json(&r.cache),
+        )
+    };
+    let json = format!(
+        "{{\n  \"corpus_authors\": {},\n  \"corpus_nodes\": {},\n  \"workload_queries\": {},\n  \
+         \"rounds\": {rounds},\n  \"cache_budget_bytes\": {budget},\n  \
+         \"size_ratio_v3_over_v4\": {size_ratio:.3},\n  \
+         \"v3\": {},\n  \"v4\": {},\n  \
+         \"cache_hit_rate_lift\": {:.4},\n  \
+         \"compress_counters\": {{{}}}\n}}\n",
+        cfg.authors,
+        built.document().len(),
+        workload.len(),
+        version_json(&r3, v3_bytes, p99_v3),
+        version_json(&r4, v4_bytes, p99_v4),
+        hit_rate(&r4.cache) - hit_rate(&r3.cache),
+        compress_counters.join(", "),
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_compress.json");
+    println!("wrote {out_path}");
+
+    let mut failed = false;
+    if size_ratio < 2.0 {
+        eprintln!("SIZE GATE VIOLATION: v4 only {size_ratio:.2}x smaller than v3 (need >= 2x)");
+        failed = true;
+    }
+    if r3.advances != r4.advances || r3.scan_total != r4.scan_total {
+        eprintln!(
+            "SCAN NEUTRALITY VIOLATION: advances v3 {}/{} vs v4 {}/{}",
+            r3.advances, r3.scan_total, r4.advances, r4.scan_total
+        );
+        failed = true;
+    }
+    let ceiling = Duration::from_secs_f64(p99_v3.as_secs_f64() * 1.05) + Duration::from_millis(2);
+    if p99_v4 > ceiling {
+        eprintln!(
+            "SCAN LATENCY VIOLATION: v4 algorithm-phase p99 {:.3} ms > v3 {:.3} ms x 1.05 + 2 ms",
+            ms(p99_v4),
+            ms(p99_v3)
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -3,17 +3,21 @@
 //! capacity (overload: shedding + tail latency), and a drain check
 //! (in-flight requests across `begin_drain` must all be answered).
 //! Emits `results/BENCH_serve.json` with qps, p50/p99/p999 (shared
-//! nearest-rank `bench::percentile`), shed rate and the `serve_*`
-//! metric deltas.
+//! nearest-rank `bench::percentile`), shed rate, the `serve_*` metric
+//! deltas, and — under `store` — the at-rest footprint of the served
+//! corpus: compressed (v4) vs uncompressed (v3) store bytes and cache
+//! resident bytes at a fixed budget (`bench::store_footprint`).
 //!
 //! Knobs (environment): `SERVE_BENCH_SECS` per-phase duration (default
 //! 2), `SERVE_BENCH_CONNS` closed-loop connections (default 8),
 //! `SERVE_OVERLOAD_FACTOR` open-loop rate multiplier (default 3.0),
 //! `SERVE_BENCH_FRACTION` DBLP corpus scale (default 0.02),
-//! `SERVE_QUEUE_CAP` server queue capacity (default 32).
+//! `SERVE_QUEUE_CAP` server queue capacity (default 32),
+//! `SERVE_BENCH_CACHE_BYTES` footprint cache budget (default 32768).
 
-use bench::{dblp, percentile};
+use bench::{dblp, percentile, store_footprint};
 use datagen::{generate_workload, WorkloadConfig};
+use invindex::Index;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -414,7 +418,7 @@ fn main() {
         .unwrap_or_else(|| "results/BENCH_serve.json".to_string());
 
     let doc = dblp(fraction);
-    let queries: Vec<String> = generate_workload(
+    let keyword_sets: Vec<Vec<String>> = generate_workload(
         &doc,
         &WorkloadConfig {
             per_kind: 3,
@@ -422,13 +426,29 @@ fn main() {
         },
     )
     .into_iter()
-    .map(|q| q.keywords.join(" "))
+    .map(|q| q.keywords)
     .collect();
+    let queries: Vec<String> = keyword_sets.iter().map(|k| k.join(" ")).collect();
     let targets = targets(&queries);
     println!(
         "corpus: {} nodes; workload: {} queries; {conns} conn(s); {secs}s per phase",
         doc.len(),
         queries.len()
+    );
+
+    // At-rest footprint of the served corpus, measured before the
+    // metric snapshot so the warm-up pass stays out of the serve-phase
+    // counter deltas.
+    let cache_budget = env_usize("SERVE_BENCH_CACHE_BYTES", 32 * 1024);
+    let footprint = store_footprint(&Index::build(Arc::clone(&doc)), &keyword_sets, cache_budget);
+    println!(
+        "store: v3 {} B, v4 {} B ({:.2}x smaller); cache resident {} B of {} B (hit rate {:.3})",
+        footprint.v3_bytes,
+        footprint.v4_bytes,
+        footprint.v3_bytes as f64 / footprint.v4_bytes.max(1) as f64,
+        footprint.cache.cached_bytes,
+        cache_budget,
+        footprint.cache_hit_rate(),
     );
 
     let engine = Arc::new(XRefineEngine::from_document(
@@ -499,6 +519,7 @@ fn main() {
          \"shed\": {}, \"timeouts\": {}, \"http_other\": {}, \"conn_errors\": {}, \
          \"shed_rate\": {:.4}, \"delivered_qps\": {:.2}, \"latency\": {}}},\n  \
          \"drain\": {{\"answered\": {}, \"dropped_inflight\": {}, \"stragglers\": {}}},\n  \
+         \"store\": {},\n  \
          \"metrics\": {}\n}}\n",
         doc.len(),
         queries.len(),
@@ -521,6 +542,7 @@ fn main() {
         drain_answered,
         dropped,
         drain_stragglers,
+        footprint.json(),
         metrics.render_json(),
     );
     if let Some(dir) = std::path::Path::new(&out_path).parent() {

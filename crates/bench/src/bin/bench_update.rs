@@ -5,12 +5,18 @@
 //! the concurrent read p99 exceeds `2 × idle p99` (plus a small noise
 //! floor): a committing writer must not block readers.
 //!
+//! Also reports the at-rest store footprint of the seed corpus —
+//! compressed (v4) vs uncompressed (v3) bytes and cache resident bytes
+//! at a fixed budget (`bench::store_footprint`) — under the `store`
+//! key.
+//!
 //! Knobs (environment): `UPDATE_BENCH_SECS` per-phase duration (default
 //! 2), `UPDATE_BENCH_READERS` reader threads (default 4),
 //! `UPDATE_BENCH_RECORDS` seed corpus records (default 150),
-//! `UPDATE_BENCH_COMPACT_EVERY` commits per compaction (default 16).
+//! `UPDATE_BENCH_COMPACT_EVERY` commits per compaction (default 16),
+//! `UPDATE_BENCH_CACHE_BYTES` footprint cache budget (default 32768).
 
-use bench::percentile;
+use bench::{percentile, store_footprint};
 use invindex::maint::MaintOp;
 use invindex::{build_streaming, persist};
 use kvstore::{DiskKv, FaultVfs, KvStore};
@@ -156,6 +162,25 @@ fn main() {
          compact every {compact_every} commit(s)"
     );
 
+    // At-rest footprint of the seed index, measured before the metric
+    // snapshot so the footprint warm-up pass doesn't pollute the
+    // update-phase counter deltas.
+    let keyword_sets: Vec<Vec<String>> = queries()
+        .iter()
+        .map(|q| q.split_whitespace().map(str::to_string).collect())
+        .collect();
+    let cache_budget = env_usize("UPDATE_BENCH_CACHE_BYTES", 32 * 1024);
+    let footprint = store_footprint(&built, &keyword_sets, cache_budget);
+    println!(
+        "store: v3 {} B, v4 {} B ({:.2}x smaller); cache resident {} B of {} B (hit rate {:.3})",
+        footprint.v3_bytes,
+        footprint.v4_bytes,
+        footprint.v3_bytes as f64 / footprint.v4_bytes.max(1) as f64,
+        footprint.cache.cached_bytes,
+        cache_budget,
+        footprint.cache_hit_rate(),
+    );
+
     let before = obs::global().snapshot();
 
     // Phase 1 — idle baseline: readers only.
@@ -228,11 +253,12 @@ fn main() {
          \"idle_reads\": {},\n  \"concurrent_reads\": {},\n  \
          \"writer\": {{\"commits\": {commits}, \"updates_per_sec\": {update_tps:.2}, \
          \"commit_latency\": {}}},\n  \
-         \"p99_ratio\": {:.3},\n  \"metrics\": {}\n}}\n",
+         \"p99_ratio\": {:.3},\n  \"store\": {},\n  \"metrics\": {}\n}}\n",
         latency_json(&mut idle),
         latency_json(&mut concurrent),
         latency_json(&mut commit_lat),
         concurrent_p99.as_secs_f64() / idle_p99.as_secs_f64().max(1e-9),
+        footprint.json(),
         metrics.render_json(),
     );
     if let Some(dir) = std::path::Path::new(&out_path).parent() {

@@ -10,11 +10,22 @@
 //! rather than DOM-first parsing — the two produce identical indexes,
 //! and the streaming path's memory profile is what makes the >100%
 //! sizes practical in one run.
+//!
+//! Since store format v4 the figure is measured over the *persisted
+//! compressed store* served through [`KvBackedIndex`] (blocked
+//! front-coded lists decoded on demand, default cache budget), not an
+//! in-memory index: the timings include list decode and cache effects,
+//! which is what a deployed engine pays. A method note in the output
+//! records this so the figure is not compared against pre-v4 runs
+//! unlabelled.
 
-use bench::{dblp_config, engine_from_index, f3, time_ms, Table};
+use bench::{dblp_config, f3, time_ms, Table};
 use datagen::{generate_workload, write_dblp_xml, PerturbKind, WorkloadConfig};
-use invindex::build_streaming;
-use xrefine::{Algorithm, Query};
+use invindex::reader::IndexReader;
+use invindex::{build_streaming, persist, KvBackedIndex};
+use kvstore::MemKv;
+use std::sync::Arc;
+use xrefine::{Algorithm, EngineConfig, Query, XRefineEngine};
 
 fn main() {
     let mut t = Table::new(&["data size", "elements", "Partition (ms)", "SLE (ms)"]);
@@ -37,7 +48,18 @@ fn main() {
         .take(40)
         .collect();
 
-        let mut e = engine_from_index(index, Algorithm::Partition, 3);
+        // Serve from the persisted compressed (v4) store, as deployed.
+        let mut store = MemKv::new();
+        persist::persist(&index, &mut store).expect("persist compressed store");
+        let reader = Arc::new(KvBackedIndex::open(Box::new(store)).expect("open compressed store"));
+        let mut e = XRefineEngine::from_reader(
+            Arc::clone(&reader) as Arc<dyn IndexReader>,
+            EngineConfig {
+                algorithm: Algorithm::Partition,
+                k: 3,
+                ..Default::default()
+            },
+        );
         let tp = time_ms(
             || {
                 for wq in &workload {
@@ -69,5 +91,11 @@ fn main() {
         ]);
     }
     println!("== Figure 6: avg per-query Top-3 refinement time vs data size ==\n");
+    println!(
+        "method: queries served from the persisted compressed store \
+         (format v{}) through KvBackedIndex — timings include on-demand \
+         block decode and list-cache effects, not in-memory index access\n",
+        persist::FORMAT_VERSION
+    );
     t.print();
 }

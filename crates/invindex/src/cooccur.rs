@@ -17,8 +17,47 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use xmldom::{Dewey, NodeTypeId};
 
-/// Memo of distinct `T`-typed ancestor sets per `(keyword, type)`.
-type AncestorMemo = HashMap<(KeywordId, NodeTypeId), Arc<Vec<Dewey>>>;
+/// Memo of distinct `T`-typed ancestor sets per `(keyword, type)`, with
+/// content-level dedup: different `(keyword, type)` pairs frequently
+/// project to the *same* ancestor set (keywords confined to one shared
+/// subtree shape), so equal vectors are stored once and shared by `Arc`.
+/// Hits land on `compress_dedup_hits_total`.
+#[derive(Default)]
+struct AncestorMemo {
+    by_key: HashMap<(KeywordId, NodeTypeId), Arc<Vec<Dewey>>>,
+    /// Content-hash buckets over the memoized vectors; probed on insert
+    /// so an equal projection is shared rather than duplicated.
+    by_content: HashMap<u64, Vec<Arc<Vec<Dewey>>>>,
+}
+
+impl AncestorMemo {
+    fn content_hash(v: &[Dewey]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    /// Inserts `v` under `key`, sharing an existing equal vector if one
+    /// is already memoized. Returns the canonical (possibly shared) Arc.
+    fn insert_deduped(&mut self, key: (KeywordId, NodeTypeId), v: Vec<Dewey>) -> Arc<Vec<Dewey>> {
+        let hash = Self::content_hash(&v);
+        let bucket = self.by_content.entry(hash).or_default();
+        let canonical = match bucket.iter().find(|c| ***c == v) {
+            Some(existing) => {
+                obs::counter!("compress_dedup_hits_total").inc();
+                Arc::clone(existing)
+            }
+            None => {
+                let fresh = Arc::new(v);
+                bucket.push(Arc::clone(&fresh));
+                fresh
+            }
+        };
+        self.by_key.insert(key, Arc::clone(&canonical));
+        canonical
+    }
+}
 
 /// Memoizing provider of `f^T_{ki,kj}`.
 #[derive(Default)]
@@ -77,19 +116,18 @@ impl CoOccurrence {
             let _rank =
                 obs::lockrank::acquire(obs::lockrank::rank::COOCCUR_ANCESTORS, "cooccur.ancestors");
             // xlint::lock(cooccur.ancestors)
-            if let Some(v) = self.ancestors.lock().get(&(k, t)) {
+            if let Some(v) = self.ancestors.lock().by_key.get(&(k, t)) {
                 return Arc::clone(v);
             }
         }
         let postings = reader.list_handle_by_id(k).unwrap_or_default();
-        let v = Arc::new(typed_ancestors_in(reader.document(), &postings, t));
+        let v = typed_ancestors_in(reader.document(), &postings, t);
         {
             let _rank =
                 obs::lockrank::acquire(obs::lockrank::rank::COOCCUR_ANCESTORS, "cooccur.ancestors");
             // xlint::lock(cooccur.ancestors)
-            self.ancestors.lock().insert((k, t), Arc::clone(&v));
+            self.ancestors.lock().insert_deduped((k, t), v)
         }
-        v
     }
 }
 
@@ -126,5 +164,20 @@ mod tests {
         assert_eq!(sorted_intersection_size(&a, &b), 2);
         assert_eq!(sorted_intersection_size(&a, &[]), 0);
         assert_eq!(sorted_intersection_size(&a, &a), 3);
+    }
+
+    #[test]
+    fn equal_projections_share_one_allocation() {
+        let mut memo = AncestorMemo::default();
+        let k0 = KeywordId(0);
+        let k1 = KeywordId(1);
+        let t = NodeTypeId(0);
+        let a = memo.insert_deduped((k0, t), vec![d("0.0"), d("0.2")]);
+        let b = memo.insert_deduped((k1, t), vec![d("0.0"), d("0.2")]);
+        assert!(Arc::ptr_eq(&a, &b), "equal vectors must be shared");
+        let c = memo.insert_deduped((KeywordId(2), t), vec![d("0.1")]);
+        assert!(!Arc::ptr_eq(&a, &c));
+        // lookups resolve to the canonical Arc
+        assert!(Arc::ptr_eq(memo.by_key.get(&(k1, t)).unwrap(), &a));
     }
 }

@@ -210,9 +210,10 @@ impl KvBackedIndex {
                  use open_with_document or re-persist at version 2+"
             ))
         })?;
-        let doc = Arc::new(persist::decode_document(persist::decode_value(
-            version, &blob, "D/doc",
-        )?)?);
+        let doc = Arc::new(persist::decode_document(
+            version,
+            persist::decode_value(version, &blob, "D/doc")?,
+        )?);
         Self::open_with_document(doc, store)
     }
 
@@ -459,7 +460,10 @@ mod tests {
         // Budget sized to roughly two typical lists: inserting many
         // distinct lists must evict, and used bytes never exceed it.
         // One shard so the budget boundary is exercised globally.
-        let budget = 2 * persist::encode_list_value(2, built.list("xml").unwrap()).len() + 8;
+        let budget =
+            2 * persist::encode_list_value(persist::FORMAT_VERSION, built.list("xml").unwrap())
+                .len()
+                + 8;
         let idx = KvBackedIndex::open(Box::new(store))
             .unwrap()
             .with_cache_shards(1)
@@ -484,7 +488,9 @@ mod tests {
         // *global* budget still bounds the summed bytes, because the
         // per-shard budgets sum to it.
         let (_, built, store) = persisted();
-        let budget = 3 * persist::encode_list_value(2, built.list("xml").unwrap()).len();
+        let budget =
+            3 * persist::encode_list_value(persist::FORMAT_VERSION, built.list("xml").unwrap())
+                .len();
         let idx = KvBackedIndex::open(Box::new(store))
             .unwrap()
             .with_cache_budget(budget);
@@ -510,7 +516,9 @@ mod tests {
             .map(|(_, t)| t.to_string())
             .collect();
         // budget that fits ~3 small lists; one shard for a global LRU
-        let cost = |kw: &str| persist::encode_list_value(2, built.list(kw).unwrap()).len();
+        let cost = |kw: &str| {
+            persist::encode_list_value(persist::FORMAT_VERSION, built.list(kw).unwrap()).len()
+        };
         let budget = cost(&vocab[0]) + cost(&vocab[1]) + cost(&vocab[2]) + 2;
         let idx = KvBackedIndex::open(Box::new(store))
             .unwrap()
@@ -579,7 +587,13 @@ mod tests {
 
     #[test]
     fn damaged_stats_degrade_one_keyword_not_the_open() {
-        let (_, built, mut store) = persisted();
+        // v3 store: per-entry stat keys give per-keyword damage
+        // isolation (v4 packs the tables, so damage there is fatal —
+        // see `damaged_packed_stats_fail_the_open`).
+        let doc = Arc::new(figure1());
+        let built = Index::build(Arc::clone(&doc));
+        let mut store = MemKv::new();
+        persist::persist_versioned(&built, &mut store, persist::V3_FORMAT_VERSION).unwrap();
         let victim = built.vocabulary().get("xml").unwrap();
         let (key, value) = store
             .scan_prefix(b"S/T/")
@@ -602,6 +616,21 @@ mod tests {
         // Healthy keywords report no damage.
         let john = built.vocabulary().get("john").unwrap();
         assert!(idx.keyword_damage(john).is_none());
+    }
+
+    #[test]
+    fn damaged_packed_stats_fail_the_open() {
+        // v4 packs the stat tables into one CRC-framed blob each, so a
+        // flipped byte there has no per-keyword owner: the open fails
+        // corrupt instead of degrading.
+        let (_, _, mut store) = persisted();
+        let mut bad = store.get(b"S/T").unwrap().expect("v4 packed tf table");
+        *bad.last_mut().unwrap() ^= 0xFF;
+        store.put(b"S/T", &bad).unwrap();
+        match KvBackedIndex::open(Box::new(store)) {
+            Err(e) => assert!(e.is_corrupt(), "unexpected error class: {e}"),
+            Ok(_) => panic!("damaged packed stats opened"),
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `invindex` — keyword inverted lists and document statistics (§VII).
 //!
 //! * [`postings`]: document-ordered posting lists with delta/front-coded
-//!   serialization;
+//!   serialization — flat (store v1–v3) and blocked compressed behind a
+//!   per-block skip table ([`CompressedList`], store v4);
 //! * [`reader`]: the [`IndexReader`] trait and [`ListHandle`] — the
 //!   storage-agnostic read path every query layer consumes;
 //! * [`index`]: the one-pass index builder and resident
@@ -35,13 +36,13 @@ pub mod stats;
 pub mod stream;
 
 pub use cache::{CacheStats, ShardedListCache, DEFAULT_CACHE_SHARDS};
-pub use cursor::{ListCursor, ScanStats};
+pub use cursor::{ListCursor, PostingsCursor, ScanStats};
 pub use index::{InMemoryIndex, Index};
 pub use kvindex::{KvBackedIndex, StoreGen};
 pub use maint::{MaintIndex, MaintOp, MaintReport};
 pub use parallel::build_parallel;
 pub use persist::{verify_store, IntegrityReport, SectionReport, StatDamage};
-pub use postings::{Posting, PostingList};
+pub use postings::{BlockMeta, CompressedList, Posting, PostingList, BLOCK_POSTINGS};
 pub use reader::{IndexReader, ListHandle};
 pub use stats::{KeywordId, KeywordTable, TypeStats};
 pub use stream::build_streaming;

@@ -170,9 +170,10 @@ impl MaintIndex {
                  online maintenance needs a version 2+ store"
             ))
         })?;
-        let doc = Arc::new(persist::decode_document(persist::decode_value(
-            version, &blob, "D/doc",
-        )?)?);
+        let doc = Arc::new(persist::decode_document(
+            version,
+            persist::decode_value(version, &blob, "D/doc")?,
+        )?);
         let (records, root_tag, root_attrs, root_text) = derive_records(&doc);
         let seq = match durable.get(MAINT_KEY)? {
             Some(value) => {
@@ -303,9 +304,12 @@ impl MaintIndex {
                 KvError::corrupt(format!("reconstructed corpus does not parse: {e}"))
             })?);
         let built = Index::build(Arc::clone(&doc));
+        // Preserve the store's format version: incremental updates to a
+        // v3 store must stay byte-identical to a v3 scratch build, and
+        // likewise for v4 (see tests/maint_differential.rs).
+        let version = persist::read_version(&w.durable)?;
         let mut target = MemKv::new();
-        persist::persist(&built, &mut target)?;
-        let version = persist::read_version(&target)?;
+        persist::persist_versioned(&built, &mut target, version)?;
         let seq = w.seq + 1;
         // Re-derive the canonical records from the parsed corpus so the
         // in-memory list always matches what a reopen would derive.

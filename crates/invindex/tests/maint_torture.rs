@@ -22,6 +22,12 @@
 //! periodic compactions). Debug builds stride the cut sweep to keep
 //! tier-1 fast; the `maintenance` suite and CI run the full sweep in
 //! release (`MAINT_TORTURE_STRIDE=1`).
+//!
+//! The seed persists at the *current* format version, so since v4 the
+//! whole sweep tortures a **compressed** store: every recovery dump
+//! byte-compare covers blocked posting lists, the DAG document blob and
+//! the packed stat tables (`seed_store` asserts the version to keep
+//! this guarantee visible).
 
 use invindex::maint::{MaintIndex, MaintOp};
 use invindex::{build_streaming, persist, IndexReader};
@@ -106,6 +112,12 @@ fn seed_store(vfs: &Arc<dyn Vfs>, base: &Path) {
     let mut disk = DiskKv::open_with_vfs(vfs, &base.with_extension("db")).unwrap();
     persist::persist(&built, &mut disk).unwrap();
     disk.sync().unwrap();
+    // The sweep must exercise the compressed (v4) format.
+    assert_eq!(
+        disk.get(b"M/version").unwrap().as_deref(),
+        Some([persist::FORMAT_VERSION as u8].as_slice()),
+        "torture seed is not a current-format store"
+    );
 }
 
 /// Merged store dump through the current snapshot (pure reads: takes no

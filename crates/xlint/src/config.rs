@@ -58,6 +58,7 @@ impl Config {
                 "crates/kvstore/src/durable.rs".into(),
                 "crates/invindex/src/persist.rs".into(),
                 "crates/invindex/src/postings.rs".into(),
+                "crates/invindex/src/cursor.rs".into(),
                 "crates/invindex/src/kvindex.rs".into(),
                 "crates/xmldom/src/scan.rs".into(),
                 "crates/xserve/src/http.rs".into(),
@@ -70,6 +71,7 @@ impl Config {
                 "crates/kvstore/src/wal.rs".into(),
                 "crates/invindex/src/persist.rs".into(),
                 "crates/invindex/src/postings.rs".into(),
+                "crates/invindex/src/cursor.rs".into(),
                 "crates/xserve/src/http.rs".into(),
             ],
             wallclock_paths: vec!["crates/slca/src/".into(), "crates/xrefine/src/".into()],
@@ -85,6 +87,7 @@ impl Config {
                 "lexicon".into(),
                 "serve".into(),
                 "maint".into(),
+                "compress".into(),
             ],
             metric_units: vec![
                 "total".into(),

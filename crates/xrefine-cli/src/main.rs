@@ -4,7 +4,7 @@
 //! xrefine-cli [--data <file.xml>|dblp|baseball|figure1] \
 //!             [--algorithm partition|sle|stack] [--k N]
 //! xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db> \
-//!             [--ingest dom|stream] [--threads N]
+//!             [--ingest dom|stream] [--threads N] [--format v3|v4]
 //! xrefine-cli query --store <store.db> [--algorithm ...] [--k N] \
 //!             [--threads N --batch <queries.txt>]
 //! ```
@@ -19,6 +19,11 @@
 //! (`invindex::build_streaming`) instead of DOM parsing; `--threads N`
 //! parallelises the tokenize/DF phases (or, with `--ingest dom`, uses
 //! the DOM-parallel builder). Both paths persist byte-identical stores.
+//! `--format` picks the store layout: `v4` (default) writes compressed
+//! postings — blocked front-coded Dewey lists with skip tables, the
+//! deduplicated DAG document and packed stat tables — while `v3` writes
+//! the flat layout for tooling that predates compression. Every reader
+//! (`query --store`, `update`, `scrub`, the HTTP server) accepts both.
 //!
 //! `--batch <file>` switches from the REPL to a concurrent driver: the
 //! file's queries (one per line, `#` comments allowed) are striped
@@ -47,7 +52,7 @@ use xrefine::{Algorithm, EngineConfig, PhaseTimings, XRefineEngine};
 const USAGE: &str = "usage: xrefine-cli [--data <file.xml>|dblp|baseball|figure1] \
 [--algorithm partition|sle|stack] [--k N]\n       \
 xrefine-cli index <file.xml>|dblp|baseball|figure1 <store.db> \
-[--ingest dom|stream] [--threads N]\n       \
+[--ingest dom|stream] [--threads N] [--format v3|v4]\n       \
 xrefine-cli query --store <store.db> [--algorithm partition|sle|stack] [--k N] \
 [--threads N --batch <queries.txt>] [--metrics] [--trace <query>]\n       \
 xrefine-cli update --store <store.db> [--add <fragment.xml>]... [--remove SLOT]... [--compact]
@@ -68,6 +73,7 @@ enum Command {
         store: String,
         ingest: IngestMode,
         threads: usize,
+        version: u64,
     },
     /// Verify the integrity of a persisted store, section by section.
     Scrub { store: String },
@@ -107,10 +113,19 @@ fn parse_args() -> Result<Command, String> {
     if args.first().map(|s| s.as_str()) == Some("index") {
         let mut ingest = IngestMode::Dom;
         let mut threads = 1usize;
+        let mut version = invindex::persist::FORMAT_VERSION;
         let mut positional: Vec<String> = Vec::new();
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
+                "--format" => {
+                    version = match args.get(i + 1).map(|s| s.as_str()) {
+                        Some("v3") => invindex::persist::V3_FORMAT_VERSION,
+                        Some("v4") => invindex::persist::FORMAT_VERSION,
+                        other => return Err(format!("--format must be v3 or v4, got {other:?}")),
+                    };
+                    i += 2;
+                }
                 "--ingest" => {
                     ingest = match args.get(i + 1).map(|s| s.as_str()) {
                         Some("dom") => IngestMode::Dom,
@@ -144,6 +159,7 @@ fn parse_args() -> Result<Command, String> {
             store: positional.remove(0),
             ingest,
             threads,
+            version,
         });
     }
     if args.first().map(|s| s.as_str()) == Some("update") {
@@ -305,13 +321,15 @@ fn load_xml(spec: &str) -> Result<String, String> {
     }
 }
 
-/// `xrefine-cli index <data> <db> [--ingest dom|stream] [--threads N]`:
-/// build and persist. Both ingest modes write byte-identical stores.
+/// `xrefine-cli index <data> <db> [--ingest dom|stream] [--threads N]
+/// [--format v3|v4]`: build and persist. Both ingest modes write
+/// byte-identical stores at whichever format version is selected.
 fn build_store(
     data: &str,
     store_path: &str,
     ingest: IngestMode,
     threads: usize,
+    version: u64,
 ) -> Result<(), String> {
     let index = match ingest {
         IngestMode::Dom => {
@@ -330,10 +348,11 @@ fn build_store(
     };
     let mut store = kvstore::DiskKv::open(std::path::Path::new(store_path))
         .map_err(|e| format!("cannot open store {store_path}: {e}"))?;
-    invindex::persist::persist(&index, &mut store)
+    invindex::persist::persist_versioned(&index, &mut store, version)
         .map_err(|e| format!("cannot persist index: {e}"))?;
     eprintln!(
-        "indexed {} elements ({} keywords) from '{}' into {} ({:?} ingest, {} thread(s))",
+        "indexed {} elements ({} keywords) from '{}' into {} \
+         (format v{version}, {:?} ingest, {} thread(s))",
         index.document().len(),
         index.vocabulary().len(),
         data,
@@ -550,8 +569,9 @@ fn main() -> ExitCode {
             store,
             ingest,
             threads,
+            version,
         }) => {
-            return match build_store(&data, &store, ingest, threads) {
+            return match build_store(&data, &store, ingest, threads, version) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(msg) => {
                     eprintln!("{msg}");
@@ -968,7 +988,14 @@ mod tests {
         let _ = std::fs::remove_file(&store_path);
         let spath = store_path.to_str().unwrap();
 
-        build_store("figure1", spath, IngestMode::Dom, 1).unwrap();
+        build_store(
+            "figure1",
+            spath,
+            IngestMode::Dom,
+            1,
+            invindex::persist::FORMAT_VERSION,
+        )
+        .unwrap();
         assert!(scrub_store(spath).unwrap(), "fresh store must scrub clean");
 
         // At-rest bit rot in the first data page: scrub must fail.
@@ -989,12 +1016,20 @@ mod tests {
         let _ = std::fs::remove_file(&dom_path);
         let _ = std::fs::remove_file(&stream_path);
 
-        build_store("figure1", dom_path.to_str().unwrap(), IngestMode::Dom, 1).unwrap();
+        build_store(
+            "figure1",
+            dom_path.to_str().unwrap(),
+            IngestMode::Dom,
+            1,
+            invindex::persist::FORMAT_VERSION,
+        )
+        .unwrap();
         build_store(
             "figure1",
             stream_path.to_str().unwrap(),
             IngestMode::Stream,
             3,
+            invindex::persist::FORMAT_VERSION,
         )
         .unwrap();
         assert_eq!(
@@ -1003,6 +1038,36 @@ mod tests {
             "ingest modes must persist byte-identical stores"
         );
         assert!(scrub_store(stream_path.to_str().unwrap()).unwrap());
+    }
+
+    /// `index --format` writes the requested store version; both
+    /// versions scrub clean and serve queries through `from_store`.
+    #[test]
+    fn index_format_flag_selects_store_version() {
+        let dir = std::env::temp_dir().join(format!("xref_format_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, version) in [
+            ("v3", invindex::persist::V3_FORMAT_VERSION),
+            ("v4", invindex::persist::FORMAT_VERSION),
+        ] {
+            let path = dir.join(format!("fig1_{name}.db"));
+            let _ = std::fs::remove_file(&path);
+            let spath = path.to_str().unwrap();
+            build_store("figure1", spath, IngestMode::Dom, 1, version).unwrap();
+
+            let kv = kvstore::DiskKv::open(&path).unwrap();
+            assert_eq!(
+                kv.get(b"M/version").unwrap().as_deref(),
+                Some([version as u8].as_slice()),
+                "--format {name} wrote the wrong store version"
+            );
+            drop(kv);
+            assert!(scrub_store(spath).unwrap(), "{name} store must scrub clean");
+
+            let engine = XRefineEngine::from_store(&path, EngineConfig::default())
+                .unwrap_or_else(|e| panic!("cannot serve {name} store: {e}"));
+            assert!(engine.answer("john fishing").unwrap().original_ok);
+        }
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Compression test battery, part 2: the v3/v4 store differential.
+//!
+//! Over the same 200+ seeded corpus set as the ingest differential
+//! (DBLP-shaped, baseball-shaped, structural edge cases), the index is
+//! persisted both as a v3 (flat lists, replay document) and a v4
+//! (compressed lists, DAG document) store, and the two must be
+//! *behaviourally indistinguishable*: every query answered through a
+//! [`KvBackedIndex`] over either store yields identical refinements,
+//! SLCA result sets, and scan counters (`advances`/`random_accesses` —
+//! the cursor advance sequence collapsed to its invariant), with the
+//! whole comparison repeated for stores built at 1 and 3 ingest
+//! threads. Each format must also be byte-deterministic across thread
+//! counts, which is what keeps the maintenance rebuild-diff oracles
+//! meaningful on compressed stores.
+
+use datagen::{generate_baseball, generate_dblp, BaseballConfig, DblpConfig};
+use invindex::{build_streaming, persist, KvBackedIndex};
+use kvstore::{KvStore, MemKv};
+use std::sync::Arc;
+use xrefine::{EngineConfig, XRefineEngine};
+
+/// Queries chosen to hit the generator vocabularies (Zipf head terms,
+/// names) plus a guaranteed miss.
+const QUERIES: &[&str] = &[
+    "xml query",
+    "database system",
+    "efficient data",
+    "absentword",
+];
+
+/// Every key/value pair of a store, in key order.
+type Dump = Vec<(Vec<u8>, Vec<u8>)>;
+
+fn dump(store: &dyn KvStore) -> Dump {
+    store.scan_range(b"", None).unwrap()
+}
+
+fn store_at(xml: &str, threads: usize, version: u64, label: &str) -> MemKv {
+    let built = build_streaming(xml, threads)
+        .unwrap_or_else(|e| panic!("{label}: streaming ({threads}t): {e}"));
+    let mut store = MemKv::new();
+    persist::persist_versioned(&built, &mut store, version)
+        .unwrap_or_else(|e| panic!("{label}: persist v{version} ({threads}t): {e}"));
+    store
+}
+
+fn engine_over(store: MemKv, label: &str) -> XRefineEngine {
+    let index =
+        KvBackedIndex::open(Box::new(store)).unwrap_or_else(|e| panic!("{label}: open: {e}"));
+    XRefineEngine::from_reader(Arc::new(index), EngineConfig::default())
+}
+
+/// The full oracle for one document.
+fn check(xml: &str, label: &str) {
+    let mut reference: Option<(Dump, Dump)> = None;
+    for threads in [1usize, 3] {
+        let v3 = store_at(xml, threads, persist::V3_FORMAT_VERSION, label);
+        let v4 = store_at(xml, threads, persist::FORMAT_VERSION, label);
+        let (d3, d4) = (dump(&v3), dump(&v4));
+
+        // Each format is byte-deterministic across build thread counts.
+        match &reference {
+            None => reference = Some((d3, d4)),
+            Some((r3, r4)) => {
+                assert_eq!(r3, &d3, "{label}: v3 store differs at {threads} threads");
+                assert_eq!(r4, &d4, "{label}: v4 store differs at {threads} threads");
+            }
+        }
+
+        // Both stores answer every query identically — refinements,
+        // SLCA sets, scores and scan counters all live in the outcome's
+        // Debug rendering.
+        let e3 = engine_over(v3, &format!("{label} v3"));
+        let e4 = engine_over(v4, &format!("{label} v4"));
+        for q in QUERIES {
+            let want = e3.answer_detailed(q);
+            let got = e4.answer_detailed(q);
+            assert_eq!(
+                format!("{want:?}"),
+                format!("{got:?}"),
+                "{label} ({threads}t): outcome diverged for query {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dblp_corpora_across_seeds() {
+    for seed in 0..150u64 {
+        let cfg = DblpConfig {
+            authors: 2 + (seed as usize % 5),
+            seed: 0x5EED_0000 + seed,
+            ..Default::default()
+        };
+        let xml = generate_dblp(&cfg).to_xml();
+        check(&xml, &format!("dblp seed {seed}"));
+    }
+}
+
+#[test]
+fn baseball_corpora_across_seeds() {
+    for seed in 0..40u64 {
+        let cfg = BaseballConfig {
+            leagues: 1,
+            divisions_per_league: 1 + (seed as usize % 2),
+            teams_per_division: 2,
+            players_per_team: 3,
+            seed: 0xBA5E_0000 + seed,
+        };
+        let xml = generate_baseball(&cfg).to_xml();
+        check(&xml, &format!("baseball seed {seed}"));
+    }
+}
+
+#[test]
+fn structural_edge_cases() {
+    let mut cases: Vec<(String, String)> = Vec::new();
+
+    for depth in [5usize, 120, 600] {
+        let mut xml = String::new();
+        for i in 0..depth {
+            xml.push_str(&format!("<level{}>", i % 7));
+        }
+        xml.push_str("bottom text");
+        for i in (0..depth).rev() {
+            xml.push_str(&format!("</level{}>", i % 7));
+        }
+        cases.push((format!("deep-{depth}"), xml));
+    }
+    for width in [50usize, 1200] {
+        let mut xml = String::from("<flat>");
+        for i in 0..width {
+            xml.push_str(&format!("<item>value {i}</item>"));
+        }
+        xml.push_str("</flat>");
+        cases.push((format!("wide-{width}"), xml));
+    }
+    cases.push((
+        "cdata".into(),
+        "<doc><raw><![CDATA[keep <this> & that]]></raw>\
+         <mix>before <![CDATA[middle]]> after</mix></doc>"
+            .into(),
+    ));
+    cases.push((
+        "entities".into(),
+        "<doc a=\"x &amp; y\"><e>&lt;tag&gt; &quot;q&quot;</e></doc>".into(),
+    ));
+    cases.push((
+        "attributes".into(),
+        "<doc><node one=\"1\" two='second value' empty=\"\"/>\
+         <node one=\"repeated tokens one\"/></doc>"
+            .into(),
+    ));
+    cases.push((
+        "mixed-content".into(),
+        "<p>lead <b>bold</b> middle <i>ital</i> tail</p>".into(),
+    ));
+    cases.push((
+        "unicode".into(),
+        "<livre><títul attr=\"café\">über straße 北京 données</títul></livre>".into(),
+    ));
+    cases.push((
+        "repeated-keywords".into(),
+        "<doc><x>word word word</x><x>word</x><y>word other word</y></doc>".into(),
+    ));
+    cases.push(("single-empty-root".into(), "<root/>".into()));
+
+    assert!(cases.len() >= 12);
+    for (label, xml) in &cases {
+        check(xml, label);
+    }
+}
+
+/// The v4 store is materially smaller than the v3 store on a corpus
+/// with DBLP-style repetitive structure — the acceptance-size claim,
+/// here at unit scale (the full-size run lives in `bench_compress`).
+#[test]
+fn v4_store_is_smaller_on_a_dblp_corpus() {
+    let xml = generate_dblp(&DblpConfig {
+        authors: 60,
+        ..Default::default()
+    })
+    .to_xml();
+    let v3 = store_at(&xml, 1, persist::V3_FORMAT_VERSION, "size");
+    let v4 = store_at(&xml, 1, persist::FORMAT_VERSION, "size");
+    let bytes =
+        |d: &[(Vec<u8>, Vec<u8>)]| -> usize { d.iter().map(|(k, v)| k.len() + v.len()).sum() };
+    let (b3, b4) = (bytes(&dump(&v3)), bytes(&dump(&v4)));
+    assert!(
+        b4 * 2 <= b3,
+        "v4 store {b4}B not >= 2x smaller than v3 {b3}B"
+    );
+}

@@ -22,6 +22,9 @@
 #                  (incremental == from-scratch), full stride-1 power-
 #                  cut sweep of the updating store (release), live
 #                  updates over HTTP, and the update/read-tail bench
+#   compress       store format v4 (compressed postings): property/fuzz
+#                  round-trips + corruption sweeps, v3-vs-v4 behavioural
+#                  differential, and the size/scan-neutrality bench
 #   analysis       xlint over the live workspace + its golden fixtures
 #   tsan           ThreadSanitizer over the thread-heavy suites
 #                  (requires a nightly toolchain with rust-src)
@@ -78,6 +81,16 @@ suite_maintenance() {
         cargo run --release -q -p bench --bin bench_update
 }
 
+suite_compress() {
+    cargo test --release -q -p invindex --test compress_prop
+    cargo test --release -q -p xrefine --test compress_differential
+    cargo test --release -q -p invindex --test maint_differential \
+        maintenance_preserves_the_store_format_version
+    COMPRESS_BENCH_FRACTION="${COMPRESS_BENCH_FRACTION:-0.1}" \
+    COMPRESS_BENCH_ROUNDS="${COMPRESS_BENCH_ROUNDS:-3}" \
+        cargo run --release -q -p bench --bin bench_compress
+}
+
 suite_analysis() {
     cargo run -q -p xlint -- --workspace
     cargo run -q -p xlint -- --fixtures
@@ -102,7 +115,7 @@ suite_tsan() {
 if [[ "${BASH_SOURCE[0]}" == "$0" ]]; then
     if [[ $# -eq 0 ]]; then
         echo "usage: $0 <suite> [<suite>...]" >&2
-        echo "suites: release_smoke torture observability ingest serve maintenance analysis tsan" >&2
+        echo "suites: release_smoke torture observability ingest serve maintenance compress analysis tsan" >&2
         exit 2
     fi
     for suite in "$@"; do
