@@ -319,7 +319,7 @@ pub(crate) fn unframe_value<'a>(value: &'a [u8], what: &str) -> Result<&'a [u8]>
         .ok_or_else(|| KvError::corrupt(format!("{what}: bad frame length header")))?
         as usize;
     let rest = value.get(pos..).unwrap_or(&[]);
-    if rest.len() != 4 + len {
+    if len.checked_add(4) != Some(rest.len()) {
         return Err(KvError::corrupt(format!(
             "{what}: frame length mismatch: header {len}, got {}",
             rest.len().saturating_sub(4)

@@ -188,6 +188,7 @@ pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
         if shift >= 64 {
             return None;
         }
+        // xlint::allow(checked-arithmetic-on-untrusted): the guard above caps shift at 63, and shl only overflows when the shift amount reaches the bit width
         result |= u64::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
             return Some(result);
@@ -373,7 +374,7 @@ impl<'a> CompressedList<'a> {
             }
             // Every posting needs ≥1 byte (the first its type varint,
             // the rest a header byte plus ≥1 component byte).
-            if len < 2 * count - 1 {
+            if len < count.saturating_mul(2).saturating_sub(1) {
                 return Err(corrupt(format!(
                     "block {i}: {len} bytes cannot hold {count} postings"
                 )));
@@ -408,7 +409,9 @@ impl<'a> CompressedList<'a> {
             });
             prev_max = Some(max);
             offset = next_offset;
-            start += count;
+            start = start
+                .checked_add(count)
+                .ok_or_else(|| corrupt(format!("block {i}: posting count overflow")))?;
         }
         if start != n {
             return Err(corrupt(format!(
@@ -508,13 +511,16 @@ impl<'a> CompressedList<'a> {
                 .len()
                 .checked_sub(trim)
                 .ok_or_else(|| corrupt("trim deeper than predecessor".into()))?;
-            let mut comps = Vec::with_capacity(shared + rest);
+            let mut comps = Vec::with_capacity(shared.saturating_add(rest));
             comps.extend_from_slice(prev_comps.get(..shared).unwrap_or(&[]));
             let d0 = read_varint(bytes, &mut pos)
                 .ok_or_else(|| corrupt("truncated component".into()))?;
             let c0 = if trim > 0 {
                 let base = prev_comps.get(shared).copied().unwrap_or(0);
-                let v = u64::from(base) + 1 + d0;
+                let v = u64::from(base)
+                    .checked_add(1)
+                    .and_then(|b| b.checked_add(d0))
+                    .ok_or_else(|| corrupt("component overflow".into()))?;
                 u32::try_from(v).map_err(|_| corrupt("component overflow".into()))?
             } else {
                 u32::try_from(d0).map_err(|_| corrupt("component overflow".into()))?

@@ -1,0 +1,88 @@
+//! Graceful-drain handshake (production: `xserve` server lifecycle —
+//! the `closed` flag plus the bounded work queue).
+//!
+//! Admission happens under the queue lock and is refused once `closed`
+//! is set; the drainer sets `closed` *first* and only then drains the
+//! queue, so every admitted job is executed either by a worker or by the
+//! final drain. The seeded bug drains before closing: a job admitted in
+//! the window between the drain and the close is silently dropped.
+
+use crate::sched::{explore, Config, Outcome};
+use crate::shim::{XAtomicBool, XAtomicU64, XMutex};
+
+use super::Bug;
+
+pub struct State {
+    closed: XAtomicBool,
+    queue: XMutex<Vec<u64>>,
+    admitted: XAtomicU64,
+    executed: XAtomicU64,
+    bug: Bug,
+}
+
+fn producer(s: &State) {
+    let mut q = s.queue.lock();
+    // Admission check under the queue lock, as in `serve::queue`.
+    if !s.closed.load() {
+        q.push(1);
+        s.admitted.fetch_add(1);
+    }
+}
+
+fn worker(s: &State) {
+    let job = s.queue.lock().pop();
+    if job.is_some() {
+        s.executed.fetch_add(1);
+    }
+}
+
+fn drainer(s: &State) {
+    match s.bug {
+        Bug::None => {
+            // Production order: stop admissions, then drain the rest.
+            s.closed.store(true);
+            let mut q = s.queue.lock();
+            while q.pop().is_some() {
+                s.executed.fetch_add(1);
+            }
+        }
+        Bug::Seeded => {
+            // Seeded bug: drain first — a job admitted after the drain
+            // but before the close is never executed.
+            {
+                let mut q = s.queue.lock();
+                while q.pop().is_some() {
+                    s.executed.fetch_add(1);
+                }
+            }
+            s.closed.store(true);
+        }
+    }
+}
+
+/// Explores the producer/worker/drainer handshake; the invariant is the
+/// drain guarantee: every admitted job is executed.
+pub fn check(bug: Bug) -> Outcome {
+    explore(
+        &Config::default(),
+        move || State {
+            closed: XAtomicBool::new(false),
+            queue: XMutex::new(Vec::new()),
+            admitted: XAtomicU64::new(0),
+            executed: XAtomicU64::new(0),
+            bug,
+        },
+        &[producer, worker, drainer],
+        |s| {
+            let admitted = s.admitted.load();
+            let executed = s.executed.load();
+            if executed == admitted {
+                Ok(())
+            } else {
+                Err(format!(
+                    "drain guarantee broken: admitted {admitted}, executed {executed}"
+                ))
+            }
+        },
+    )
+}

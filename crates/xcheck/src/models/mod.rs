@@ -1,0 +1,22 @@
+//! Distilled models of the workspace's real synchronization patterns.
+//!
+//! Each model ships in two variants: the production shape (`Bug::None`)
+//! and a seeded-bug shape that reintroduces a race the production code
+//! was specifically written to exclude. The seeded variants are the
+//! self-test of the checker itself: `explore` must find each bug under
+//! full DFS at small bounds, and must exhaust the correct variants
+//! without a violation. The production counterpart of each model is
+//! named in DESIGN.md §6c.
+
+pub mod cache;
+pub mod drain;
+pub mod epoch;
+
+/// Which seeded bug, if any, a model run should carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bug {
+    /// The production shape; exploration must exhaust cleanly.
+    None,
+    /// The model-specific seeded race; exploration must find it.
+    Seeded,
+}

@@ -1,0 +1,581 @@
+//! Cooperative token-passing scheduler with DFS schedule exploration.
+//!
+//! Model threads run on real OS threads, but exactly one is runnable at
+//! a time: every shim operation ([`crate::shim`]) is a yield point that
+//! hands the token back to the controller, which decides who runs next.
+//! The controller records each decision where more than one thread was
+//! runnable, and after the schedule completes it backtracks depth-first
+//! to the deepest decision with an untried alternative, replaying the
+//! prefix and diverging there — until the bounded space is exhausted or
+//! a violation is found.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Exploration bounds. Both are safety nets: the shipped models exhaust
+/// their interleaving space well inside the defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum scheduling decisions in a single schedule before the run
+    /// is reported as a step-bound violation (runaway-loop guard).
+    pub max_steps: usize,
+    /// Maximum schedules to explore before giving up unexhausted.
+    pub max_schedules: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_steps: 2_000,
+            max_schedules: 100_000,
+        }
+    }
+}
+
+/// What went wrong on the violating schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A model thread panicked (an in-thread assertion fired).
+    Panic,
+    /// Unfinished threads remained but none was runnable.
+    Deadlock,
+    /// The final-state invariant closure returned `Err`.
+    Invariant,
+    /// A single schedule exceeded `max_steps` decisions.
+    StepBound,
+}
+
+/// A counterexample: the kind of failure, its message, and the exact
+/// thread-id sequence that reproduces it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub kind: Kind,
+    pub detail: String,
+    /// Thread id chosen at each scheduling step, in order.
+    pub schedule: Vec<usize>,
+}
+
+/// Result of an exploration.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Number of complete schedules executed.
+    pub schedules: usize,
+    /// `true` iff the whole bounded space was explored with no violation.
+    pub exhausted: bool,
+    /// First violation found, with its reproducing schedule.
+    pub violation: Option<Violation>,
+}
+
+impl Outcome {
+    /// Convenience for asserting in tests.
+    pub fn passed(&self) -> bool {
+        self.exhausted && self.violation.is_none()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(usize),
+    Finished,
+}
+
+struct Inner {
+    /// Which thread currently holds the execution token.
+    active: Option<usize>,
+    status: Vec<Status>,
+    lock_owner: HashMap<usize, usize>,
+    abort: bool,
+    panic_msg: Option<String>,
+}
+
+/// Shared between the controller and the model threads of one schedule.
+pub(crate) struct Scheduler {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+/// Panic payload used to unwind model threads out of their wait loops
+/// when the controller aborts a schedule; never reported as a violation.
+struct Aborted;
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    sched: Arc<Scheduler>,
+    id: usize,
+}
+
+/// Runs `f` with the calling thread's checker context, if installed.
+/// Shims fall back to plain operations when this returns `None`-path.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow().as_ref().map(f))
+}
+
+static NEXT_LOCK_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Allocates a process-unique id for one `XMutex` instance.
+pub(crate) fn fresh_lock_id() -> usize {
+    NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Ctx {
+    /// One scheduling point: release the token and wait to be rescheduled.
+    pub(crate) fn yield_now(&self) {
+        let mut g = self.sched.inner.lock().expect("scheduler state");
+        debug_assert_eq!(g.active, Some(self.id), "yield without the token");
+        g.active = None;
+        self.sched.cv.notify_all();
+        loop {
+            if g.abort {
+                drop(g);
+                panic::panic_any(Aborted);
+            }
+            if g.active == Some(self.id) {
+                return;
+            }
+            g = self.sched.cv.wait(g).expect("scheduler state");
+        }
+    }
+
+    /// Attempts to take lock `id`; `false` if another thread owns it.
+    pub(crate) fn try_acquire(&self, id: usize) -> bool {
+        let mut g = self.sched.inner.lock().expect("scheduler state");
+        if let std::collections::hash_map::Entry::Vacant(e) = g.lock_owner.entry(id) {
+            e.insert(self.id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parks this thread until lock `id` is released, then returns with
+    /// the token (the caller retries acquisition).
+    pub(crate) fn block_on(&self, id: usize) {
+        let mut g = self.sched.inner.lock().expect("scheduler state");
+        g.status[self.id] = Status::Blocked(id);
+        g.active = None;
+        self.sched.cv.notify_all();
+        loop {
+            if g.abort {
+                drop(g);
+                panic::panic_any(Aborted);
+            }
+            if g.active == Some(self.id) {
+                return;
+            }
+            g = self.sched.cv.wait(g).expect("scheduler state");
+        }
+    }
+
+    /// Releases lock `id` and makes every thread parked on it runnable.
+    pub(crate) fn release(&self, id: usize) {
+        let mut g = self.sched.inner.lock().expect("scheduler state");
+        g.lock_owner.remove(&id);
+        for s in g.status.iter_mut() {
+            if *s == Status::Blocked(id) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+}
+
+impl Scheduler {
+    fn new(n: usize) -> Self {
+        Scheduler {
+            inner: Mutex::new(Inner {
+                active: None,
+                status: vec![Status::Runnable; n],
+                lock_owner: HashMap::new(),
+                abort: false,
+                panic_msg: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// First wait of a freshly spawned model thread.
+    fn wait_for_token(&self, id: usize) {
+        let mut g = self.inner.lock().expect("scheduler state");
+        loop {
+            if g.abort {
+                drop(g);
+                panic::panic_any(Aborted);
+            }
+            if g.active == Some(id) {
+                return;
+            }
+            g = self.cv.wait(g).expect("scheduler state");
+        }
+    }
+
+    fn thread_done(&self, id: usize, panicked: Option<String>) {
+        let mut g = self.inner.lock().expect("scheduler state");
+        g.status[id] = Status::Finished;
+        // Release anything the thread still owned (a panicking thread
+        // may die holding a lock; the schedule is aborted anyway, but
+        // unblocking keeps the teardown prompt).
+        let owned: Vec<usize> = g
+            .lock_owner
+            .iter()
+            .filter(|&(_, o)| *o == id)
+            .map(|(l, _)| *l)
+            .collect();
+        for l in owned {
+            g.lock_owner.remove(&l);
+            for s in g.status.iter_mut() {
+                if *s == Status::Blocked(l) {
+                    *s = Status::Runnable;
+                }
+            }
+        }
+        if let Some(msg) = panicked {
+            if g.panic_msg.is_none() {
+                g.panic_msg = Some(msg);
+            }
+        }
+        if g.active == Some(id) {
+            g.active = None;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Controller side: hand the token to `id` and wait until it yields,
+    /// blocks, or finishes.
+    fn run_until_yield(&self, id: usize) {
+        let mut g = self.inner.lock().expect("scheduler state");
+        g.active = Some(id);
+        self.cv.notify_all();
+        while g.active.is_some() {
+            g = self.cv.wait(g).expect("scheduler state");
+        }
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        let g = self.inner.lock().expect("scheduler state");
+        g.status
+            .iter()
+            .enumerate()
+            .filter(|&(_, s)| *s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        let g = self.inner.lock().expect("scheduler state");
+        g.status.iter().all(|s| *s == Status::Finished)
+    }
+
+    fn take_panic(&self) -> Option<String> {
+        self.inner.lock().expect("scheduler state").panic_msg.take()
+    }
+
+    fn abort(&self) {
+        let mut g = self.inner.lock().expect("scheduler state");
+        g.abort = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One recorded branch point: how many options were runnable and which
+/// (by position, not thread id) was taken.
+struct Choice {
+    options: usize,
+    pick: usize,
+}
+
+/// Explores every interleaving of `threads` over fresh `setup()` state,
+/// depth-first, up to the configured bounds. After each schedule in
+/// which all threads finish cleanly, `invariant` judges the final state.
+///
+/// Thread bodies must reach their next shim operation in a bounded
+/// number of plain instructions (no spinning on raw shared state) —
+/// interleaving only happens at shim yield points.
+pub fn explore<S: Sync>(
+    cfg: &Config,
+    setup: impl Fn() -> S,
+    threads: &[fn(&S)],
+    invariant: impl Fn(&S) -> Result<(), String>,
+) -> Outcome {
+    let mut script: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        let (trace, violation) = run_one(cfg, &setup, threads, &invariant, &script);
+        if let Some(v) = violation {
+            return Outcome {
+                schedules,
+                exhausted: false,
+                violation: Some(v),
+            };
+        }
+        // Backtrack to the deepest branch point with an untried option.
+        let divergence = trace.iter().rposition(|c| c.pick + 1 < c.options);
+        match divergence {
+            None => {
+                return Outcome {
+                    schedules,
+                    exhausted: true,
+                    violation: None,
+                };
+            }
+            Some(i) => {
+                script = trace[..i].iter().map(|c| c.pick).collect();
+                script.push(trace[i].pick + 1);
+            }
+        }
+        if schedules >= cfg.max_schedules {
+            return Outcome {
+                schedules,
+                exhausted: false,
+                violation: None,
+            };
+        }
+    }
+}
+
+fn run_one<S: Sync>(
+    cfg: &Config,
+    setup: &impl Fn() -> S,
+    threads: &[fn(&S)],
+    invariant: &impl Fn(&S) -> Result<(), String>,
+    script: &[usize],
+) -> (Vec<Choice>, Option<Violation>) {
+    let n = threads.len();
+    let sched = Arc::new(Scheduler::new(n));
+    let state = setup();
+    let mut trace: Vec<Choice> = Vec::new();
+    let mut schedule: Vec<usize> = Vec::new();
+    let mut violation: Option<Violation> = None;
+
+    std::thread::scope(|scope| {
+        for (i, f) in threads.iter().enumerate() {
+            let sched = Arc::clone(&sched);
+            let state = &state;
+            scope.spawn(move || {
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    CTX.with(|c| {
+                        *c.borrow_mut() = Some(Ctx {
+                            sched: Arc::clone(&sched),
+                            id: i,
+                        });
+                    });
+                    sched.wait_for_token(i);
+                    f(state);
+                }));
+                CTX.with(|c| *c.borrow_mut() = None);
+                let panicked = match result {
+                    Ok(()) => None,
+                    Err(payload) => {
+                        if payload.is::<Aborted>() {
+                            None
+                        } else if let Some(s) = payload.downcast_ref::<&str>() {
+                            Some((*s).to_string())
+                        } else if let Some(s) = payload.downcast_ref::<String>() {
+                            Some(s.clone())
+                        } else {
+                            Some("model thread panicked".to_string())
+                        }
+                    }
+                };
+                sched.thread_done(i, panicked);
+            });
+        }
+
+        let mut branch = 0usize;
+        loop {
+            if sched.all_finished() {
+                break;
+            }
+            let runnable = sched.runnable();
+            if runnable.is_empty() {
+                violation = Some(Violation {
+                    kind: Kind::Deadlock,
+                    detail: "no runnable thread but not all finished".into(),
+                    schedule: schedule.clone(),
+                });
+                break;
+            }
+            let chosen = if runnable.len() == 1 {
+                runnable[0]
+            } else {
+                let pick = if branch < script.len() {
+                    script[branch]
+                } else {
+                    0
+                };
+                branch += 1;
+                trace.push(Choice {
+                    options: runnable.len(),
+                    pick,
+                });
+                runnable[pick]
+            };
+            schedule.push(chosen);
+            if schedule.len() > cfg.max_steps {
+                violation = Some(Violation {
+                    kind: Kind::StepBound,
+                    detail: format!("schedule exceeded {} steps", cfg.max_steps),
+                    schedule: schedule.clone(),
+                });
+                break;
+            }
+            sched.run_until_yield(chosen);
+            if let Some(msg) = sched.take_panic() {
+                violation = Some(Violation {
+                    kind: Kind::Panic,
+                    detail: msg,
+                    schedule: schedule.clone(),
+                });
+                break;
+            }
+        }
+        sched.abort();
+        // Scope join: aborted threads unwind via the Aborted payload.
+    });
+
+    if violation.is_none() {
+        if let Err(msg) = invariant(&state) {
+            violation = Some(Violation {
+                kind: Kind::Invariant,
+                detail: msg,
+                schedule: schedule.clone(),
+            });
+        }
+    }
+    (trace, violation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shim::{XAtomicU64, XMutex};
+
+    struct Two {
+        a: XMutex<u64>,
+        b: XMutex<u64>,
+    }
+
+    fn ab(s: &Two) {
+        let ga = s.a.lock();
+        let mut gb = s.b.lock();
+        *gb += *ga;
+    }
+
+    fn ba(s: &Two) {
+        let gb = s.b.lock();
+        let mut ga = s.a.lock();
+        *ga += *gb;
+    }
+
+    #[test]
+    fn finds_classic_lock_order_deadlock() {
+        let out = explore(
+            &Config::default(),
+            || Two {
+                a: XMutex::new(1),
+                b: XMutex::new(1),
+            },
+            &[ab, ba],
+            |_| Ok(()),
+        );
+        let v = out.violation.expect("AB/BA must deadlock somewhere");
+        assert_eq!(v.kind, Kind::Deadlock);
+        assert!(!v.schedule.is_empty());
+    }
+
+    #[test]
+    fn consistent_order_is_exhaustively_clean() {
+        let out = explore(
+            &Config::default(),
+            || Two {
+                a: XMutex::new(1),
+                b: XMutex::new(1),
+            },
+            &[ab, ab],
+            |s| {
+                let b = *s.b.lock();
+                if b == 3 {
+                    Ok(())
+                } else {
+                    Err(format!("b = {b}, want 3"))
+                }
+            },
+        );
+        assert!(out.passed(), "violation: {:?}", out.violation);
+        assert!(out.schedules > 1, "lock handoff must branch");
+    }
+
+    fn bump(c: &XAtomicU64) {
+        c.fetch_add(1);
+    }
+
+    fn racy_bump(c: &XAtomicU64) {
+        let v = c.load();
+        c.store(v + 1);
+    }
+
+    fn spin_to_hundred(c: &XAtomicU64) {
+        while c.load() < 100 {
+            c.fetch_add(1);
+        }
+    }
+
+    #[test]
+    fn counter_increments_are_not_lost_with_fetch_add() {
+        let out = explore(
+            &Config::default(),
+            || XAtomicU64::new(0),
+            &[bump, bump, bump],
+            |c| {
+                let v = c.load();
+                if v == 3 {
+                    Ok(())
+                } else {
+                    Err(format!("count = {v}, want 3"))
+                }
+            },
+        );
+        assert!(out.passed(), "violation: {:?}", out.violation);
+        assert!(out.schedules > 1);
+    }
+
+    #[test]
+    fn load_then_store_counter_loses_updates() {
+        let out = explore(
+            &Config::default(),
+            || XAtomicU64::new(0),
+            &[racy_bump, racy_bump],
+            |c| {
+                let v = c.load();
+                if v == 2 {
+                    Ok(())
+                } else {
+                    Err(format!("count = {v}, want 2"))
+                }
+            },
+        );
+        let v = out.violation.expect("read-modify-write race must be found");
+        assert_eq!(v.kind, Kind::Invariant);
+    }
+
+    #[test]
+    fn step_bound_trips_on_runaway_models() {
+        let out = explore(
+            &Config {
+                max_steps: 8,
+                max_schedules: 10,
+            },
+            || XAtomicU64::new(0),
+            &[spin_to_hundred],
+            |_| Ok(()),
+        );
+        let v = out.violation.expect("step bound must fire");
+        assert_eq!(v.kind, Kind::StepBound);
+    }
+}

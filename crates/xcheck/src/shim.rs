@@ -1,0 +1,151 @@
+//! Instrumented synchronization shims.
+//!
+//! Under exploration (a checker context installed by [`crate::sched`]),
+//! every operation is a scheduling yield point, lock contention parks
+//! the thread in the scheduler, and atomics interleave at instruction
+//! granularity. Outside exploration — in `setup()`, in invariants, or
+//! under plain `cargo test` — they degrade to ordinary `Mutex` and
+//! SeqCst atomics, so the same model code runs in both worlds.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::sched::{fresh_lock_id, with_ctx};
+
+/// A mutex whose acquisition is a scheduling point and whose contention
+/// is visible to the deadlock detector.
+pub struct XMutex<T> {
+    id: usize,
+    inner: Mutex<T>,
+}
+
+impl<T> XMutex<T> {
+    pub fn new(value: T) -> Self {
+        XMutex {
+            id: fresh_lock_id(),
+            inner: Mutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> XGuard<'_, T> {
+        let instrumented = with_ctx(|ctx| loop {
+            ctx.yield_now();
+            if ctx.try_acquire(self.id) {
+                break;
+            }
+            ctx.block_on(self.id);
+        })
+        .is_some();
+        // Under exploration the scheduler has granted exclusive
+        // ownership, so the std lock below is uncontended; threads are
+        // unwound on abort only while parked in the scheduler, never
+        // while holding it.
+        let guard = self.inner.lock().expect("xmutex poisoned");
+        XGuard {
+            lock_id: self.id,
+            instrumented,
+            guard: Some(guard),
+        }
+    }
+}
+
+/// RAII guard for [`XMutex`]; releasing it wakes parked threads.
+pub struct XGuard<'a, T> {
+    lock_id: usize,
+    instrumented: bool,
+    guard: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for XGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for XGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for XGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        if self.instrumented {
+            with_ctx(|ctx| ctx.release(self.lock_id));
+        }
+    }
+}
+
+/// A `u64` atomic whose every access is a scheduling point.
+pub struct XAtomicU64 {
+    inner: AtomicU64,
+}
+
+impl XAtomicU64 {
+    pub fn new(v: u64) -> Self {
+        XAtomicU64 {
+            inner: AtomicU64::new(v),
+        }
+    }
+
+    pub fn load(&self) -> u64 {
+        with_ctx(|ctx| ctx.yield_now());
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    pub fn store(&self, v: u64) {
+        with_ctx(|ctx| ctx.yield_now());
+        self.inner.store(v, Ordering::SeqCst);
+    }
+
+    pub fn fetch_add(&self, v: u64) -> u64 {
+        with_ctx(|ctx| ctx.yield_now());
+        self.inner.fetch_add(v, Ordering::SeqCst)
+    }
+}
+
+/// A boolean atomic whose every access is a scheduling point.
+pub struct XAtomicBool {
+    inner: AtomicBool,
+}
+
+impl XAtomicBool {
+    pub fn new(v: bool) -> Self {
+        XAtomicBool {
+            inner: AtomicBool::new(v),
+        }
+    }
+
+    pub fn load(&self) -> bool {
+        with_ctx(|ctx| ctx.yield_now());
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    pub fn store(&self, v: bool) {
+        with_ctx(|ctx| ctx.yield_now());
+        self.inner.store(v, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shims_work_without_a_checker_context() {
+        let m = XMutex::new(7u64);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 8);
+        let a = XAtomicU64::new(1);
+        assert_eq!(a.fetch_add(2), 1);
+        assert_eq!(a.load(), 3);
+        let b = XAtomicBool::new(false);
+        b.store(true);
+        assert!(b.load());
+    }
+}

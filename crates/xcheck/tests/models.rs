@@ -1,0 +1,78 @@
+//! Self-tests: the checker must exhaust every correct model without a
+//! violation, find the seeded bug in every buggy variant, genuinely
+//! branch (explored-schedule counts > 1), and be deterministic.
+
+use xcheck::models::{cache, drain, epoch, Bug};
+use xcheck::Kind;
+
+#[test]
+fn epoch_publish_correct_model_is_exhausted_clean() {
+    let out = epoch::check(Bug::None);
+    assert!(out.passed(), "violation: {:?}", out.violation);
+    assert!(
+        out.schedules > 1,
+        "handoff must branch, got {}",
+        out.schedules
+    );
+}
+
+#[test]
+fn epoch_publish_seeded_bug_is_caught_as_a_panic() {
+    let out = epoch::check(Bug::Seeded);
+    let v = out.violation.expect("flipped publish order must be found");
+    assert_eq!(v.kind, Kind::Panic);
+    assert!(
+        v.detail.contains("unbuilt snapshot"),
+        "unexpected detail: {}",
+        v.detail
+    );
+    assert!(!v.schedule.is_empty(), "counterexample schedule missing");
+}
+
+#[test]
+fn cache_invalidate_correct_model_is_exhausted_clean() {
+    let out = cache::check(Bug::None);
+    assert!(out.passed(), "violation: {:?}", out.violation);
+    assert!(out.schedules > 1);
+}
+
+#[test]
+fn cache_invalidate_seeded_bug_leaves_a_stale_entry() {
+    let out = cache::check(Bug::Seeded);
+    let v = out
+        .violation
+        .expect("dropped gen-stamp check must be found");
+    assert_eq!(v.kind, Kind::Invariant);
+    assert!(v.detail.contains("stale cache entry"), "{}", v.detail);
+}
+
+#[test]
+fn drain_handshake_correct_model_is_exhausted_clean() {
+    let out = drain::check(Bug::None);
+    assert!(out.passed(), "violation: {:?}", out.violation);
+    assert!(out.schedules > 1);
+}
+
+#[test]
+fn drain_handshake_seeded_bug_drops_an_admitted_job() {
+    let out = drain::check(Bug::Seeded);
+    let v = out.violation.expect("drain-before-close must be found");
+    assert_eq!(v.kind, Kind::Invariant);
+    assert!(v.detail.contains("drain guarantee broken"), "{}", v.detail);
+}
+
+#[test]
+fn exploration_is_deterministic_across_runs() {
+    for (first, second) in [
+        (epoch::check(Bug::None), epoch::check(Bug::None)),
+        (cache::check(Bug::None), cache::check(Bug::None)),
+        (drain::check(Bug::None), drain::check(Bug::None)),
+    ] {
+        assert_eq!(first.schedules, second.schedules);
+        assert_eq!(first.exhausted, second.exhausted);
+    }
+    let (a, b) = (epoch::check(Bug::Seeded), epoch::check(Bug::Seeded));
+    let (va, vb) = (a.violation.expect("bug"), b.violation.expect("bug"));
+    assert_eq!(va.schedule, vb.schedule, "counterexample must be stable");
+    assert_eq!(a.schedules, b.schedules);
+}

@@ -35,6 +35,27 @@ pub struct Config {
     pub metric_crates: Vec<String>,
     /// Valid `_<unit>` suffixes for metric names.
     pub metric_units: Vec<String>,
+    /// Durability protocol: `(trigger, successor)` call pairs from the
+    /// DESIGN.md protocol table. A call to `trigger` must be followed by
+    /// a call to `successor` in the same function or in every caller.
+    pub protocol: Vec<(String, String)>,
+    /// Paths where the durability protocol applies.
+    pub durability_paths: Vec<String>,
+    /// Files exempt from it: the Vfs layer *implements* the primitives
+    /// the protocol is stated in terms of.
+    pub durability_exempt: Vec<String>,
+    /// Decode-path files whose inputs are raw disk/network bytes; the
+    /// checked-arithmetic rule applies here.
+    pub untrusted_paths: Vec<String>,
+    /// Function names whose return values are untrusted (varint and
+    /// label readers over raw bytes).
+    pub untrusted_sources: Vec<String>,
+    /// Parameter names treated as raw untrusted bytes inside decode
+    /// entry points (see `untrusted_fn_markers`).
+    pub untrusted_params: Vec<String>,
+    /// Substrings that mark a function as a decode entry point: its
+    /// `untrusted_params` start out tainted.
+    pub untrusted_fn_markers: Vec<String>,
 }
 
 impl Config {
@@ -97,6 +118,40 @@ impl Config {
                 "requests".into(),
                 "connections".into(),
                 "entries".into(),
+            ],
+            protocol: Vec::new(),
+            durability_paths: vec!["crates/kvstore/src/".into(), "crates/invindex/src/".into()],
+            durability_exempt: vec![
+                "crates/kvstore/src/vfs.rs".into(),
+                "crates/kvstore/src/fsutil.rs".into(),
+            ],
+            untrusted_paths: vec![
+                "crates/invindex/src/postings.rs".into(),
+                "crates/invindex/src/persist.rs".into(),
+                "crates/invindex/src/cursor.rs".into(),
+                "crates/xserve/src/http.rs".into(),
+            ],
+            untrusted_sources: vec![
+                "read_varint".into(),
+                "read_u32_varint".into(),
+                "read_dewey_abs".into(),
+                "read_dewey_front_coded".into(),
+                "from_le_bytes".into(),
+                "from_be_bytes".into(),
+            ],
+            untrusted_params: vec![
+                "bytes".into(),
+                "payload".into(),
+                "buf".into(),
+                "data".into(),
+                "raw".into(),
+            ],
+            untrusted_fn_markers: vec![
+                "decode".into(),
+                "parse".into(),
+                "read".into(),
+                "unframe".into(),
+                "scan".into(),
             ],
         }
     }
@@ -189,6 +244,52 @@ pub fn parse_catalogue(design_md: &str) -> Result<BTreeSet<String>, String> {
     Ok(names)
 }
 
+/// Extracts the durability-protocol table from DESIGN.md: every table
+/// row between the `<!-- xlint:protocol:begin -->` and
+/// `<!-- xlint:protocol:end -->` markers contributes its first two
+/// backtick-quoted names as a `(trigger, required successor)` pair.
+/// Header and divider rows quote nothing, so they drop out naturally.
+pub fn parse_protocol(design_md: &str) -> Result<Vec<(String, String)>, String> {
+    let begin = design_md
+        .find("<!-- xlint:protocol:begin -->")
+        .ok_or("DESIGN.md is missing the `<!-- xlint:protocol:begin -->` marker")?;
+    let end = design_md
+        .find("<!-- xlint:protocol:end -->")
+        .ok_or("DESIGN.md is missing the `<!-- xlint:protocol:end -->` marker")?;
+    if end < begin {
+        return Err("DESIGN.md protocol markers are out of order".into());
+    }
+    let mut pairs = Vec::new();
+    for line in design_md[begin..end].lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let mut names = Vec::new();
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let after = &rest[open + 1..];
+            let Some(close) = after.find('`') else { break };
+            let candidate = &after[..close];
+            if !candidate.is_empty()
+                && candidate
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            {
+                names.push(candidate.to_string());
+            }
+            rest = &after[close + 1..];
+        }
+        if names.len() >= 2 {
+            pairs.push((names[0].clone(), names[1].clone()));
+        }
+    }
+    if pairs.is_empty() {
+        return Err("DESIGN.md protocol section declares no trigger/successor pairs".into());
+    }
+    Ok(pairs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +332,31 @@ outro `also_not_collected`\n";
     #[test]
     fn catalogue_requires_markers() {
         assert!(parse_catalogue("no markers at all").is_err());
+    }
+
+    #[test]
+    fn protocol_extraction_skips_headers_and_prose() {
+        let md = "\
+prose mentioning `rename` outside the table\n\
+<!-- xlint:protocol:begin -->\n\
+| trigger | required successor | why |\n\
+|---|---|---|\n\
+| `rename` | `sync_parent_dir` | the dirent is volatile until synced |\n\
+prose row-free line quoting `only_one_name`\n\
+<!-- xlint:protocol:end -->\n";
+        let pairs = parse_protocol(md).unwrap();
+        assert_eq!(
+            pairs,
+            vec![("rename".to_string(), "sync_parent_dir".to_string())]
+        );
+    }
+
+    #[test]
+    fn protocol_requires_markers_and_rows() {
+        assert!(parse_protocol("no markers").is_err());
+        assert!(parse_protocol(
+            "<!-- xlint:protocol:begin -->\nno rows\n<!-- xlint:protocol:end -->\n"
+        )
+        .is_err());
     }
 }

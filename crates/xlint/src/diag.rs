@@ -45,6 +45,40 @@ impl Finding {
     }
 }
 
+impl Finding {
+    /// One JSON object on one line, for `--json` CI annotation output.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"help\":\"{}\"}}",
+            json_escape(self.rule),
+            json_escape(&self.path),
+            self.line,
+            self.col,
+            json_escape(&self.message),
+            json_escape(&self.help)
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Stable output order: path, then line, then column, then rule.
 pub fn sort_findings(findings: &mut [Finding]) {
     findings.sort_by(|a, b| {
@@ -72,6 +106,24 @@ mod tests {
         assert!(r.contains(" 7 |     let x = y.unwrap();\n"));
         assert!(r.contains("   |             ^\n"));
         assert!(r.contains("   = help: return KvError::Corrupt instead\n"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_shapes() {
+        let f = Finding {
+            rule: "unsafe-audit",
+            path: "a\"b.rs".into(),
+            line: 3,
+            col: 9,
+            message: "line\nbreak".into(),
+            help: String::new(),
+        };
+        assert_eq!(
+            f.to_json(),
+            "{\"rule\":\"unsafe-audit\",\"path\":\"a\\\"b.rs\",\"line\":3,\"col\":9,\
+             \"message\":\"line\\nbreak\",\"help\":\"\"}"
+        );
+        assert_eq!(json_escape("tab\tchar\u{1}"), "tab\\tchar\\u0001");
     }
 
     #[test]

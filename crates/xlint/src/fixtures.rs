@@ -17,6 +17,35 @@ pub struct FixtureOutcome {
     pub passed: bool,
     /// Human-readable mismatch description, empty when passed.
     pub details: String,
+    /// Expected findings that were produced (multiset intersection).
+    pub matched: usize,
+    /// Expected findings that were not produced.
+    pub missed: usize,
+    /// Produced findings that were not expected.
+    pub spurious: usize,
+}
+
+impl FixtureOutcome {
+    /// A failing fixture that still produced *some* of its expected
+    /// findings: the rule fires but its shape drifted. The CLI maps
+    /// "every failure is partial" to a distinct exit code so CI can
+    /// tell rule-drift from rule-dead.
+    pub fn partial(&self) -> bool {
+        !self.passed && self.matched > 0
+    }
+
+    /// One JSON object, for `--json` output.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"passed\":{},\"matched\":{},\"missed\":{},\"spurious\":{},\"details\":\"{}\"}}",
+            crate::diag::json_escape(&self.name),
+            self.passed,
+            self.matched,
+            self.missed,
+            self.spurious,
+            crate::diag::json_escape(self.details.trim_end())
+        )
+    }
 }
 
 /// A deterministic config for fixtures — frozen here rather than loaded
@@ -36,6 +65,7 @@ pub fn fixture_config() -> Config {
     ] {
         c.catalogue.insert(name.to_string());
     }
+    c.protocol = vec![("rename".into(), "sync_parent_dir".into())];
     c
 }
 
@@ -83,15 +113,19 @@ pub fn run_fixtures(dir: &Path, config: &Config) -> Result<Vec<FixtureOutcome>, 
         }
 
         let mut details = String::new();
+        let (mut matched, mut missed, mut spurious) = (0usize, 0usize, 0usize);
         for (key, want) in &expected {
             let got = actual.get(key).copied().unwrap_or(0);
+            matched += got.min(*want);
             if got < *want {
+                missed += want - got;
                 details.push_str(&format!("  missed: {}:{} x{}\n", key.0, key.1, want - got));
             }
         }
         for (key, got) in &actual {
             let want = expected.get(key).copied().unwrap_or(0);
             if *got > want {
+                spurious += got - want;
                 details.push_str(&format!(
                     "  spurious: {}:{} x{}\n",
                     key.0,
@@ -104,6 +138,9 @@ pub fn run_fixtures(dir: &Path, config: &Config) -> Result<Vec<FixtureOutcome>, 
             name,
             passed: details.is_empty(),
             details,
+            matched,
+            missed,
+            spurious,
         });
     }
     Ok(outcomes)

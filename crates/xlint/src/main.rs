@@ -1,7 +1,12 @@
 //! CLI: `xlint --workspace [--root PATH]` lints the tree and prints
-//! rustc-style diagnostics; `xlint --fixtures` self-tests the rules.
-//! Exit codes: 0 clean, 1 findings/fixture failures, 2 usage or I/O
-//! error.
+//! rustc-style diagnostics; `xlint --fixtures` self-tests the rules;
+//! `xlint --write-safety` regenerates the SAFETY.md inventory. `--json`
+//! switches diagnostics to one-line JSON for CI annotation.
+//!
+//! Exit codes: 0 clean; 1 findings, or a fixture whose rule went
+//! entirely dead (matched nothing it expected); 3 fixture failures
+//! where every failing fixture still partially matched (rule drift,
+//! not rule death); 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -10,16 +15,20 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode: Option<&str> = None;
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--workspace" | "--fixtures" | "--list-rules" => {
+            "--workspace" | "--fixtures" | "--list-rules" | "--write-safety" => {
                 if mode.is_some() {
-                    return usage("pass exactly one of --workspace, --fixtures, --list-rules");
+                    return usage(
+                        "pass exactly one of --workspace, --fixtures, --list-rules, --write-safety",
+                    );
                 }
                 mode = Some(match args[i].as_str() {
                     "--workspace" => "workspace",
                     "--fixtures" => "fixtures",
+                    "--write-safety" => "write-safety",
                     _ => "list-rules",
                 });
             }
@@ -30,6 +39,7 @@ fn main() -> ExitCode {
                     None => return usage("--root needs a path"),
                 }
             }
+            "--json" => json = true,
             "-h" | "--help" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
         }
@@ -37,8 +47,18 @@ fn main() -> ExitCode {
     }
     let root = root.unwrap_or_else(xlint::workspace::default_root);
     match mode {
-        Some("workspace") => run_workspace(&root),
-        Some("fixtures") => run_fixtures(&root),
+        Some("workspace") => run_workspace(&root, json),
+        Some("fixtures") => run_fixtures(&root, json),
+        Some("write-safety") => match xlint::workspace::write_safety(&root) {
+            Ok(()) => {
+                println!("xlint: SAFETY.md inventory regenerated");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xlint: {e}");
+                ExitCode::from(2)
+            }
+        },
         Some("list-rules") => {
             for rule in xlint::rules::RULE_NAMES {
                 println!("{rule}");
@@ -46,11 +66,11 @@ fn main() -> ExitCode {
             println!("pragma");
             ExitCode::SUCCESS
         }
-        _ => usage("pass one of --workspace, --fixtures, --list-rules"),
+        _ => usage("pass one of --workspace, --fixtures, --list-rules, --write-safety"),
     }
 }
 
-fn run_workspace(root: &std::path::Path) -> ExitCode {
+fn run_workspace(root: &std::path::Path, json: bool) -> ExitCode {
     let findings = match xlint::workspace::lint_workspace(root) {
         Ok(f) => f,
         Err(e) => {
@@ -58,6 +78,19 @@ fn run_workspace(root: &std::path::Path) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if json {
+        println!("[");
+        for (i, f) in findings.iter().enumerate() {
+            let comma = if i + 1 < findings.len() { "," } else { "" };
+            println!("  {}{comma}", f.to_json());
+        }
+        println!("]");
+        return if findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
     if findings.is_empty() {
         println!("xlint: workspace clean");
         return ExitCode::SUCCESS;
@@ -81,7 +114,7 @@ fn run_workspace(root: &std::path::Path) -> ExitCode {
     ExitCode::from(1)
 }
 
-fn run_fixtures(root: &std::path::Path) -> ExitCode {
+fn run_fixtures(root: &std::path::Path, json: bool) -> ExitCode {
     let dir = root.join("crates/xlint/tests/fixtures");
     let config = xlint::fixtures::fixture_config();
     let outcomes = match xlint::fixtures::run_fixtures(&dir, &config) {
@@ -91,19 +124,35 @@ fn run_fixtures(root: &std::path::Path) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut failed = 0;
-    for o in &outcomes {
-        if o.passed {
-            println!("fixture {} ... ok", o.name);
-        } else {
-            failed += 1;
-            println!("fixture {} ... FAILED", o.name);
-            print!("{}", o.details);
+    let failed = outcomes.iter().filter(|o| !o.passed).count();
+    if json {
+        println!("[");
+        for (i, o) in outcomes.iter().enumerate() {
+            let comma = if i + 1 < outcomes.len() { "," } else { "" };
+            println!("  {}{comma}", o.to_json());
         }
+        println!("]");
+    } else {
+        for o in &outcomes {
+            if o.passed {
+                println!("fixture {} ... ok", o.name);
+            } else if o.partial() {
+                println!(
+                    "fixture {} ... PARTIAL ({} matched, {} missed, {} spurious)",
+                    o.name, o.matched, o.missed, o.spurious
+                );
+                print!("{}", o.details);
+            } else {
+                println!("fixture {} ... FAILED", o.name);
+                print!("{}", o.details);
+            }
+        }
+        println!("{} fixture(s), {} failed", outcomes.len(), failed);
     }
-    println!("{} fixture(s), {} failed", outcomes.len(), failed);
     if failed == 0 {
         ExitCode::SUCCESS
+    } else if outcomes.iter().filter(|o| !o.passed).all(|o| o.partial()) {
+        ExitCode::from(3)
     } else {
         ExitCode::from(1)
     }
@@ -113,7 +162,10 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("xlint: {err}");
     }
-    eprintln!("usage: xlint --workspace [--root PATH] | --fixtures [--root PATH] | --list-rules");
+    eprintln!(
+        "usage: xlint --workspace [--root PATH] [--json] \
+         | --fixtures [--root PATH] [--json] | --list-rules | --write-safety [--root PATH]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,172 @@
+//! `durability-protocol`: in persistence paths, a namespace-changing
+//! call (e.g. `rename`) is durable only once its declared successor
+//! (e.g. `sync_parent_dir`) has run — a crash between the two leaves
+//! the directory entry volatile. The trigger/successor pairs are
+//! machine-read from the marker-fenced protocol table in DESIGN.md, the
+//! same pattern as the metric catalogue.
+//!
+//! A trigger call is satisfied when a successor call appears *after it*
+//! (token order) in the same function, or — for helpers that delegate
+//! the sync to their caller — when **every** production caller of the
+//! enclosing function calls the successor after the call site. The
+//! escalation is one level deep on purpose: a sync obligation that
+//! travels further than one call edge is an architecture smell this
+//! rule is meant to surface, not paper over.
+//!
+//! The Vfs layer itself (`vfs.rs`, `fsutil.rs`) is exempt: it
+//! *implements* the primitives the protocol is stated in terms of.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::model::WorkspaceModel;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "durability-protocol";
+
+pub fn check(model: &WorkspaceModel, config: &Config, out: &mut Vec<Finding>) {
+    for (trigger, successor) in &config.protocol {
+        for (fx, fun) in model.functions.iter().enumerate() {
+            let file = &model.files[fun.file];
+            if !Config::in_scope(&file.path, &config.durability_paths)
+                || config.durability_exempt.contains(&file.path)
+            {
+                continue;
+            }
+            let calls = model.calls_in(fx);
+            for c in &calls {
+                if c.callee != *trigger || file.is_test_line(c.line) {
+                    continue;
+                }
+                let satisfied_here = calls
+                    .iter()
+                    .any(|s| s.callee == *successor && s.tok > c.tok);
+                if satisfied_here {
+                    continue;
+                }
+                if callers_cover(model, fun, successor) {
+                    continue;
+                }
+                super::emit(
+                    out,
+                    file,
+                    RULE,
+                    c.line,
+                    c.col,
+                    format!(
+                        "`{trigger}` is not followed by `{successor}` here or in every caller \
+                         of `{}`",
+                        fun.name
+                    ),
+                    format!(
+                        "call `{successor}` after `{trigger}` (see the durability protocol \
+                         table in DESIGN.md)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Does every production caller of `fun` call `successor` after its call
+/// site? No callers at all means nobody discharges the obligation.
+fn callers_cover(model: &WorkspaceModel, fun: &crate::model::FnDef, successor: &str) -> bool {
+    let mut seen_caller = false;
+    for site in model.callers_of(&fun.name) {
+        let caller = &model.functions[site.caller];
+        let caller_file: &SourceFile = &model.files[caller.file];
+        if caller_file.is_test_line(site.line) {
+            continue;
+        }
+        // A call to a same-named method on an unrelated type would be
+        // over-matched here; that only makes the check conservative in
+        // the caller's favour, never silently lenient.
+        seen_caller = true;
+        let covered = model
+            .calls_in(site.caller)
+            .iter()
+            .any(|s| s.callee == successor && s.tok > site.tok);
+        if !covered {
+            return false;
+        }
+    }
+    seen_caller
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+
+    fn findings(src: &str) -> Vec<usize> {
+        let file = SourceFile::parse("crates/kvstore/src/durable.rs", src, FileKind::Production);
+        let files = [file];
+        let model = WorkspaceModel::build(&files);
+        let mut config = Config::workspace_defaults();
+        config.protocol = vec![("rename".into(), "sync_parent_dir".into())];
+        let mut out = Vec::new();
+        check(&model, &config, &mut out);
+        out.into_iter().map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn same_function_successor_satisfies() {
+        let fs = findings(
+            "fn checkpoint(vfs: &V) {\n\
+                 vfs.rename(&tmp, &db);\n\
+                 vfs.sync_parent_dir(&db);\n\
+             }\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn missing_successor_is_flagged() {
+        let fs = findings(
+            "fn checkpoint(vfs: &V) {\n\
+                 vfs.sync_parent_dir(&db);\n\
+                 vfs.rename(&tmp, &db);\n\
+             }\n",
+        );
+        assert_eq!(
+            fs,
+            vec![3],
+            "a successor *before* the trigger does not count"
+        );
+    }
+
+    #[test]
+    fn every_caller_covering_satisfies_but_one_gap_flags() {
+        let fs = findings(
+            "fn swap(vfs: &V) { vfs.rename(&tmp, &db); }\n\
+             fn good_caller(vfs: &V) { swap(vfs); vfs.sync_parent_dir(&db); }\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+
+        let fs = findings(
+            "fn swap(vfs: &V) { vfs.rename(&tmp, &db); }\n\
+             fn good_caller(vfs: &V) { swap(vfs); vfs.sync_parent_dir(&db); }\n\
+             fn bad_caller(vfs: &V) { swap(vfs); }\n",
+        );
+        assert_eq!(fs, vec![1]);
+    }
+
+    #[test]
+    fn exempt_files_and_test_regions_are_skipped() {
+        let file = SourceFile::parse(
+            "crates/kvstore/src/vfs.rs",
+            "fn imp(vfs: &V) { vfs.rename(&a, &b); }\n",
+            FileKind::Production,
+        );
+        let files = [file];
+        let model = WorkspaceModel::build(&files);
+        let mut config = Config::workspace_defaults();
+        config.protocol = vec![("rename".into(), "sync_parent_dir".into())];
+        let mut out = Vec::new();
+        check(&model, &config, &mut out);
+        assert!(out.is_empty());
+
+        let fs =
+            findings("#[cfg(test)]\nmod tests {\n  fn t(vfs: &V) { vfs.rename(&a, &b); }\n}\n");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

@@ -3,15 +3,19 @@
 //! exemptions and path scoping are applied here so the individual rules
 //! stay declarative.
 
+pub mod checked_arith;
+pub mod durability;
 pub mod error_context;
 pub mod lock_order;
 pub mod metric_catalogue;
 pub mod no_panic;
 pub mod no_wallclock;
 pub mod pragma;
+pub mod unsafe_audit;
 
 use crate::config::Config;
 use crate::diag::Finding;
+use crate::model::WorkspaceModel;
 use crate::source::SourceFile;
 
 /// Rule identifiers a pragma may name.
@@ -21,9 +25,13 @@ pub const RULE_NAMES: &[&str] = &[
     metric_catalogue::RULE,
     no_wallclock::RULE,
     error_context::RULE,
+    durability::RULE,
+    unsafe_audit::RULE,
+    checked_arith::RULE,
 ];
 
-/// Runs every rule over one file. `findings` come back unsorted.
+/// Runs every per-file rule over one file. `findings` come back
+/// unsorted.
 pub fn run_all(file: &SourceFile, config: &Config) -> Vec<Finding> {
     let mut out = Vec::new();
     pragma::check(file, &mut out);
@@ -32,7 +40,15 @@ pub fn run_all(file: &SourceFile, config: &Config) -> Vec<Finding> {
     metric_catalogue::check(file, config, &mut out);
     no_wallclock::check(file, config, &mut out);
     error_context::check(file, config, &mut out);
+    unsafe_audit::check(file, config, &mut out);
+    checked_arith::check(file, config, &mut out);
     out
+}
+
+/// Runs the graph-aware rules over the whole-workspace model (or a
+/// degenerate single-file model, as the fixtures do).
+pub fn run_workspace(model: &WorkspaceModel, config: &Config, out: &mut Vec<Finding>) {
+    durability::check(model, config, out);
 }
 
 /// Emits a finding unless a justified pragma suppresses it. Rules call

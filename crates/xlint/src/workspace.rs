@@ -4,9 +4,15 @@
 
 use crate::config::{self, Config};
 use crate::diag::Finding;
-use crate::source::FileKind;
+use crate::model::WorkspaceModel;
+use crate::rules::unsafe_audit;
+use crate::source::{FileKind, SourceFile};
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// Markers fencing the generated inventory section in SAFETY.md.
+const SAFETY_BEGIN: &str = "<!-- xlint:safety:begin -->";
+const SAFETY_END: &str = "<!-- xlint:safety:end -->";
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
@@ -77,20 +83,100 @@ pub fn load_config(root: &Path) -> Result<Config, String> {
     let design = fs::read_to_string(&design_path)
         .map_err(|e| format!("cannot read {}: {e}", design_path.display()))?;
     cfg.catalogue = config::parse_catalogue(&design)?;
+    cfg.protocol = config::parse_protocol(&design)?;
     Ok(cfg)
 }
 
-/// Lints every source file in the workspace. Findings come back sorted.
-pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
-    let config = load_config(root)?;
+/// Parses every source file in the workspace into the per-file model.
+fn parse_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
     let files = collect_rs_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
-    let mut findings = Vec::new();
+    let mut parsed = Vec::new();
     for (rel, kind) in files {
         let text = fs::read_to_string(root.join(&rel))
             .map_err(|e| format!("cannot read {}: {e}", rel.display()))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        findings.extend(crate::lint_source(&rel_str, &text, kind, &config));
+        parsed.push(SourceFile::parse(&rel_str, &text, kind));
+    }
+    Ok(parsed)
+}
+
+/// Lints every source file in the workspace: per-file rules first, then
+/// the graph rules over the whole-workspace model, then the SAFETY.md
+/// inventory staleness check. Findings come back sorted.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let config = load_config(root)?;
+    let parsed = parse_workspace(root)?;
+    let mut findings = Vec::new();
+    for file in &parsed {
+        findings.extend(crate::rules::run_all(file, &config));
+    }
+    let model = WorkspaceModel::build(&parsed);
+    crate::rules::run_workspace(&model, &config, &mut findings);
+    if let Some(f) = safety_md_finding(root, &parsed) {
+        findings.push(f);
     }
     crate::diag::sort_findings(&mut findings);
     Ok(findings)
+}
+
+/// Checks that SAFETY.md's generated section matches the live `unsafe`
+/// inventory; `None` when current.
+fn safety_md_finding(root: &Path, parsed: &[SourceFile]) -> Option<Finding> {
+    let want = unsafe_audit::render_inventory(&unsafe_audit::inventory(parsed));
+    let stale = |msg: String| {
+        Some(Finding {
+            rule: unsafe_audit::RULE,
+            path: "SAFETY.md".into(),
+            line: 1,
+            col: 1,
+            message: msg,
+            help: "run `cargo run -p xlint -- --write-safety` to regenerate".into(),
+        })
+    };
+    let text = match fs::read_to_string(root.join("SAFETY.md")) {
+        Ok(t) => t,
+        Err(_) => return stale("SAFETY.md is missing".into()),
+    };
+    let (Some(begin), Some(end)) = (text.find(SAFETY_BEGIN), text.find(SAFETY_END)) else {
+        return stale("SAFETY.md is missing its xlint:safety markers".into());
+    };
+    if end < begin {
+        return stale("SAFETY.md safety markers are out of order".into());
+    }
+    let current = text[begin + SAFETY_BEGIN.len()..end].trim();
+    if current != want.trim() {
+        return stale("SAFETY.md inventory is out of date with the live `unsafe` sites".into());
+    }
+    None
+}
+
+/// Regenerates the SAFETY.md inventory section in place (creating the
+/// file with a preamble if absent).
+pub fn write_safety(root: &Path) -> Result<(), String> {
+    let parsed = parse_workspace(root)?;
+    let body = unsafe_audit::render_inventory(&unsafe_audit::inventory(&parsed));
+    let path = root.join("SAFETY.md");
+    let existing = fs::read_to_string(&path).unwrap_or_else(|_| {
+        format!(
+            "# Unsafe inventory\n\n\
+             Every production `unsafe` in this workspace carries a\n\
+             `// xlint::safety(<invariant>)` annotation (rule `unsafe-audit`), and the\n\
+             table below is generated from those annotations. Regenerate with\n\
+             `cargo run -p xlint -- --write-safety`; `--workspace` fails when it drifts.\n\n\
+             {SAFETY_BEGIN}\n{SAFETY_END}\n"
+        )
+    });
+    let (Some(begin), Some(end)) = (existing.find(SAFETY_BEGIN), existing.find(SAFETY_END)) else {
+        return Err("SAFETY.md exists but lacks the xlint:safety markers".into());
+    };
+    if end < begin {
+        return Err("SAFETY.md safety markers are out of order".into());
+    }
+    let updated = format!(
+        "{}\n{}\n{}",
+        &existing[..begin + SAFETY_BEGIN.len()],
+        body.trim_end(),
+        &existing[end..]
+    );
+    fs::write(&path, updated).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }

@@ -1,0 +1,47 @@
+// xlint-fixture: path=crates/invindex/src/postings.rs
+// Decode-path arithmetic on disk/network-derived values must use the
+// checked_/saturating_ method forms; raw `+`, `*` and `<<` (and their
+// compound forms) on tainted values are findings.
+
+fn decode_component(prev: u32) -> Option<u32> {
+    let mut pos = 0usize;
+    let d0 = read_varint(b, &mut pos)?;
+    let direct = u64::from(prev) + d0;
+    let shifted = d0 << 7;
+    let scaled = d0 * 3;
+    let mut acc = 0u64;
+    acc += d0;
+    let checked = u64::from(prev).checked_add(d0)?;
+    let saturated = d0.saturating_mul(3);
+    let local = pos + 1;
+    u32::try_from(checked.min(saturated).max(direct).max(shifted).max(scaled)).ok()
+}
+
+fn decode_flow(p: &mut usize) -> usize {
+    let n = read_varint(b, p).unwrap_or(0);
+    let count = n as usize;
+    let doubled = count * 2;
+    doubled
+}
+
+fn parse_frame(payload: &[u8]) -> usize {
+    payload.len() + 9
+}
+
+fn frame_reply(payload: &[u8]) -> usize {
+    payload.len() + 9
+}
+
+fn read_guarded(p: &mut usize) -> u64 {
+    let d = read_varint(b, p).unwrap_or(0);
+    // xlint::allow(checked-arithmetic-on-untrusted): d is masked to 7 bits by the caller
+    let v = d + 1;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    fn t(p: &mut usize) -> u64 {
+        read_varint(b, p).unwrap_or(0) + 1
+    }
+}

@@ -1,0 +1,51 @@
+// xlint-fixture: path=crates/kvstore/src/durable.rs
+// The durability protocol (DESIGN.md): a `rename` is durable only once
+// `sync_parent_dir` has run, in the same function or in every caller.
+
+fn checkpoint_synced(vfs: &V, tmp: &P, db: &P) {
+    vfs.rename(tmp, db);
+    vfs.sync_parent_dir(db);
+}
+
+fn checkpoint_unsynced(vfs: &V, tmp: &P, db: &P) {
+    vfs.rename(tmp, db);
+}
+
+fn sync_before_rename_does_not_count(vfs: &V, tmp: &P, db: &P) {
+    vfs.sync_parent_dir(db);
+    vfs.rename(tmp, db);
+}
+
+fn swap_delegating_to_caller(vfs: &V, tmp: &P, db: &P) {
+    vfs.rename(tmp, db);
+}
+
+fn covering_caller(vfs: &V, tmp: &P, db: &P) {
+    swap_delegating_to_caller(vfs, tmp, db);
+    vfs.sync_parent_dir(db);
+}
+
+fn swap_with_a_gap(vfs: &V, tmp: &P, db: &P) {
+    vfs.rename(tmp, db);
+}
+
+fn caller_that_syncs(vfs: &V, tmp: &P, db: &P) {
+    swap_with_a_gap(vfs, tmp, db);
+    vfs.sync_parent_dir(db);
+}
+
+fn caller_that_forgets(vfs: &V, tmp: &P, db: &P) {
+    swap_with_a_gap(vfs, tmp, db);
+}
+
+fn suppressed_with_reason(vfs: &V, tmp: &P, db: &P) {
+    // xlint::allow(durability-protocol): target dir is fsynced by the batch epilogue
+    vfs.rename(tmp, db);
+}
+
+#[cfg(test)]
+mod tests {
+    fn torture(vfs: &V, tmp: &P, db: &P) {
+        vfs.rename(tmp, db);
+    }
+}

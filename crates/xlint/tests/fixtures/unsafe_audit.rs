@@ -1,0 +1,33 @@
+// xlint-fixture: path=crates/xserve/src/signal.rs
+// Every production `unsafe` needs an `xlint::safety(...)` invariant on
+// the same line or the line above; the annotations feed SAFETY.md.
+
+fn annotated_above() {
+    // xlint::safety(act outlives the syscall; layout matches the x86_64 kernel ABI)
+    unsafe { raw_syscall() }
+}
+
+fn annotated_same_line() {
+    unsafe { raw_syscall() } // xlint::safety(argument registers hold valid pointers)
+}
+
+fn unannotated() {
+    unsafe { raw_syscall() }
+}
+
+fn empty_invariant() {
+    // xlint::safety()
+    unsafe { raw_syscall() }
+}
+
+fn mentions_in_prose_only() {
+    // this fn discusses unsafe code in a comment and a string
+    let _doc = "unsafe { .. } requires an invariant";
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        unsafe { raw_syscall() }
+    }
+}

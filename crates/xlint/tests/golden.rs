@@ -34,7 +34,11 @@ fn fixtures_cover_every_rule() {
         let path = entry.expect("dir entry").path();
         if path.extension().is_some_and(|x| x == "expected") {
             let text = std::fs::read_to_string(&path).expect("expected file");
-            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let lines = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'));
+            for line in lines {
                 let (_, rule) = line.split_once(':').expect("line:rule format");
                 seen.insert(rule.trim().to_string());
             }

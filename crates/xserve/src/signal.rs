@@ -83,6 +83,7 @@ mod imp {
             // SAFETY: `act` lives across the syscall; the layout above
             // is the x86_64 kernel ABI; rcx/r11 are clobbered by
             // `syscall` and declared so.
+            // xlint::safety(act outlives the syscall; KernelSigaction matches the x86_64 kernel ABI layout; rcx/r11 clobbers are declared)
             unsafe {
                 std::arch::asm!(
                     "syscall",

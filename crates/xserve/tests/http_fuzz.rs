@@ -1,0 +1,197 @@
+//! Fuzz-style sweep over the HTTP/1.1 request-head parser: no input —
+//! truncated, byte-substituted, header soup, or oversized — may panic,
+//! and every `Parse::Bad` verdict must carry one of the statuses the
+//! connection layer knows how to answer (the 4xx/5xx set asserted by
+//! `http::tests::framing_errors_map_to_statuses`).
+//!
+//! Mirrors `xmldom/tests/scan_fuzz.rs`: deterministic SplitMix64
+//! mutations of valid request heads, plus targeted pathological cases.
+
+use xserve::http::{parse_request, Parse, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+
+/// SplitMix64 — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Bytes that stress request framing: separators, header punctuation,
+/// digits for lengths, percent escapes, NUL and high bytes.
+const POOL: &[u8] = &[
+    b'\r', b'\n', b' ', b':', b'/', b'?', b'=', b'&', b'%', b'.', b'-', b'_', b'G', b'P', b'T',
+    b'H', b'1', b'0', b'9', b'a', b'Z', 0x00, 0x7F, 0xC3, 0xFF,
+];
+
+const SEEDS: &[&[u8]] = &[
+    b"GET /query?q=a+b&k=2 HTTP/1.1\r\nHost: x\r\n\r\n",
+    b"POST /update HTTP/1.1\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello",
+    b"GET /stats HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+    b"GET /q?term=%E4%B8%AD&rank=pr HTTP/1.1\r\nAccept: */*\r\n\r\n",
+    b"HEAD / HTTP/1.1\r\n\r\n",
+];
+
+/// The complete status set the connection layer can answer before
+/// closing; any other status out of the parser is a bug.
+const KNOWN_BAD_STATUSES: &[u16] = &[400, 413, 431, 501, 505];
+
+/// Feeds `input` to the parser; panics (failing the test) on an unknown
+/// error status. Returns which verdict was reached.
+fn classify(input: &[u8]) -> &'static str {
+    match parse_request(input) {
+        Parse::Ready(_) => "ready",
+        Parse::Incomplete => "incomplete",
+        Parse::Bad(e) => {
+            assert!(
+                KNOWN_BAD_STATUSES.contains(&e.status),
+                "parser produced unknown status {} ({}) for input ({} bytes): {:?}",
+                e.status,
+                e.detail,
+                input.len(),
+                String::from_utf8_lossy(input)
+            );
+            "bad"
+        }
+    }
+}
+
+fn mutate(rng: &mut Rng, base: &[u8]) -> Vec<u8> {
+    if base.is_empty() {
+        return vec![POOL[rng.below(POOL.len())]];
+    }
+    match rng.below(4) {
+        // substitute one byte
+        0 => {
+            let mut b = base.to_vec();
+            let i = rng.below(b.len());
+            b[i] = POOL[rng.below(POOL.len())];
+            b
+        }
+        // truncate anywhere (mid-CRLF, mid-escape, mid-UTF-8)
+        1 => base[..rng.below(base.len() + 1)].to_vec(),
+        // insert a byte
+        2 => {
+            let mut b = base.to_vec();
+            let i = rng.below(b.len() + 1);
+            b.insert(i, POOL[rng.below(POOL.len())]);
+            b
+        }
+        // splice: duplicate a random slice somewhere else
+        _ => {
+            let a = rng.below(base.len());
+            let end = a + rng.below(base.len() - a + 1);
+            let at = rng.below(base.len() + 1);
+            let mut b = base.to_vec();
+            for (k, &byte) in base[a..end].iter().enumerate() {
+                b.insert(at + k, byte);
+            }
+            b
+        }
+    }
+}
+
+#[test]
+fn mutated_heads_never_panic_and_map_to_known_statuses() {
+    let mut rng = Rng(0x4177_0F00);
+    let mut ready = 0usize;
+    let mut bad = 0usize;
+    let mut incomplete = 0usize;
+    for seed in SEEDS {
+        // Mutation chains: damage accumulates, with periodic resets to
+        // the pristine seed so complete heads stay reachable.
+        let mut current = seed.to_vec();
+        for round in 0..600 {
+            let base = if round % 5 == 0 { *seed } else { &current[..] };
+            current = mutate(&mut rng, base);
+            match classify(&current) {
+                "ready" => ready += 1,
+                "bad" => bad += 1,
+                _ => incomplete += 1,
+            }
+        }
+    }
+    // The sweep must genuinely reach all three verdicts.
+    assert!(ready > 50, "only {ready} mutants parsed");
+    assert!(bad > 100, "only {bad} mutants rejected");
+    assert!(incomplete > 50, "only {incomplete} mutants incomplete");
+}
+
+#[test]
+fn header_soup_never_panics() {
+    let mut rng = Rng(0x500B_1E7E);
+    for _ in 0..2000 {
+        let len = rng.below(120);
+        let soup: Vec<u8> = (0..len).map(|_| POOL[rng.below(POOL.len())]).collect();
+        classify(&soup);
+    }
+}
+
+#[test]
+fn truncations_of_every_seed_never_panic() {
+    for seed in SEEDS {
+        for end in 0..=seed.len() {
+            classify(&seed[..end]);
+        }
+    }
+}
+
+#[test]
+fn oversized_inputs_map_to_the_documented_statuses() {
+    // Head too large without any terminator: 431 once past the cap.
+    let huge = vec![b'a'; MAX_HEAD_BYTES + 1];
+    assert!(matches!(parse_request(&huge), Parse::Bad(e) if e.status == 431));
+
+    // Head too large even though properly terminated: still 431.
+    let mut padded = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+    padded.resize(padded.len() + MAX_HEAD_BYTES, b'p');
+    padded.extend_from_slice(b"\r\n\r\n");
+    assert!(matches!(parse_request(&padded), Parse::Bad(e) if e.status == 431));
+
+    // Declared body over the cap: 413.
+    let big_body = format!(
+        "POST /u HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        MAX_BODY_BYTES + 1
+    );
+    assert!(matches!(parse_request(big_body.as_bytes()), Parse::Bad(e) if e.status == 413));
+
+    // Absurd (non-usize) Content-Length: 400, not a panic or wrap.
+    let absurd = b"POST /u HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n";
+    assert!(matches!(parse_request(absurd), Parse::Bad(e) if e.status == 400));
+
+    // Negative and garbage lengths: 400.
+    for bad_len in ["-1", "0x10", "1e9", " ", "18446744073709551616"] {
+        let raw = format!("POST /u HTTP/1.1\r\nContent-Length: {bad_len}\r\n\r\n");
+        assert!(
+            matches!(parse_request(raw.as_bytes()), Parse::Bad(e) if e.status == 400),
+            "Content-Length {bad_len:?} must map to 400"
+        );
+    }
+}
+
+#[test]
+fn protocol_edges_map_to_the_documented_statuses() {
+    // Unsupported versions: 505.
+    for v in ["HTTP/2.0", "HTTP/0.9", "HTTP/1.2", "SPDY/3"] {
+        let raw = format!("GET / {v}\r\n\r\n");
+        assert!(
+            matches!(parse_request(raw.as_bytes()), Parse::Bad(e) if e.status == 505),
+            "version {v:?} must map to 505"
+        );
+    }
+    // Chunked transfer encoding is out of scope: 501.
+    let chunked = b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    assert!(matches!(parse_request(chunked), Parse::Bad(e) if e.status == 501));
+    // Non-UTF-8 head: 400.
+    let latin1 = b"GET /caf\xE9 HTTP/1.1\r\n\r\n";
+    assert!(matches!(parse_request(latin1), Parse::Bad(e) if e.status == 400));
+}

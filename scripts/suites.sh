@@ -25,9 +25,13 @@
 #   compress       store format v4 (compressed postings): property/fuzz
 #                  round-trips + corruption sweeps, v3-vs-v4 behavioural
 #                  differential, and the size/scan-neutrality bench
-#   analysis       xlint over the live workspace + its golden fixtures
+#   analysis       xlint over the live workspace + its golden fixtures,
+#                  then the xcheck model checker (exhaustive bounded DFS
+#                  over the distilled concurrency models + seeded bugs)
 #   tsan           ThreadSanitizer over the thread-heavy suites
 #                  (requires a nightly toolchain with rust-src)
+#   miri           Miri over the interpreter-friendly concurrency and
+#                  unsafe-bearing crates (requires nightly + miri)
 set -euo pipefail
 cd "$(dirname "${BASH_SOURCE[0]}")/.."
 
@@ -94,6 +98,7 @@ suite_compress() {
 suite_analysis() {
     cargo run -q -p xlint -- --workspace
     cargo run -q -p xlint -- --fixtures
+    cargo test -q -p xcheck
 }
 
 # The debug-only lock-rank checker and the tracer both lean on ordering
@@ -112,10 +117,21 @@ suite_tsan() {
     done
 }
 
+# Miri interprets the program, so it sees UB (dangling refs, aliasing
+# violations, leaks) that native runs miss; it covers the crates whose
+# tests stay inside the interpreter's ability — obs (the lock-rank and
+# registry internals) and xcheck (the scheduler/shim machinery). xserve
+# is out: signal.rs uses inline asm and raw syscalls Miri cannot model.
+suite_miri() {
+    local tc="${MIRI_TOOLCHAIN:-nightly}"
+    cargo "+${tc}" miri test -q -p obs
+    cargo "+${tc}" miri test -q -p xcheck
+}
+
 if [[ "${BASH_SOURCE[0]}" == "$0" ]]; then
     if [[ $# -eq 0 ]]; then
         echo "usage: $0 <suite> [<suite>...]" >&2
-        echo "suites: release_smoke torture observability ingest serve maintenance compress analysis tsan" >&2
+        echo "suites: release_smoke torture observability ingest serve maintenance compress analysis tsan miri" >&2
         exit 2
     fi
     for suite in "$@"; do
